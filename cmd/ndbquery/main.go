@@ -1,0 +1,63 @@
+// Command ndbquery queries the network database directly (§4.1), like
+// ndb/query: given an attribute and value it prints matching entries,
+// and with a third argument it returns that attribute resolved through
+// the system → subnetwork → network walk.
+//
+//	ndbquery sys helix
+//	ndbquery sys helix auth
+//	ndbquery -f mydb.ndb dom helix.research.bell-labs.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ndb"
+)
+
+func main() {
+	file := flag.String("f", "", "database file (default: the paper's)")
+	flag.Parse()
+	if flag.NArg() != 2 && flag.NArg() != 3 {
+		fmt.Fprintln(os.Stderr, "usage: ndbquery [-f db] attr value [rattr]")
+		os.Exit(2)
+	}
+	src := []byte(core.PaperNdb)
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndbquery:", err)
+			os.Exit(1)
+		}
+		src = b
+	}
+	f, err := ndb.Parse("db", src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndbquery:", err)
+		os.Exit(1)
+	}
+	db := ndb.New(f)
+	db.HashAll(flag.Arg(0))
+
+	attr, val := flag.Arg(0), flag.Arg(1)
+	if flag.NArg() == 3 {
+		rattr := flag.Arg(2)
+		v, ok := db.IPInfo(val, rattr)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ndbquery: no %s for %s\n", rattr, val)
+			os.Exit(1)
+		}
+		fmt.Printf("%s=%s\n", rattr, v)
+		return
+	}
+	entries := db.Query(attr, val)
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "ndbquery: no match")
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		fmt.Println(e.String())
+	}
+}

@@ -1,0 +1,153 @@
+// Command netsim boots the paper's world and reproduces its figures
+// and transcripts:
+//
+//	netsim -figure1    print the ether device file tree of Figure 1
+//	netsim -transcript run the §2.3 TCP transcript (cd /net/tcp/2; ls -l; cat local remote status)
+//	netsim -import     run the §6.1 import transcript (ls /net before/after)
+//	netsim -table1     measure Table 1 on calibrated media (see also bench_test.go)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dialer"
+	"repro/internal/ns"
+	"repro/internal/table1"
+	"repro/internal/vfs"
+)
+
+func main() {
+	figure1 := flag.Bool("figure1", false, "print the Figure 1 ether file tree")
+	transcript := flag.Bool("transcript", false, "run the §2.3 TCP connection transcript")
+	imp := flag.Bool("import", false, "run the §6.1 import transcript")
+	table := flag.Bool("table1", false, "reproduce Table 1 on calibrated media")
+	fast := flag.Bool("fast", false, "with -table1: ideal media (code-path cost only)")
+	flag.Parse()
+
+	if !*figure1 && !*transcript && !*imp && !*table {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table {
+		cfg := table1.DefaultConfig()
+		if *fast {
+			cfg = table1.FastConfig()
+		}
+		fmt.Print(table1.Run(cfg).Format())
+		return
+	}
+
+	w, err := core.PaperWorld(core.FastProfiles())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+	defer w.Close()
+
+	if *figure1 {
+		printFigure1(w)
+	}
+	if *transcript {
+		printTranscript(w)
+	}
+	if *imp {
+		printImport(w)
+	}
+}
+
+// printFigure1 opens conversations on helix's ether and walks the tree.
+func printFigure1(w *core.World) {
+	helix := w.Machine("helix")
+	// Open a few conversations so numbered directories exist.
+	var ctls []*ns.FD
+	for range 2 {
+		ctl, err := helix.NS.Open("/net/ether0/clone", vfs.ORDWR)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		ctl.WriteString("connect 2048")
+		ctls = append(ctls, ctl)
+	}
+	defer func() {
+		for _, c := range ctls {
+			c.Close()
+		}
+	}()
+	fmt.Println("cpu% ls /net/ether0    # Figure 1")
+	ents, _ := helix.NS.ReadDir("/net/ether0")
+	for _, e := range ents {
+		fmt.Printf("  ether0/%s\n", e.Name)
+		if e.IsDir() {
+			sub, _ := helix.NS.ReadDir("/net/ether0/" + e.Name)
+			for _, s := range sub {
+				fmt.Printf("  ether0/%s/%s\n", e.Name, s.Name)
+			}
+		}
+	}
+	b, _ := helix.NS.ReadFile("/net/ether0/1/type")
+	fmt.Printf("cpu%% cat /net/ether0/1/type\n  %s\n", b)
+	b, _ = helix.NS.ReadFile("/net/ether0/1/stats")
+	fmt.Printf("cpu%% cat /net/ether0/1/stats\n")
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		fmt.Printf("  %s\n", line)
+	}
+}
+
+// printTranscript reproduces the §2.3 connection-directory listing.
+func printTranscript(w *core.World) {
+	musca := w.Machine("musca")
+	conn, err := dialer.Dial(musca.NS, "tcp!bootes!9fs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		return
+	}
+	defer conn.Close()
+	fmt.Printf("cpu%% cd %s\ncpu%% ls\n", conn.Dir)
+	ents, _ := musca.NS.ReadDir(conn.Dir)
+	for _, e := range ents {
+		fmt.Printf("  %s\n", e.Name)
+	}
+	fmt.Println("cpu% cat local remote status")
+	for _, f := range []string{"local", "remote", "status"} {
+		b, _ := musca.NS.ReadFile(conn.Dir + "/" + f)
+		fmt.Printf("  %s", b)
+	}
+}
+
+// printImport reproduces the §6.1 ls /net before/after transcript.
+func printImport(w *core.World) {
+	gnot := w.Machine("philw-gnot")
+	show := func() {
+		names := gnot.LsNet()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  /net/%s\n", n)
+		}
+	}
+	fmt.Println("philw-gnot% ls /net")
+	show()
+	fmt.Println("philw-gnot% import -a helix /net")
+	if _, err := gnot.Import("dk!nj/astro/helix!exportfs", "/net", "/net", ns.MAFTER); err != nil {
+		fmt.Fprintln(os.Stderr, "import:", err)
+		return
+	}
+	fmt.Println("philw-gnot% ls /net")
+	show()
+	// And prove the gateway works: a TCP echo through helix.
+	conn, err := dialer.Dial(gnot.NS, "tcp!helix!echo")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcp through gateway:", err)
+		return
+	}
+	defer conn.Close()
+	conn.Write([]byte("hello via the gateway"))
+	buf := make([]byte, 64)
+	n, _ := conn.Read(buf)
+	fmt.Printf("philw-gnot%% echo via tcp!helix!echo -> %q\n", buf[:n])
+}

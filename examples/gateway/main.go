@@ -1,0 +1,69 @@
+// Gateway: the §6.1 scenario. philw's gnot is a terminal with only a
+// Datakit connection; importing /net from helix makes all of helix's
+// networks appear locally, and TCP destinations become dialable
+// through the gateway:
+//
+//	import -a helix /net
+//	telnet ai.mit.edu
+//
+//	go run ./examples/gateway
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dialer"
+	"repro/internal/ns"
+)
+
+func main() {
+	world, err := core.PaperWorld(core.FastProfiles())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer world.Close()
+
+	gnot := world.Machine("philw-gnot")
+
+	lsNet := func(label string) {
+		names := gnot.LsNet()
+		sort.Strings(names)
+		fmt.Printf("%s$ ls /net\n", label)
+		for _, n := range names {
+			fmt.Printf("  /net/%s\n", n)
+		}
+	}
+
+	lsNet("philw-gnot")
+
+	// TCP is unreachable: the terminal has no IP networks.
+	if _, err := dialer.Dial(gnot.NS, "tcp!helix!echo"); err != nil {
+		fmt.Printf("tcp!helix!echo before import: %v\n", err)
+	}
+
+	// import -a helix /net — over the Datakit, since that is all the
+	// terminal has. The union places remote entries after local ones.
+	fmt.Println("philw-gnot$ import -a helix /net")
+	if _, err := gnot.Import("dk!nj/astro/helix!exportfs", "/net", "/net", ns.MAFTER); err != nil {
+		log.Fatal(err)
+	}
+
+	lsNet("philw-gnot")
+
+	// "All the networks connected to helix, not just Datakit, are now
+	// available in the terminal": dialing TCP now opens helix's clone
+	// file through the import and the connection is relayed by the
+	// gateway's kernel.
+	conn, err := dialer.Dial(gnot.NS, "tcp!helix!echo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("tcp by way of the datakit"))
+	buf := make([]byte, 128)
+	n, _ := conn.Read(buf)
+	fmt.Printf("echo over tcp through the gateway: %q\n", buf[:n])
+}

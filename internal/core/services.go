@@ -1,0 +1,180 @@
+package core
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/dialer"
+	"repro/internal/exportfs"
+	"repro/internal/ftp"
+	"repro/internal/mnt"
+	"repro/internal/ninep"
+	"repro/internal/ns"
+	"repro/internal/vfs"
+)
+
+// Handler serves one accepted call. conn is the open connection; the
+// namespace is a fresh clone for the serving process, as the Plan 9
+// listener runs the owner's profile to build a name space before
+// starting the service (§6.1).
+type Handler func(nsp *ns.Namespace, conn *dialer.Conn)
+
+// Serve announces addr (e.g. "il!*!9fs" or "net!*!echo") and
+// dispatches each call to handler in its own goroutine — the paper's
+// listener, its inetd equivalent. It returns a stop function.
+func (m *Machine) Serve(addr string, handler Handler) (func(), error) {
+	l, err := dialer.Announce(m.NS, addr)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			call, err := l.Listen()
+			if err != nil {
+				return
+			}
+			select {
+			case <-done:
+				call.Reject("shutting down")
+				return
+			default:
+			}
+			go func(call *dialer.Call) {
+				conn, err := call.Accept()
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				handler(m.NS.Clone(), conn)
+			}(call)
+		}
+	}()
+	stop := func() {
+		close(done)
+		l.Close()
+	}
+	m.onClose(stop)
+	return stop, nil
+}
+
+// ServeEcho runs the echo service of §5.2's example listener.
+func (m *Machine) ServeEcho(addr string) (func(), error) {
+	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
+		buf := make([]byte, 8192)
+		for {
+			n, err := conn.Read(buf)
+			if n > 0 {
+				if _, werr := conn.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+// ServeDiscard runs the discard service.
+func (m *Machine) ServeDiscard(addr string) (func(), error) {
+	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
+		io.Copy(io.Discard, conn)
+	})
+}
+
+// msgConnFor picks 9P framing by network: IL, Datakit/URP, and
+// Cyclone preserve delimiters; TCP needs the marshaling adapter
+// (§2.1).
+func msgConnFor(conn *dialer.Conn) ninep.MsgConn {
+	if strings.HasPrefix(conn.Dir, "/net/tcp/") {
+		return ninep.NewStreamConn(conn)
+	}
+	return ninep.NewDelimConn(conn)
+}
+
+// ServeExportfs announces the exportfs service (§6.1): each call runs
+// a relay file server for this machine's name space. The attach name
+// selects the exported subtree.
+func (m *Machine) ServeExportfs(addr string) (func(), error) {
+	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
+		exportfs.Serve(msgConnFor(conn), nsp, "/")
+	})
+}
+
+// Import dials the exportfs service on a remote machine and mounts
+// its subtree at old with the given bind flag: the import command of
+// §6.1. dest is a dial string such as "net!helix!exportfs".
+func (m *Machine) Import(dest, remotePath, old string, flag int) (*ninep.Client, error) {
+	conn, err := dialer.Dial(m.NS, dest)
+	if err != nil {
+		return nil, err
+	}
+	remotePath = strings.TrimPrefix(ns.Clean(remotePath), "/")
+	cl, err := exportfs.Import(m.NS, msgConnFor(conn), remotePath, old, flag)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	m.onClose(func() { cl.Close() })
+	return cl, nil
+}
+
+// MountRemote dials dest and mounts the 9P tree served there (e.g. a
+// file server speaking 9P directly on a Cyclone link).
+func (m *Machine) MountRemote(dest, aname, old string, flag int) (*ninep.Client, error) {
+	conn, err := dialer.Dial(m.NS, dest)
+	if err != nil {
+		return nil, err
+	}
+	root, cl, err := mnt.Mount(msgConnFor(conn), m.NS.User(), aname)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := m.NS.MountNode(root, old, flag); err != nil {
+		cl.Close()
+		conn.Close()
+		return nil, err
+	}
+	m.onClose(func() { cl.Close() })
+	return cl, nil
+}
+
+// Serve9P serves a subtree of this machine's name space as a plain 9P
+// file service (the "9fs" service a file server exposes).
+func (m *Machine) Serve9P(addr, root string) (func(), error) {
+	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
+		exportfs.Serve(msgConnFor(conn), nsp, root)
+	})
+}
+
+// ServeFTP runs the FTP service of §6.2 (the "remote system" end),
+// serving root from this machine's name space.
+func (m *Machine) ServeFTP(addr, root string, cfg ftp.ServerConfig) (func(), error) {
+	addrs := m.Stack.Addrs()
+	if len(addrs) == 0 {
+		return nil, vfs.ErrNoNet
+	}
+	ann := ftp.MachineAnnouncer{NS: m.NS, HostAddr: addrs[0].String()}
+	cfg.Root = root
+	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
+		ftp.ServeSession(nsp, conn, ann, cfg)
+	})
+}
+
+// MountFTP is the ftpfs command: it dials the FTP port of a remote
+// system, logs in, sets image mode, and mounts the remote file system
+// (conventionally onto /n/ftp).
+func (m *Machine) MountFTP(dest, user, pass, old string) (*ftp.FS, error) {
+	fs, err := ftp.Dial(m.NS, dest, user, pass)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.NS.MountDevice(fs, "", old, ns.MREPL); err != nil {
+		fs.Close()
+		return nil, err
+	}
+	m.onClose(func() { fs.Close() })
+	return fs, nil
+}

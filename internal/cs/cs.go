@@ -1,0 +1,271 @@
+// Package cs implements the connection server of §4.2: "On each
+// system a user level connection server process, CS, translates
+// symbolic names to addresses. ... CS is a file server serving a
+// single file, /net/cs. A client writes a symbolic name to /net/cs
+// then reads one line for each matching destination reachable from
+// this system. The lines are of the form filename message, where
+// filename is the path of the clone file to open for a new connection
+// and message is the string to write to it to make the connection."
+//
+// Supported meta-names, as in the paper:
+//
+//   - the special network name "net" selects any network in common
+//     between source and destination supporting the service;
+//   - a host of the form $attr names a database attribute, resolved
+//     most-closely-associated to the source host (system, then
+//     subnetwork, then network);
+//   - a host of "*" produces announcement strings.
+//
+// For domain names CS first consults DNS and falls back to its own
+// database tables, per the paper.
+package cs
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/devtree"
+	"repro/internal/ip"
+	"repro/internal/ndb"
+	"repro/internal/vfs"
+)
+
+// NetworkKind distinguishes addressing families.
+type NetworkKind int
+
+const (
+	// KindIP networks (tcp, udp, il) address by ip!port.
+	KindIP NetworkKind = iota
+	// KindDatakit networks address by hierarchical name!service.
+	KindDatakit
+	// KindPoint networks (cyclone) are point-to-point: any address.
+	KindPoint
+)
+
+// Network describes one network available on this machine, in
+// preference order.
+type Network struct {
+	Name  string // protocol directory name: "il", "tcp", "dk", ...
+	Clone string // path of the clone file: "/net/il/clone"
+	Kind  NetworkKind
+}
+
+// Config is the connection server's local knowledge.
+type Config struct {
+	// SysName is this machine's name in the database.
+	SysName string
+	// DB is the network database.
+	DB *ndb.DB
+	// Networks lists the networks this machine knows how to speak, in
+	// preference order (the paper's CS answers IL before Datakit).
+	Networks []Network
+	// Probe reports whether a clone file is currently reachable in
+	// the machine's name space. Because imported networks appear in
+	// /net like local ones (§6.1), a Datakit-only terminal that has
+	// imported /net from a gateway starts answering tcp! queries the
+	// moment the import lands. nil means all listed networks are
+	// available.
+	Probe func(clonePath string) bool
+	// Resolve consults DNS for a domain name; nil or failing falls
+	// back to the database, as the paper specifies.
+	Resolve func(domain string) ([]ip.Addr, error)
+}
+
+// Server is the connection server.
+type Server struct {
+	mu  sync.RWMutex
+	cfg Config
+}
+
+// New creates a connection server.
+func New(cfg Config) *Server { return &Server{cfg: cfg} }
+
+// Translate resolves one symbolic name into destination lines.
+func (s *Server) Translate(query string) ([]string, error) {
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+
+	parts := strings.Split(strings.TrimSpace(query), "!")
+	if len(parts) < 2 {
+		return nil, vfs.ErrBadArg
+	}
+	netName := parts[0]
+	host := parts[1]
+	service := ""
+	if len(parts) >= 3 {
+		service = parts[2]
+	}
+	if host == "" {
+		return nil, vfs.ErrBadArg
+	}
+
+	available := func(n Network) bool {
+		return cfg.Probe == nil || cfg.Probe(n.Clone)
+	}
+	var nets []Network
+	if netName == "net" {
+		for _, n := range cfg.Networks {
+			if available(n) {
+				nets = append(nets, n)
+			}
+		}
+	} else {
+		for _, n := range cfg.Networks {
+			if n.Name == netName && available(n) {
+				nets = append(nets, n)
+			}
+		}
+	}
+	if len(nets) == 0 {
+		return nil, vfs.ErrNoNet
+	}
+
+	// $attr: search the source system, then its subnetwork, then its
+	// network.
+	if strings.HasPrefix(host, "$") {
+		v, ok := cfg.DB.IPInfo(cfg.SysName, host[1:])
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		host = v
+	}
+
+	var lines []string
+	for _, n := range nets {
+		for _, addr := range s.hostAddrs(cfg, n, host, service) {
+			lines = append(lines, n.Clone+" "+addr)
+		}
+	}
+	if len(lines) == 0 {
+		return nil, vfs.ErrNotExist
+	}
+	return lines, nil
+}
+
+// hostAddrs produces the address strings for host/service on network n.
+func (s *Server) hostAddrs(cfg Config, n Network, host, service string) []string {
+	switch n.Kind {
+	case KindPoint:
+		// Point-to-point: the wire is the address.
+		return []string{host + "!" + service}
+	case KindDatakit:
+		if host == "*" {
+			if service == "" {
+				return []string{"*"}
+			}
+			return []string{"*!" + service}
+		}
+		dest := host
+		if e, ok := cfg.DB.FindSystem(host); ok {
+			if dk, okd := e.Get("dk"); okd {
+				dest = dk
+			} else {
+				return nil // not reachable over Datakit
+			}
+		} else if !strings.Contains(host, "/") {
+			return nil // unknown and not a literal dk address
+		}
+		if service == "" {
+			return nil
+		}
+		return []string{dest + "!" + service}
+	default: // KindIP
+		port := service
+		if service != "" {
+			p, ok := cfg.DB.ServicePort(n.Name, service)
+			if !ok {
+				return nil
+			}
+			port = p
+		}
+		if host == "*" {
+			if port == "" {
+				// No service: announce all services not
+				// explicitly announced (§5.2).
+				return []string{"*"}
+			}
+			return []string{"*!" + port}
+		}
+		var addrs []string
+		add := func(a string) {
+			if port != "" {
+				addrs = append(addrs, a+"!"+port)
+			} else {
+				addrs = append(addrs, a)
+			}
+		}
+		// Literal IP address.
+		if a, err := ip.ParseAddr(host); err == nil {
+			add(a.String())
+			return addrs
+		}
+		// Database lookup by any name.
+		if e, ok := cfg.DB.FindSystem(host); ok {
+			for _, v := range e.GetAll("ip") {
+				add(v)
+			}
+			return addrs
+		}
+		// Domain names go to DNS first; "if no DNS is reachable,
+		// CS relies on its own tables" — and here the tables have
+		// already missed, so DNS is the last resort.
+		if cfg.Resolve != nil && strings.Contains(host, ".") {
+			if ips, err := cfg.Resolve(host); err == nil {
+				for _, a := range ips {
+					add(a.String())
+				}
+			}
+		}
+		return addrs
+	}
+}
+
+// Node returns the /net/cs file.
+func (s *Server) Node(owner string) vfs.Node {
+	return &devtree.FileNode{
+		Entry: devtree.MkFile("cs", owner, 0666),
+		OpenFn: func(mode int) (vfs.Handle, error) {
+			return &csHandle{srv: s}, nil
+		},
+	}
+}
+
+// csHandle is one client's query context: a write translates, reads
+// return one line each.
+type csHandle struct {
+	srv *Server
+
+	mu    sync.Mutex
+	lines []string
+}
+
+var _ vfs.Handle = (*csHandle)(nil)
+
+// Write implements vfs.Handle.
+func (h *csHandle) Write(p []byte, off int64) (int, error) {
+	lines, err := h.srv.Translate(string(p))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		h.lines = nil
+		return 0, err
+	}
+	h.lines = lines
+	return len(p), nil
+}
+
+// Read implements vfs.Handle: one destination line per read.
+func (h *csHandle) Read(p []byte, off int64) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.lines) == 0 {
+		return 0, nil
+	}
+	line := h.lines[0] + "\n"
+	h.lines = h.lines[1:]
+	return copy(p, line), nil
+}
+
+// Close implements vfs.Handle.
+func (h *csHandle) Close() error { return nil }

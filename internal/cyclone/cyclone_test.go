@@ -1,0 +1,187 @@
+package cyclone
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/medium"
+	"repro/internal/xport"
+)
+
+func TestFramedMessagesAcrossLink(t *testing.T) {
+	l := NewLink("cyc0", medium.Profile{})
+	defer l.Close()
+	ea, eb := l.Ends()
+	ca, _ := ea.NewConn()
+	cb, _ := eb.NewConn()
+	if err := ca.Connect(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Connect(""); err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	defer cb.Close()
+	ca.Write([]byte("across the fiber"))
+	ca.Write([]byte("second frame"))
+	buf := make([]byte, 256)
+	n, err := cb.Read(buf)
+	if err != nil || string(buf[:n]) != "across the fiber" {
+		t.Fatalf("read %q, %v", buf[:n], err)
+	}
+	n, _ = cb.Read(buf)
+	if string(buf[:n]) != "second frame" {
+		t.Errorf("delimiters lost: %q", buf[:n])
+	}
+	// And the reverse direction.
+	cb.Write([]byte("return"))
+	n, _ = ca.Read(buf)
+	if string(buf[:n]) != "return" {
+		t.Errorf("reverse read %q", buf[:n])
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	l := NewLink("cyc0", medium.Profile{})
+	defer l.Close()
+	ea, eb := l.Ends()
+	ca, _ := ea.NewConn()
+	cb, _ := eb.NewConn()
+	ca.Connect("")
+	cb.Connect("")
+	msg := bytes.Repeat([]byte("c"), 48*1024)
+	ca.Write(msg)
+	got := make([]byte, 64*1024)
+	n, err := cb.Read(got)
+	if err != nil || n != len(msg) {
+		t.Fatalf("large frame: %d bytes, %v", n, err)
+	}
+}
+
+func TestSingleConversation(t *testing.T) {
+	l := NewLink("cyc0", medium.Profile{})
+	defer l.Close()
+	ea, _ := l.Ends()
+	c1, _ := ea.NewConn()
+	if err := c1.Connect(""); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := ea.NewConn()
+	if err := c2.Connect(""); err != xport.ErrInUse {
+		t.Errorf("second conversation on a point-to-point link = %v", err)
+	}
+	c1.Close()
+	if err := c2.Connect(""); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+	c2.Close()
+}
+
+func TestReadAfterCloseFails(t *testing.T) {
+	l := NewLink("cyc0", medium.Profile{})
+	defer l.Close()
+	ea, _ := l.Ends()
+	c, _ := ea.NewConn()
+	c.Connect("")
+	c.Close()
+	if _, err := c.Read(make([]byte, 8)); err == nil {
+		t.Error("read on closed conversation succeeded")
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Error("write on closed conversation succeeded")
+	}
+}
+
+func TestProfilePacing(t *testing.T) {
+	// 1 MB/s bandwidth: a 100 KB frame takes ~100ms to serialize.
+	l := NewLink("cyc0", medium.Profile{Bandwidth: 1 << 20, MTU: 1 << 20})
+	defer l.Close()
+	ea, eb := l.Ends()
+	ca, _ := ea.NewConn()
+	cb, _ := eb.NewConn()
+	ca.Connect("")
+	cb.Connect("")
+	start := time.Now()
+	go ca.Write(make([]byte, 100*1024))
+	buf := make([]byte, 200*1024)
+	cb.Read(buf)
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Errorf("100KB at 1MB/s took only %v", el)
+	}
+}
+
+func TestListenSerializesConversations(t *testing.T) {
+	l := NewLink("cyc0", medium.Profile{})
+	defer l.Close()
+	ea, eb := l.Ends()
+	lc, _ := ea.NewConn()
+	if _, err := lc.Listen(); err != xport.ErrNotAnnounced {
+		t.Fatalf("listen before announce = %v", err)
+	}
+	if err := lc.Announce(""); err != nil {
+		t.Fatal(err)
+	}
+	first, err := lc.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second Listen blocks while the first conversation holds the
+	// wire, and returns once it closes.
+	got := make(chan xport.Conn, 1)
+	go func() {
+		nc, err := lc.Listen()
+		if err == nil {
+			got <- nc
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("second listen returned while wire held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	first.Close()
+	select {
+	case nc := <-got:
+		nc.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("second listen never returned after release")
+	}
+	_ = eb
+}
+
+func TestStatusAndAddrs(t *testing.T) {
+	l := NewLink("cyc0", medium.Profile{})
+	defer l.Close()
+	ea, _ := l.Ends()
+	c, _ := ea.NewConn()
+	if c.Status() != "Closed" {
+		t.Errorf("fresh status %q", c.Status())
+	}
+	c.Connect("")
+	if c.Status() != "Established" {
+		t.Errorf("connected status %q", c.Status())
+	}
+	if c.LocalAddr() == "" || c.RemoteAddr() == "" {
+		t.Error("empty addresses")
+	}
+	c.Close()
+	if c.Status() != "Closed" {
+		t.Errorf("closed status %q", c.Status())
+	}
+	if err := c.Connect(""); err == nil {
+		t.Error("connect on closed conversation succeeded")
+	}
+	if err := c.Announce(""); err == nil {
+		t.Error("announce on closed conversation succeeded")
+	}
+}
+
+func TestEndName(t *testing.T) {
+	l := NewLink("cyc0", medium.Profile{})
+	defer l.Close()
+	ea, _ := l.Ends()
+	if ea.Name() != "cyc" {
+		t.Errorf("device name %q", ea.Name())
+	}
+}

@@ -1,0 +1,310 @@
+// Package datakit simulates Fraser's Datakit (§1, §2.3): a
+// virtual-circuit network whose stations carry hierarchical names like
+// "nj/astro/helix" and whose calls name a destination and service
+// ("nj/astro/helix!9fs"). Circuit setup goes through the switch; data
+// then flows over the circuit under URP, giving the reliable delimited
+// transport that Plan 9 ran 9P over between Datakit machines.
+//
+// The medium profile applies per circuit leg, so the cell-oriented
+// slowness of real Datakit (and hence the URP/Datakit row of Table 1)
+// is reproduced by configuring a low bandwidth and small MTU.
+package datakit
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"repro/internal/medium"
+	"repro/internal/urp"
+	"repro/internal/vfs"
+	"repro/internal/xport"
+)
+
+// Errors.
+var (
+	ErrNoHost    = errors.New("datakit: no such host")
+	ErrNoService = vfs.ErrConnRef
+	ErrNameTaken = errors.New("datakit: host name taken")
+)
+
+// Switch is the Datakit switch: the name-to-station directory plus
+// circuit setup.
+type Switch struct {
+	profile medium.Profile
+
+	mu    sync.Mutex
+	hosts map[string]*Host
+}
+
+// NewSwitch creates a switch whose circuits have the given profile.
+func NewSwitch(p medium.Profile) *Switch {
+	return &Switch{profile: p, hosts: make(map[string]*Host)}
+}
+
+// NewHost attaches a station under a hierarchical name.
+func (sw *Switch) NewHost(name string) (*Host, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, taken := sw.hosts[name]; taken {
+		return nil, ErrNameTaken
+	}
+	h := &Host{sw: sw, name: name, listeners: make(map[string]chan *incomingCall)}
+	sw.hosts[name] = h
+	return h, nil
+}
+
+// Close tears the switch down.
+func (sw *Switch) Close() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.hosts = make(map[string]*Host)
+}
+
+// dial sets up a circuit from caller to the named host and service.
+func (sw *Switch) dial(caller *Host, dest, service string) (*medium.Duplex, error) {
+	sw.mu.Lock()
+	h := sw.hosts[dest]
+	sw.mu.Unlock()
+	if h == nil {
+		return nil, ErrNoHost
+	}
+	a, b := medium.NewDuplex(sw.profile)
+	call := &incomingCall{wire: b, remote: caller.name, service: service}
+	// The enqueue happens under the host lock so a concurrent
+	// listener close (which also holds it) cannot race the send.
+	h.mu.Lock()
+	ch := h.listeners[service]
+	if ch == nil {
+		// The announce-all listener takes services not explicitly
+		// announced (§5.2).
+		ch = h.listeners["*"]
+	}
+	delivered := false
+	if ch != nil {
+		select {
+		case ch <- call:
+			delivered = true
+		default: // listener backlog full: refused
+		}
+	}
+	h.mu.Unlock()
+	if !delivered {
+		a.Close()
+		b.Close()
+		return nil, ErrNoService
+	}
+	return a, nil
+}
+
+// Host is one station on the switch.
+type Host struct {
+	sw   *Switch
+	name string
+
+	mu        sync.Mutex
+	listeners map[string]chan *incomingCall
+}
+
+// Name returns the station's Datakit name.
+func (h *Host) Name() string { return h.name }
+
+type incomingCall struct {
+	wire    *medium.Duplex
+	remote  string
+	service string
+}
+
+// duplexWire adapts a medium.Duplex to urp.Wire.
+type duplexWire struct{ d *medium.Duplex }
+
+func (w duplexWire) SendCell(p []byte) error   { return w.d.Send(p) }
+func (w duplexWire) RecvCell() ([]byte, error) { return w.d.Recv() }
+func (w duplexWire) Close() error {
+	w.d.Close()
+	return nil
+}
+
+// Proto is the protocol device ("dk") for a host.
+type Proto struct {
+	host  *Host
+	Stats urp.Stats
+}
+
+var _ xport.Proto = (*Proto)(nil)
+
+// NewProto wraps a host as an xport protocol.
+func NewProto(h *Host) *Proto { return &Proto{host: h} }
+
+// Name implements xport.Proto.
+func (p *Proto) Name() string { return "dk" }
+
+// NewConn implements xport.Proto.
+func (p *Proto) NewConn() (xport.Conn, error) {
+	return &Conn{proto: p}, nil
+}
+
+// Conn is a Datakit conversation: a URP engine over a circuit.
+type Conn struct {
+	proto *Proto
+
+	mu       sync.Mutex
+	urp      *urp.Conn
+	local    string
+	remote   string
+	service  string
+	listenCh chan *incomingCall
+	state    string
+}
+
+var _ xport.Conn = (*Conn)(nil)
+
+// Connect implements xport.Conn: addr is "nj/astro/helix!9fs".
+func (c *Conn) Connect(addr string) error {
+	dest, service, ok := strings.Cut(addr, "!")
+	if !ok || dest == "" || service == "" {
+		return xport.ErrBadAddress
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.urp != nil || c.listenCh != nil {
+		return xport.ErrConnected
+	}
+	wire, err := c.proto.host.sw.dial(c.proto.host, dest, service)
+	if err != nil {
+		return err
+	}
+	c.urp = urp.New(duplexWire{wire}, &c.proto.Stats)
+	c.local = c.proto.host.name
+	c.remote = addr
+	c.service = service
+	c.state = "Established"
+	return nil
+}
+
+// Announce implements xport.Conn: addr is a service name, optionally
+// "*!service".
+func (c *Conn) Announce(addr string) error {
+	service := addr
+	if _, s, ok := strings.Cut(addr, "!"); ok {
+		service = s
+	}
+	if service == "" {
+		return xport.ErrBadAddress
+	}
+	h := c.proto.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.urp != nil || c.listenCh != nil {
+		return xport.ErrConnected
+	}
+	if _, taken := h.listeners[service]; taken {
+		return xport.ErrInUse
+	}
+	ch := make(chan *incomingCall, 8)
+	h.listeners[service] = ch
+	c.listenCh = ch
+	c.service = service
+	c.local = h.name + "!" + service
+	c.state = "Announced"
+	return nil
+}
+
+// Listen implements xport.Conn.
+func (c *Conn) Listen() (xport.Conn, error) {
+	c.mu.Lock()
+	ch := c.listenCh
+	c.mu.Unlock()
+	if ch == nil {
+		return nil, xport.ErrNotAnnounced
+	}
+	call, ok := <-ch
+	if !ok {
+		return nil, vfs.ErrHungup
+	}
+	nc := &Conn{
+		proto:   c.proto,
+		urp:     urp.New(duplexWire{call.wire}, &c.proto.Stats),
+		local:   c.proto.host.name + "!" + call.service,
+		remote:  call.remote,
+		service: call.service,
+		state:   "Established",
+	}
+	return nc, nil
+}
+
+// Read implements xport.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	u := c.urp
+	c.mu.Unlock()
+	if u == nil {
+		return 0, xport.ErrNotConnected
+	}
+	return u.Read(p)
+}
+
+// Write implements xport.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	u := c.urp
+	c.mu.Unlock()
+	if u == nil {
+		return 0, xport.ErrNotConnected
+	}
+	return u.Write(p)
+}
+
+// LocalAddr implements xport.Conn.
+func (c *Conn) LocalAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.local
+}
+
+// RemoteAddr implements xport.Conn.
+func (c *Conn) RemoteAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
+}
+
+// Status implements xport.Conn.
+func (c *Conn) Status() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.urp != nil && c.urp.Dead() {
+		return "Hungup"
+	}
+	if c.state == "" {
+		return "Closed"
+	}
+	return c.state
+}
+
+// Close implements xport.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	u := c.urp
+	ch := c.listenCh
+	service := c.service
+	c.urp = nil
+	c.listenCh = nil
+	c.state = "Closed"
+	c.mu.Unlock()
+	if ch != nil {
+		h := c.proto.host
+		h.mu.Lock()
+		if h.listeners[service] == ch {
+			delete(h.listeners, service)
+		}
+		close(ch) // under h.mu: no dial can be mid-send
+		h.mu.Unlock()
+	}
+	if u != nil {
+		return u.Close()
+	}
+	return nil
+}

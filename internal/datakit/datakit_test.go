@@ -1,0 +1,214 @@
+package datakit
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/medium"
+	"repro/internal/vfs"
+	"repro/internal/xport"
+)
+
+func hosts(t *testing.T, p medium.Profile) (*Proto, *Proto) {
+	t.Helper()
+	sw := NewSwitch(p)
+	t.Cleanup(sw.Close)
+	h1, err := sw.NewHost("nj/astro/philw-gnot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := sw.NewHost("nj/astro/helix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProto(h1), NewProto(h2)
+}
+
+func circuit(t *testing.T, p1, p2 *Proto, service string) (xport.Conn, xport.Conn) {
+	t.Helper()
+	lc, _ := p2.NewConn()
+	if err := lc.Announce(service); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	acceptCh := make(chan xport.Conn, 1)
+	go func() {
+		nc, err := lc.Listen()
+		if err == nil {
+			acceptCh <- nc
+		}
+	}()
+	dc, _ := p1.NewConn()
+	if err := dc.Connect("nj/astro/helix!" + service); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dc.Close() })
+	select {
+	case sc := <-acceptCh:
+		t.Cleanup(func() { sc.Close() })
+		return dc, sc
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never arrived")
+		return nil, nil
+	}
+}
+
+func TestCallSetupAndEcho(t *testing.T) {
+	p1, p2 := hosts(t, medium.Profile{})
+	dc, sc := circuit(t, p1, p2, "9fs")
+	dc.Write([]byte("over datakit"))
+	buf := make([]byte, 256)
+	n, err := sc.Read(buf)
+	if err != nil || string(buf[:n]) != "over datakit" {
+		t.Fatalf("read %q, %v", buf[:n], err)
+	}
+	sc.Write([]byte("reply"))
+	n, err = dc.Read(buf)
+	if err != nil || string(buf[:n]) != "reply" {
+		t.Fatalf("reply %q, %v", buf[:n], err)
+	}
+	if dc.RemoteAddr() != "nj/astro/helix!9fs" {
+		t.Errorf("remote %q", dc.RemoteAddr())
+	}
+	if sc.RemoteAddr() != "nj/astro/philw-gnot" {
+		t.Errorf("server's remote %q", sc.RemoteAddr())
+	}
+	if dc.Status() != "Established" {
+		t.Errorf("status %q", dc.Status())
+	}
+}
+
+func TestURPDelimitersPreserved(t *testing.T) {
+	p1, p2 := hosts(t, medium.Profile{})
+	dc, sc := circuit(t, p1, p2, "echo")
+	dc.Write([]byte("one"))
+	dc.Write([]byte("two two"))
+	buf := make([]byte, 256)
+	n, _ := sc.Read(buf)
+	if string(buf[:n]) != "one" {
+		t.Errorf("first message %q", buf[:n])
+	}
+	n, _ = sc.Read(buf)
+	if string(buf[:n]) != "two two" {
+		t.Errorf("second message %q", buf[:n])
+	}
+}
+
+func TestLargeMessageOverSmallBlocks(t *testing.T) {
+	p1, p2 := hosts(t, medium.Profile{})
+	dc, sc := circuit(t, p1, p2, "bulk")
+	msg := bytes.Repeat([]byte("dk"), 10*1024) // 20 KiB over 1 KiB blocks
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []byte
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64*1024)
+		n, err := sc.Read(buf)
+		if err == nil {
+			got = append(got, buf[:n]...)
+		}
+	}()
+	dc.Write(msg)
+	wg.Wait()
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reassembled %d bytes, want %d in one delimited read", len(got), len(msg))
+	}
+}
+
+func TestURPRecoversFromLoss(t *testing.T) {
+	p1, p2 := hosts(t, medium.Profile{Loss: 0.05, Seed: 5})
+	dc, sc := circuit(t, p1, p2, "lossy")
+	const rounds = 30
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var msgs [][]byte
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 8192)
+		for len(msgs) < rounds {
+			n, err := sc.Read(buf)
+			if err != nil {
+				return
+			}
+			msgs = append(msgs, append([]byte(nil), buf[:n]...))
+		}
+	}()
+	for i := range rounds {
+		dc.Write(bytes.Repeat([]byte{byte(i)}, 500))
+	}
+	wg.Wait()
+	if len(msgs) != rounds {
+		t.Fatalf("received %d of %d messages", len(msgs), rounds)
+	}
+	for i, m := range msgs {
+		if len(m) != 500 || m[0] != byte(i) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+	if p1.Stats.Retransmits.Load() == 0 && p2.Stats.Retransmits.Load() == 0 {
+		t.Log("note: loss pattern hit no data cells")
+	}
+}
+
+func TestNoSuchHostAndService(t *testing.T) {
+	p1, p2 := hosts(t, medium.Profile{})
+	dc, _ := p1.NewConn()
+	defer dc.Close()
+	if err := dc.Connect("nj/astro/nowhere!9fs"); err != ErrNoHost {
+		t.Errorf("dial to unknown host = %v", err)
+	}
+	if err := dc.Connect("nj/astro/helix!nosuch"); !vfs.SameError(err, vfs.ErrConnRef) {
+		t.Errorf("dial to unannounced service = %v", err)
+	}
+	if err := dc.Connect("malformed"); err != xport.ErrBadAddress {
+		t.Errorf("malformed dial = %v", err)
+	}
+	_ = p2
+}
+
+func TestDuplicateHostName(t *testing.T) {
+	sw := NewSwitch(medium.Profile{})
+	defer sw.Close()
+	if _, err := sw.NewHost("nj/astro/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.NewHost("nj/astro/x"); err != ErrNameTaken {
+		t.Errorf("duplicate host = %v", err)
+	}
+}
+
+func TestServiceCollisionAndRelease(t *testing.T) {
+	p1, _ := hosts(t, medium.Profile{})
+	a, _ := p1.NewConn()
+	if err := a.Announce("9fs"); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p1.NewConn()
+	if err := b.Announce("9fs"); err != xport.ErrInUse {
+		t.Errorf("duplicate announce = %v", err)
+	}
+	a.Close()
+	if err := b.Announce("9fs"); err != nil {
+		t.Errorf("announce after release: %v", err)
+	}
+	b.Close()
+}
+
+func TestHangupPropagates(t *testing.T) {
+	p1, p2 := hosts(t, medium.Profile{})
+	dc, sc := circuit(t, p1, p2, "hup")
+	dc.Write([]byte("last"))
+	buf := make([]byte, 64)
+	sc.Read(buf)
+	dc.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := sc.Read(buf); err != nil {
+			return // hangup seen
+		}
+	}
+	t.Fatal("peer never saw the hangup")
+}

@@ -1,0 +1,210 @@
+package dialer_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dialer"
+	"repro/internal/vfs"
+)
+
+func paperWorld(t *testing.T) *core.World {
+	t.Helper()
+	w, err := core.PaperWorld(core.FastProfiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestDialSymbolicName(t *testing.T) {
+	w := paperWorld(t)
+	musca := w.Machine("musca")
+	conn, err := dialer.Dial(musca.NS, "il!helix!echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if !strings.HasPrefix(conn.Dir, "/net/il/") {
+		t.Errorf("connection dir %q", conn.Dir)
+	}
+	conn.Write([]byte("x"))
+	buf := make([]byte, 4)
+	if n, err := conn.Read(buf); err != nil || string(buf[:n]) != "x" {
+		t.Fatalf("echo %q, %v", buf[:n], err)
+	}
+}
+
+func TestDialFallsThroughRefusedNetworks(t *testing.T) {
+	w := paperWorld(t)
+	musca := w.Machine("musca")
+	helix := w.Machine("helix")
+	// daytime only on dk: il/tcp translations will be refused first.
+	done := make(chan struct{})
+	l, err := dialer.Announce(helix.NS, "dk!*!daytime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			call, err := l.Listen()
+			if err != nil {
+				return
+			}
+			c, err := call.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte("1993"))
+			c.Close()
+			select {
+			case done <- struct{}{}:
+			default:
+			}
+		}
+	}()
+	conn, err := dialer.Dial(musca.NS, "net!helix!daytime")
+	if err != nil {
+		t.Fatalf("net! dial with only dk serving: %v", err)
+	}
+	defer conn.Close()
+	if !strings.HasPrefix(conn.Dir, "/net/dk/") {
+		t.Errorf("expected the dk fallback, got %q", conn.Dir)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil || string(buf[:n]) != "1993" {
+		t.Fatalf("daytime read %q, %v", buf[:n], err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	w := paperWorld(t)
+	musca := w.Machine("musca")
+	if _, err := dialer.Dial(musca.NS, "il!helix!nosuchservice"); err == nil {
+		t.Error("unknown service dialed")
+	}
+	if _, err := dialer.Dial(musca.NS, "il!ghosthost!echo"); err == nil {
+		t.Error("unknown host dialed")
+	}
+	if _, err := dialer.Dial(musca.NS, "malformed"); err == nil {
+		t.Error("malformed destination dialed")
+	}
+	// A known host with nobody listening: connection refused.
+	if _, err := dialer.Dial(musca.NS, "il!bootes!echo"); !vfs.SameError(err, vfs.ErrConnRef) {
+		t.Errorf("refused dial error = %v", err)
+	}
+}
+
+func TestAnnounceListenAcceptShape(t *testing.T) {
+	// The §5.2 echo_server shape, using the library verbs.
+	w := paperWorld(t)
+	musca := w.Machine("musca")
+	helix := w.Machine("helix")
+
+	afd, err := dialer.Announce(musca.NS, "tcp!*!login")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer afd.Close()
+	if !strings.HasPrefix(afd.Dir, "/net/tcp/") {
+		t.Errorf("announce dir %q", afd.Dir)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lcfd, err := afd.Listen()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dfd, err := lcfd.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer dfd.Close()
+		buf := make([]byte, 256)
+		n, _ := dfd.Read(buf)
+		dfd.Write(buf[:n])
+	}()
+
+	conn, err := dialer.Dial(helix.NS, "tcp!musca!login")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("login: glenda"))
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil || string(buf[:n]) != "login: glenda" {
+		t.Fatalf("accept echo %q, %v", buf[:n], err)
+	}
+	wg.Wait()
+}
+
+func TestRejectRefusesCall(t *testing.T) {
+	w := paperWorld(t)
+	musca := w.Machine("musca")
+	helix := w.Machine("helix")
+	l, err := dialer.Announce(musca.NS, "il!*!rexauth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		call, err := l.Listen()
+		if err != nil {
+			return
+		}
+		call.Reject("go away")
+	}()
+	conn, err := dialer.Dial(helix.NS, "il!musca!rexauth")
+	if err != nil {
+		return // refused at connect: fine
+	}
+	defer conn.Close()
+	buf := make([]byte, 8)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+	t.Error("rejected call stayed connected")
+}
+
+func TestAnnounceCollision(t *testing.T) {
+	w := paperWorld(t)
+	musca := w.Machine("musca")
+	a, err := dialer.Announce(musca.NS, "tcp!*!login")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := dialer.Announce(musca.NS, "tcp!*!login"); err == nil {
+		t.Error("duplicate announcement succeeded")
+	}
+}
+
+func TestConnAddrHelpers(t *testing.T) {
+	w := paperWorld(t)
+	musca := w.Machine("musca")
+	conn, err := dialer.Dial(musca.NS, "tcp!helix!echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if ra := conn.RemoteAddr(musca.NS); ra != "135.104.9.31!7" {
+		t.Errorf("remote %q", ra)
+	}
+	if la := conn.LocalAddr(musca.NS); !strings.HasPrefix(la, "135.104.9.6!") {
+		t.Errorf("local %q", la)
+	}
+}

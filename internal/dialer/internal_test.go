@@ -1,0 +1,16 @@
+package dialer
+
+import "testing"
+
+func TestDirectTranslateWithoutCS(t *testing.T) {
+	lines, err := directTranslate("tcp!1.2.3.4!999")
+	if err != nil || len(lines) != 1 || lines[0] != "/net/tcp/clone 1.2.3.4!999" {
+		t.Errorf("directTranslate: %v, %v", lines, err)
+	}
+	if _, err := directTranslate("net!host!svc"); err == nil {
+		t.Error("net! without cs translated")
+	}
+	if _, err := directTranslate("lonely"); err == nil {
+		t.Error("one-part destination translated")
+	}
+}

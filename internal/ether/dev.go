@@ -1,0 +1,184 @@
+package ether
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/devtree"
+	"repro/internal/vfs"
+)
+
+// Dev presents an Interface as the kernel file tree of Figure 1:
+//
+//	clone
+//	1/ctl 1/data 1/stats 1/type
+//	...
+//
+// Opening clone finds an unused connection and opens its ctl file;
+// reading that file descriptor returns the ASCII connection number.
+// Writing "connect 2048" to ctl sets the packet type; "connect -1"
+// selects all packets; "promiscuous" turns on promiscuous mode.
+type Dev struct {
+	ifc   *Interface
+	owner string
+}
+
+var _ vfs.Device = (*Dev)(nil)
+
+// NewDev wraps an interface in its device file tree.
+func NewDev(ifc *Interface, owner string) *Dev {
+	return &Dev{ifc: ifc, owner: owner}
+}
+
+// Name implements vfs.Device.
+func (d *Dev) Name() string { return d.ifc.name }
+
+// Attach implements vfs.Device.
+func (d *Dev) Attach(spec string) (vfs.Node, error) {
+	if spec != "" {
+		return nil, vfs.ErrBadSpec
+	}
+	return d.Root(), nil
+}
+
+// Root returns the top directory of the tree.
+func (d *Dev) Root() vfs.Node {
+	root := &devtree.DirNode{Entry: devtree.MkDir(d.ifc.name, d.owner, 0555)}
+	root.List = func() ([]vfs.Dir, error) {
+		ents := []vfs.Dir{devtree.MkFile("clone", d.owner, 0666)}
+		d.ifc.mu.Lock()
+		defer d.ifc.mu.Unlock()
+		for id := 1; id <= MaxConns; id++ {
+			if c := d.ifc.conns[id]; c != nil {
+				c.mu.Lock()
+				live := c.inuse > 0
+				c.mu.Unlock()
+				if live {
+					ents = append(ents, devtree.MkDir(strconv.Itoa(id), d.owner, 0555))
+				}
+			}
+		}
+		return ents, nil
+	}
+	root.Lookup = func(name string) (vfs.Node, error) {
+		if name == "clone" {
+			return d.cloneNode(), nil
+		}
+		id, err := strconv.Atoi(name)
+		if err != nil || id < 1 || id > MaxConns {
+			return nil, vfs.ErrNotExist
+		}
+		d.ifc.mu.Lock()
+		c := d.ifc.conns[id]
+		d.ifc.mu.Unlock()
+		if c == nil {
+			return nil, vfs.ErrNotExist
+		}
+		c.mu.Lock()
+		live := c.inuse > 0
+		c.mu.Unlock()
+		if !live {
+			return nil, vfs.ErrNotExist
+		}
+		return d.connDir(c), nil
+	}
+	return root
+}
+
+// cloneNode is the clone file: opening it reserves a conversation and
+// behaves as that conversation's ctl file.
+func (d *Dev) cloneNode() vfs.Node {
+	return &devtree.FileNode{
+		Entry: devtree.MkFile("clone", d.owner, 0666),
+		OpenFn: func(mode int) (vfs.Handle, error) {
+			c, err := d.ifc.OpenConn()
+			if err != nil {
+				return nil, err
+			}
+			return d.ctlHandle(c), nil
+		},
+	}
+}
+
+func (d *Dev) ctlHandle(c *Conn) vfs.Handle {
+	return &devtree.CtlHandle{
+		Get:   func() (string, error) { return strconv.Itoa(c.id), nil },
+		Cmd:   func(cmd string) error { return d.connCtl(c, cmd) },
+		OnEnd: func() { c.Close() },
+	}
+}
+
+// connCtl parses the ASCII control commands of §2.2.
+func (d *Dev) connCtl(c *Conn, cmd string) error {
+	f := devtree.ParseCmd(cmd)
+	if len(f) == 0 {
+		return vfs.ErrBadCtl
+	}
+	switch f[0] {
+	case "connect":
+		if len(f) != 2 {
+			return vfs.ErrBadCtl
+		}
+		t, err := strconv.Atoi(f[1])
+		if err != nil || t < -1 || t > 0xffff {
+			return vfs.ErrBadCtl
+		}
+		c.SetType(t)
+		return nil
+	case "promiscuous":
+		c.SetPromiscuous(true)
+		return nil
+	default:
+		return vfs.ErrBadCtl
+	}
+}
+
+// connDir serves one numbered connection directory.
+func (d *Dev) connDir(c *Conn) vfs.Node {
+	name := strconv.Itoa(c.id)
+	mk := func(n string, perm uint32) vfs.Dir { return devtree.MkFile(n, d.owner, perm) }
+	ctl := &devtree.FileNode{
+		Entry: mk("ctl", 0666),
+		OpenFn: func(mode int) (vfs.Handle, error) {
+			c.incref()
+			return d.ctlHandle(c), nil
+		},
+	}
+	data := &devtree.FileNode{
+		Entry: mk("data", 0666),
+		OpenFn: func(mode int) (vfs.Handle, error) {
+			c.incref()
+			return &dataHandle{c: c}, nil
+		},
+	}
+	stats := devtree.TextFile(mk("stats", 0444), func() (string, error) {
+		return d.ifc.Stats() + fmt.Sprintf("conn %d: type %d in %d out %d\n",
+			c.id, c.Type(), c.inPackets.Load(), c.outPackets.Load()), nil
+	})
+	typ := devtree.TextFile(mk("type", 0444), func() (string, error) {
+		return strconv.Itoa(c.Type()), nil
+	})
+	return devtree.StaticDir(devtree.MkDir(name, d.owner, 0555),
+		map[string]vfs.Node{"ctl": ctl, "data": data, "stats": stats, "type": typ},
+		[]string{"ctl", "data", "stats", "type"})
+}
+
+// dataHandle accesses the media: reading returns the next packet of
+// the selected type, writing queues a packet for transmission.
+type dataHandle struct{ c *Conn }
+
+var _ vfs.Handle = (*dataHandle)(nil)
+
+// Read implements vfs.Handle; the offset is ignored (stream semantics).
+func (h *dataHandle) Read(p []byte, off int64) (int, error) {
+	return h.c.Read(p)
+}
+
+// Write implements vfs.Handle.
+func (h *dataHandle) Write(p []byte, off int64) (int, error) {
+	h.c.transmit(p)
+	return len(p), nil
+}
+
+// Close implements vfs.Handle.
+func (h *dataHandle) Close() error { return h.c.Close() }

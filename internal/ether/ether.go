@@ -1,0 +1,541 @@
+// Package ether simulates an Ethernet (§2.2): a broadcast segment
+// connecting interfaces, each served by a LANCE-style driver that
+// demultiplexes received packets among conversations by packet type,
+// supports the special type -1 and promiscuous mode, and presents the
+// two-level file tree of the paper's Figure 1:
+//
+//	ether/clone
+//	ether/1/ctl  ether/1/data  ether/1/stats  ether/1/type
+//	...
+//
+// The medium is characterized by a Profile (latency, bandwidth, MTU,
+// loss) so the performance experiments can calibrate it to the paper's
+// 10 Mb/s hardware; with a zero Profile frames are delivered
+// synchronously and tests run at memory speed.
+package ether
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/medium"
+	"repro/internal/streams"
+	"repro/internal/vfs"
+)
+
+// HdrLen is the Ethernet frame header: dst[6] src[6] type[2].
+const HdrLen = 14
+
+// MaxConns bounds the conversations per interface, like the fixed
+// conversation tables of the kernel driver.
+const MaxConns = 32
+
+// Well-known packet types.
+const (
+	TypeIP  = 0x0800
+	TypeARP = 0x0806
+	// TypeAll is the special packet type -1 selecting all packets.
+	TypeAll = -1
+)
+
+// Addr is a 48-bit Ethernet address.
+type Addr [6]byte
+
+// String formats the address as the ndb ether= attribute does.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x%02x%02x%02x%02x%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Profile characterizes a medium for the simulator.
+type Profile struct {
+	// Latency is the propagation delay applied to every frame.
+	Latency time.Duration
+	// Bandwidth in bytes per second paces transmission; 0 means
+	// unlimited (no pacing sleeps at all).
+	Bandwidth int64
+	// MTU is the largest payload (not counting the header); 0 means
+	// 1500.
+	MTU int
+	// Loss is the probability in [0,1) that a frame is dropped.
+	Loss float64
+	// Seed seeds the loss generator for reproducibility.
+	Seed int64
+}
+
+func (p Profile) mtu() int {
+	if p.MTU <= 0 {
+		return 1500
+	}
+	return p.MTU
+}
+
+// Segment is a broadcast domain: every frame transmitted by one
+// interface is delivered to all others (medium effects permitting).
+type Segment struct {
+	name    string
+	profile Profile
+
+	mu     sync.Mutex
+	ifaces []*Interface
+	rng    *rand.Rand
+	closed bool
+
+	txq  chan txFrame
+	done chan struct{}
+}
+
+type txFrame struct {
+	from  *Interface
+	frame []byte
+}
+
+// NewSegment creates a segment with the given medium profile.
+func NewSegment(name string, p Profile) *Segment {
+	seg := &Segment{
+		name:    name,
+		profile: p,
+		rng:     rand.New(rand.NewSource(p.Seed + 1)),
+		txq:     make(chan txFrame, 256),
+		done:    make(chan struct{}),
+	}
+	go seg.transmitter()
+	return seg
+}
+
+// Name returns the segment's name.
+func (seg *Segment) Name() string { return seg.name }
+
+// MTU returns the medium MTU.
+func (seg *Segment) MTU() int { return seg.profile.mtu() }
+
+// Close shuts the medium down; interfaces stop receiving.
+func (seg *Segment) Close() {
+	seg.mu.Lock()
+	if seg.closed {
+		seg.mu.Unlock()
+		return
+	}
+	seg.closed = true
+	ifaces := seg.ifaces
+	seg.mu.Unlock()
+	close(seg.done)
+	for _, ifc := range ifaces {
+		ifc.close()
+	}
+}
+
+// transmitter models the shared wire: one frame at a time, paced by
+// bandwidth, then fanned out after the propagation latency. Timing
+// uses medium.SleepUntil because frame times are far below the OS
+// timer quantum.
+func (seg *Segment) transmitter() {
+	type timedFrame struct {
+		tx txFrame
+		at time.Time
+	}
+	sched := make(chan timedFrame, 512)
+	// The deliverer applies propagation latency in order, pipelined
+	// behind the serializing transmitter.
+	go func() {
+		for {
+			select {
+			case <-seg.done:
+				return
+			case tf := <-sched:
+				medium.SleepUntil(tf.at)
+				seg.mu.Lock()
+				ifaces := append([]*Interface(nil), seg.ifaces...)
+				seg.mu.Unlock()
+				for _, ifc := range ifaces {
+					if ifc != tf.tx.from {
+						ifc.deliver(tf.tx.frame)
+					}
+				}
+			}
+		}
+	}()
+	var lineFree time.Time
+	for {
+		select {
+		case <-seg.done:
+			return
+		case tx := <-seg.txq:
+			p := seg.profile
+			now := time.Now()
+			if p.Bandwidth > 0 {
+				d := time.Duration(int64(len(tx.frame)) * int64(time.Second) / p.Bandwidth)
+				if lineFree.Before(now) {
+					lineFree = now
+				}
+				lineFree = lineFree.Add(d)
+				medium.SleepUntil(lineFree)
+			}
+			seg.mu.Lock()
+			drop := p.Loss > 0 && seg.rng.Float64() < p.Loss
+			seg.mu.Unlock()
+			if drop {
+				continue
+			}
+			select {
+			case sched <- timedFrame{tx: tx, at: time.Now().Add(p.Latency)}:
+			case <-seg.done:
+				return
+			}
+		}
+	}
+}
+
+// transmit queues a frame on the wire.
+func (seg *Segment) transmit(from *Interface, frame []byte) error {
+	if len(frame)-HdrLen > seg.profile.mtu() {
+		return fmt.Errorf("ether: packet exceeds MTU (%d > %d)", len(frame)-HdrLen, seg.profile.mtu())
+	}
+	fast := seg.profile.Bandwidth == 0 && seg.profile.Latency == 0 && seg.profile.Loss == 0
+	if fast {
+		// Synchronous fast path for an ideal medium: no pacing,
+		// no reordering possible.
+		seg.mu.Lock()
+		if seg.closed {
+			seg.mu.Unlock()
+			return vfs.ErrShutdown
+		}
+		ifaces := append([]*Interface(nil), seg.ifaces...)
+		seg.mu.Unlock()
+		for _, ifc := range ifaces {
+			if ifc != from {
+				ifc.deliver(frame)
+			}
+		}
+		return nil
+	}
+	select {
+	case seg.txq <- txFrame{from: from, frame: frame}:
+		return nil
+	case <-seg.done:
+		return vfs.ErrShutdown
+	}
+}
+
+var macCounter atomic.Uint32
+
+// Interface is one station on a segment: the LANCE analogue. Received
+// frames are demultiplexed among conversations by packet type; every
+// matching conversation receives a copy.
+type Interface struct {
+	seg  *Segment
+	addr Addr
+	name string
+
+	mu    sync.Mutex
+	conns [MaxConns + 1]*Conn // index 1..MaxConns, as in the file tree
+
+	in     chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	inPackets  atomic.Int64
+	outPackets atomic.Int64
+	inBytes    atomic.Int64
+	outBytes   atomic.Int64
+	overflows  atomic.Int64
+	crcErrs    atomic.Int64 // kept for stats-format fidelity; always 0
+}
+
+// NewInterface attaches a new station to the segment. name is the
+// device name it will carry in a file tree ("ether0").
+func (seg *Segment) NewInterface(name string) *Interface {
+	n := macCounter.Add(1)
+	ifc := &Interface{
+		seg:    seg,
+		name:   name,
+		addr:   Addr{0x08, 0x00, 0x69, byte(n >> 16), byte(n >> 8), byte(n)},
+		in:     make(chan []byte, 512),
+		closed: make(chan struct{}),
+	}
+	go ifc.reader()
+	seg.mu.Lock()
+	seg.ifaces = append(seg.ifaces, ifc)
+	seg.mu.Unlock()
+	return ifc
+}
+
+// Addr returns the interface's Ethernet address.
+func (ifc *Interface) Addr() Addr { return ifc.addr }
+
+// Name returns the interface name.
+func (ifc *Interface) Name() string { return ifc.name }
+
+// Segment returns the medium the interface is attached to.
+func (ifc *Interface) Segment() *Segment { return ifc.seg }
+
+// MTU returns the medium MTU.
+func (ifc *Interface) MTU() int { return ifc.seg.MTU() }
+
+func (ifc *Interface) close() {
+	ifc.once.Do(func() { close(ifc.closed) })
+}
+
+// deliver is called by the medium with a received frame (the interrupt
+// routine analogue): it may not block, so a full input ring drops the
+// frame and counts an overflow.
+func (ifc *Interface) deliver(frame []byte) {
+	select {
+	case ifc.in <- frame:
+	default:
+		ifc.overflows.Add(1)
+	}
+}
+
+// reader is the kernel process that drains the input ring and
+// demultiplexes to conversations (§2.4.2: "the interrupt routine wakes
+// up the kernel process...").
+func (ifc *Interface) reader() {
+	for {
+		select {
+		case <-ifc.closed:
+			return
+		case frame := <-ifc.in:
+			if len(frame) < HdrLen {
+				ifc.crcErrs.Add(1)
+				continue
+			}
+			ifc.inPackets.Add(1)
+			ifc.inBytes.Add(int64(len(frame)))
+			ifc.demux(frame)
+		}
+	}
+}
+
+// demux delivers a copy of the frame to every matching conversation:
+// "if several connections on an interface are configured for a
+// particular packet type, each receives a copy of the incoming
+// packets" (§2.2).
+func (ifc *Interface) demux(frame []byte) {
+	var dst Addr
+	copy(dst[:], frame[0:6])
+	etype := int(frame[12])<<8 | int(frame[13])
+	toMe := dst == ifc.addr || dst == Broadcast
+	ifc.mu.Lock()
+	conns := ifc.conns
+	ifc.mu.Unlock()
+	for _, c := range conns[1:] {
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		match := c.inuse > 0 &&
+			((c.prom) ||
+				(toMe && (c.etype == TypeAll || c.etype == etype)))
+		deliver := c.deliver
+		s := c.stream
+		c.mu.Unlock()
+		if !match {
+			continue
+		}
+		cp := append([]byte(nil), frame...)
+		if deliver != nil {
+			c.inPackets.Add(1)
+			deliver(cp)
+			continue
+		}
+		if s == nil {
+			continue
+		}
+		// A conversation nobody reads must not wedge the interface:
+		// the driver drops, like real input-ring overflow. The
+		// threshold sits below the stream's own flow-control limit
+		// so the demultiplexer can never block on one slow reader.
+		if s.QueuedBytes() >= streams.DefaultLimit/2 {
+			ifc.overflows.Add(1)
+			continue
+		}
+		c.inPackets.Add(1)
+		s.DeviceUpData(cp)
+	}
+}
+
+// Conn is a conversation on the interface: one numbered connection
+// directory of Figure 1.
+type Conn struct {
+	ifc *Interface
+	id  int
+
+	mu      sync.Mutex
+	inuse   int // reference count of open files on the conversation
+	etype   int // 0 = unconfigured, -1 = all
+	prom    bool
+	stream  *streams.Stream
+	deliver func(frame []byte) // kernel hook bypassing the stream
+
+	inPackets  atomic.Int64
+	outPackets atomic.Int64
+}
+
+// OpenConn reserves a conversation programmatically (the kernel path
+// used by the IP stack, equivalent to opening the clone file).
+func (ifc *Interface) OpenConn() (*Conn, error) {
+	ifc.mu.Lock()
+	defer ifc.mu.Unlock()
+	for id := 1; id <= MaxConns; id++ {
+		c := ifc.conns[id]
+		if c == nil {
+			c = &Conn{ifc: ifc, id: id}
+			ifc.conns[id] = c
+		}
+		c.mu.Lock()
+		free := c.inuse == 0
+		if free {
+			c.inuse = 1
+			c.etype = 0
+			c.prom = false
+			c.deliver = nil
+			c.stream = c.newStreamLocked()
+		}
+		c.mu.Unlock()
+		if free {
+			return c, nil
+		}
+	}
+	return nil, vfs.ErrInUse
+}
+
+// newStreamLocked builds the conversation's stream; the device end
+// transmits frames.
+func (c *Conn) newStreamLocked() *streams.Stream {
+	return streams.New(0, func(b *streams.Block) {
+		if b.Type != streams.BlockData {
+			return
+		}
+		c.transmit(b.Buf)
+	})
+}
+
+// ID returns the conversation number.
+func (c *Conn) ID() int { return c.id }
+
+// SetType configures the packet type ("connect N" on the ctl file).
+func (c *Conn) SetType(etype int) {
+	c.mu.Lock()
+	c.etype = etype
+	c.mu.Unlock()
+}
+
+// Type returns the configured packet type.
+func (c *Conn) Type() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.etype
+}
+
+// SetPromiscuous turns promiscuous reception on ("promiscuous").
+func (c *Conn) SetPromiscuous(on bool) {
+	c.mu.Lock()
+	c.prom = on
+	c.mu.Unlock()
+}
+
+// SetDeliver installs a kernel delivery hook: received frames go to fn
+// instead of the conversation stream. The IP stack uses this to avoid
+// a queue it would immediately drain.
+func (c *Conn) SetDeliver(fn func(frame []byte)) {
+	c.mu.Lock()
+	c.deliver = fn
+	c.mu.Unlock()
+}
+
+// transmit sends payload p to dst with the conversation's packet type,
+// "appending a packet header containing the source address and packet
+// type" (§2.2).
+func (c *Conn) Transmit(dst Addr, payload []byte) error {
+	frame := make([]byte, HdrLen+len(payload))
+	copy(frame[0:6], dst[:])
+	copy(frame[6:12], c.ifc.addr[:])
+	c.mu.Lock()
+	etype := c.etype
+	c.mu.Unlock()
+	frame[12] = byte(etype >> 8)
+	frame[13] = byte(etype)
+	copy(frame[HdrLen:], payload)
+	c.outPackets.Add(1)
+	c.ifc.outPackets.Add(1)
+	c.ifc.outBytes.Add(int64(len(frame)))
+	return c.ifc.seg.transmit(c.ifc, frame)
+}
+
+// transmit handles a raw write from the data file: the first 6 bytes
+// are the destination address, the rest the payload.
+func (c *Conn) transmit(w []byte) {
+	if len(w) < 6 {
+		return
+	}
+	var dst Addr
+	copy(dst[:], w[:6])
+	c.Transmit(dst, w[6:])
+}
+
+// Read returns the next received frame (header included), via the
+// conversation stream. Used by the file tree's data file.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	s := c.stream
+	c.mu.Unlock()
+	if s == nil {
+		return 0, vfs.ErrHungup
+	}
+	return s.Read(p)
+}
+
+// Stream exposes the conversation stream (for pushing modules).
+func (c *Conn) Stream() *streams.Stream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stream
+}
+
+// incref takes another reference on the conversation.
+func (c *Conn) incref() {
+	c.mu.Lock()
+	c.inuse++
+	c.mu.Unlock()
+}
+
+// Close drops one reference; on the last, the conversation resets, as
+// when the final file in the connection directory is clunked.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.inuse--
+	if c.inuse > 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	c.inuse = 0
+	s := c.stream
+	c.stream = nil
+	c.etype = 0
+	c.prom = false
+	c.deliver = nil
+	c.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+	return nil
+}
+
+// Stats formats interface statistics in the ASCII style of the stats
+// file (§2.2: "interface address, packet input/output counts, error
+// statistics, and general information about the state of the
+// interface").
+func (ifc *Interface) Stats() string {
+	return fmt.Sprintf(
+		"addr: %s\nmtu: %d\nin: %d\nout: %d\ninbytes: %d\noutbytes: %d\noverflows: %d\ncrc errs: %d\n",
+		ifc.addr, ifc.MTU(),
+		ifc.inPackets.Load(), ifc.outPackets.Load(),
+		ifc.inBytes.Load(), ifc.outBytes.Load(),
+		ifc.overflows.Load(), ifc.crcErrs.Load())
+}

@@ -1,0 +1,55 @@
+// Package exportfs implements the user-level relay file server of
+// §6.1: it exports a piece of a process's name space across a network
+// connection as 9P, and Import mounts such an export into a local name
+// space. "Operations in the imported file tree are executed on the
+// remote server and the results returned. As a result the name space
+// of the remote machine appears to be exported into a local file tree."
+//
+// Serving goes through ns.PathNode, so every remote walk re-resolves in
+// the exporter's mount table: importing /net from a gateway exposes
+// everything mounted there, which is what makes the paper's
+// Datakit-only terminal able to reach TCP through helix.
+package exportfs
+
+import (
+	"repro/internal/mnt"
+	"repro/internal/ninep"
+	"repro/internal/ns"
+	"repro/internal/vfs"
+)
+
+// Serve exports the subtree of nsp rooted at root over conn, blocking
+// until the connection fails. The initial protocol that "establishes
+// the root of the file tree being exported" is the 9P attach itself:
+// the attach name is joined beneath root.
+func Serve(conn ninep.MsgConn, nsp *ns.Namespace, root string) error {
+	root = ns.Clean(root)
+	attach := func(uname, aname string) (vfs.Node, error) {
+		p := root
+		if aname != "" {
+			p = ns.Clean(root + "/" + aname)
+		}
+		// Verify the path exists before handing out a node.
+		if _, err := nsp.Walk(p); err != nil {
+			return nil, err
+		}
+		return ns.NodeAt(nsp, p), nil
+	}
+	return ninep.Serve(conn, attach)
+}
+
+// Import mounts the tree exported on conn at mountpoint old in nsp,
+// with bind flags (ns.MREPL, ns.MAFTER, ...): the import command of
+// §6.1. It returns the 9P client so the caller can Close it to
+// unmount.
+func Import(nsp *ns.Namespace, conn ninep.MsgConn, aname, old string, flag int) (*ninep.Client, error) {
+	root, cl, err := mnt.Mount(conn, nsp.User(), aname)
+	if err != nil {
+		return nil, err
+	}
+	if err := nsp.MountNode(root, old, flag); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}

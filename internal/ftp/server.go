@@ -1,0 +1,272 @@
+// Package ftp implements §6.2: "We decided to make our interface to
+// FTP a file system rather than the traditional command. Our command,
+// ftpfs, dials the FTP port of a remote system, prompts for login and
+// password, sets image mode, and mounts the remote file system onto
+// /n/ftp. Files and directories are cached to reduce traffic."
+//
+// The package contains both sides: a small FTP server (the "remote
+// system" — the simulated stand-in for the TOPS-20/VMS/Unix hosts the
+// paper mentions) speaking a classic subset of the protocol over the
+// simulated TCP, and FS, the ftpfs client file system with its cache.
+//
+// Subset: USER, PASS, TYPE, CWD, PASV, LIST, RETR, STOR, DELE, MKD,
+// QUIT. PASV replies carry a dial string in Plan 9 form
+// ("227 =host!port"); LIST output is one entry per line,
+// "d name 0" or "- name size". Both simplifications are documented in
+// DESIGN.md and only affect wire cosmetics.
+package ftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dialer"
+	"repro/internal/ns"
+	"repro/internal/vfs"
+)
+
+// ServerConfig configures the FTP server.
+type ServerConfig struct {
+	// User/Pass are the single accepted credentials; empty accepts
+	// anything.
+	User, Pass string
+	// Root is the served subtree of the namespace.
+	Root string
+}
+
+// session is one control connection.
+type session struct {
+	cfg  ServerConfig
+	nsp  *ns.Namespace
+	conn *dialer.Conn
+	r    *bufio.Reader
+	m    dialAnnouncer
+
+	user   string
+	authed bool
+	cwd    string
+	data   *dialer.Listener // PASV listener awaiting a data connection
+}
+
+// dialAnnouncer abstracts the machine's announce capability (the
+// core.Machine, in practice) so the server can open data ports.
+type dialAnnouncer interface {
+	AnnounceData() (*dialer.Listener, string, error)
+}
+
+// MachineAnnouncer adapts a namespace + host address to dialAnnouncer,
+// announcing ephemeral TCP data ports.
+type MachineAnnouncer struct {
+	NS *ns.Namespace
+	// HostAddr is this machine's IP address in dial-string form.
+	HostAddr string
+}
+
+// AnnounceData opens an ephemeral TCP listener and returns its dial
+// string.
+func (m MachineAnnouncer) AnnounceData() (*dialer.Listener, string, error) {
+	// Pick an ephemeral port by announcing port 0 is not supported
+	// by the paper-style service tables, so scan a range.
+	for port := 40000; port < 40100; port++ {
+		l, err := dialer.Announce(m.NS, fmt.Sprintf("tcp!*!%d", port))
+		if err == nil {
+			return l, m.HostAddr + "!" + strconv.Itoa(port), nil
+		}
+	}
+	return nil, "", vfs.ErrInUse
+}
+
+// ServeSession runs one FTP control session; the caller supplies the
+// serving namespace and a way to announce data ports.
+func ServeSession(nsp *ns.Namespace, conn *dialer.Conn, ann dialAnnouncer, cfg ServerConfig) {
+	if cfg.Root == "" {
+		cfg.Root = "/"
+	}
+	s := &session{cfg: cfg, nsp: nsp, conn: conn, r: bufio.NewReader(conn), m: ann, cwd: "/"}
+	s.reply(220, "repro FTP service ready")
+	for {
+		line, err := s.r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		verb, arg, _ := strings.Cut(strings.TrimRight(line, "\r\n"), " ")
+		if !s.command(strings.ToUpper(verb), arg) {
+			return
+		}
+	}
+}
+
+func (s *session) reply(code int, msg string) {
+	fmt.Fprintf(s.conn, "%d %s\r\n", code, msg)
+}
+
+// path resolves an argument against the cwd and the served root.
+func (s *session) path(arg string) string {
+	p := arg
+	if !strings.HasPrefix(p, "/") {
+		p = s.cwd + "/" + p
+	}
+	return ns.Clean(s.cfg.Root + "/" + ns.Clean(p))
+}
+
+func (s *session) command(verb, arg string) bool {
+	switch verb {
+	case "USER":
+		s.user = arg
+		if s.cfg.User == "" || arg == "anonymous" && s.cfg.User == "anonymous" {
+			s.authed = s.cfg.User == ""
+		}
+		s.reply(331, "password required")
+	case "PASS":
+		if s.cfg.User == "" || (s.user == s.cfg.User && arg == s.cfg.Pass) {
+			s.authed = true
+			s.reply(230, "logged in")
+		} else {
+			s.reply(530, "login incorrect")
+		}
+	case "TYPE":
+		s.reply(200, "type set to "+arg)
+	case "QUIT":
+		s.reply(221, "goodbye")
+		return false
+	case "CWD":
+		if !s.authed {
+			s.reply(530, "not logged in")
+			break
+		}
+		p := s.path(arg)
+		d, err := s.nsp.Stat(p)
+		if err != nil || !d.IsDir() {
+			s.reply(550, "no such directory")
+			break
+		}
+		s.cwd = strings.TrimPrefix(p, ns.Clean(s.cfg.Root))
+		if s.cwd == "" {
+			s.cwd = "/"
+		}
+		s.reply(250, "directory changed")
+	case "PASV":
+		if !s.authed {
+			s.reply(530, "not logged in")
+			break
+		}
+		if s.data != nil {
+			s.data.Close()
+		}
+		l, addr, err := s.m.AnnounceData()
+		if err != nil {
+			s.reply(425, "cannot open data port")
+			break
+		}
+		s.data = l
+		s.reply(227, "="+addr)
+	case "LIST":
+		s.withData(func(dc io.Writer) int {
+			p := s.cwd
+			if arg != "" {
+				p = arg
+			}
+			ents, err := s.nsp.ReadDir(s.path(p))
+			if err != nil {
+				return 550
+			}
+			for _, e := range ents {
+				t := "-"
+				if e.IsDir() {
+					t = "d"
+				}
+				fmt.Fprintf(dc, "%s %s %d\r\n", t, e.Name, e.Length)
+			}
+			return 226
+		})
+	case "RETR":
+		s.withData(func(dc io.Writer) int {
+			fd, err := s.nsp.Open(s.path(arg), vfs.OREAD)
+			if err != nil {
+				return 550
+			}
+			defer fd.Close()
+			io.Copy(dc, fd)
+			return 226
+		})
+	case "STOR":
+		s.withData(func(dc io.Writer) int {
+			fd, err := s.nsp.Create(s.path(arg), 0664, vfs.OWRITE)
+			if err != nil {
+				fd, err = s.nsp.Open(s.path(arg), vfs.OWRITE|vfs.OTRUNC)
+				if err != nil {
+					return 550
+				}
+			}
+			defer fd.Close()
+			rc, ok := dc.(io.Reader)
+			if !ok {
+				return 550
+			}
+			io.Copy(fd, rc)
+			return 226
+		})
+	case "DELE":
+		if !s.authed {
+			s.reply(530, "not logged in")
+			break
+		}
+		if err := s.nsp.Remove(s.path(arg)); err != nil {
+			s.reply(550, "cannot delete")
+		} else {
+			s.reply(250, "deleted")
+		}
+	case "MKD":
+		if !s.authed {
+			s.reply(530, "not logged in")
+			break
+		}
+		fd, err := s.nsp.Create(s.path(arg), vfs.DMDIR|0775, vfs.OREAD)
+		if err != nil {
+			s.reply(550, "cannot create")
+		} else {
+			fd.Close()
+			s.reply(257, "created")
+		}
+	default:
+		s.reply(502, "command not implemented")
+	}
+	return true
+}
+
+// withData runs a transfer over the PASV data connection.
+func (s *session) withData(f func(io.Writer) int) {
+	if !s.authed {
+		s.reply(530, "not logged in")
+		return
+	}
+	l := s.data
+	s.data = nil
+	if l == nil {
+		s.reply(425, "use PASV first")
+		return
+	}
+	defer l.Close()
+	s.reply(150, "opening data connection")
+	call, err := l.Listen()
+	if err != nil {
+		s.reply(425, "data connection failed")
+		return
+	}
+	dc, err := call.Accept()
+	if err != nil {
+		s.reply(425, "data connection failed")
+		return
+	}
+	code := f(dc)
+	dc.Close()
+	switch code {
+	case 226:
+		s.reply(226, "transfer complete")
+	default:
+		s.reply(code, "transfer failed")
+	}
+}

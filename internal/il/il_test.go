@@ -1,0 +1,388 @@
+package il
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ether"
+	"repro/internal/ip"
+	"repro/internal/vfs"
+	"repro/internal/xport"
+)
+
+// pair builds two machines with IL stacks on one segment.
+func pair(t *testing.T, prof ether.Profile, cfg Config) (*Proto, *Proto, ip.Addr, ip.Addr) {
+	t.Helper()
+	seg := ether.NewSegment("e0", prof)
+	t.Cleanup(seg.Close)
+	s1, s2 := ip.NewStack(), ip.NewStack()
+	a1 := ip.Addr{135, 104, 9, 1}
+	a2 := ip.Addr{135, 104, 9, 2}
+	mask := ip.Addr{255, 255, 255, 0}
+	if _, err := s1.Bind(seg.NewInterface("ether0"), a1, mask); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Bind(seg.NewInterface("ether0"), a2, mask); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s1.Close(); s2.Close() })
+	return New(s1, cfg), New(s2, cfg), a1, a2
+}
+
+// connect establishes a conversation from p1 to an announced port on p2.
+func connect(t *testing.T, p1, p2 *Proto, a2 ip.Addr) (xport.Conn, xport.Conn) {
+	t.Helper()
+	lc, _ := p2.NewConn()
+	if err := lc.Announce("17008"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lc.Close() })
+	acceptCh := make(chan xport.Conn, 1)
+	go func() {
+		nc, err := lc.Listen()
+		if err == nil {
+			acceptCh <- nc
+		}
+	}()
+	dc, _ := p1.NewConn()
+	if err := dc.Connect(ip.HostPort(a2, 17008)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dc.Close() })
+	select {
+	case sc := <-acceptCh:
+		t.Cleanup(func() { sc.Close() })
+		return dc, sc
+	case <-time.After(5 * time.Second):
+		t.Fatal("listen never returned")
+		return nil, nil
+	}
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	p1, p2, _, a2 := pair(t, ether.Profile{}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	if dc.(*Conn).State() != "Established" {
+		t.Errorf("dialer state %s", dc.(*Conn).State())
+	}
+	if _, err := dc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := sc.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("server read %q, %v", buf[:n], err)
+	}
+	if _, err := sc.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = dc.Read(buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("dialer read %q, %v", buf[:n], err)
+	}
+}
+
+func TestDelimitersPreserved(t *testing.T) {
+	p1, p2, _, a2 := pair(t, ether.Profile{}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	dc.Write([]byte("first"))
+	dc.Write([]byte("second message"))
+	dc.Write([]byte("3"))
+	buf := make([]byte, 256)
+	for _, want := range []string{"first", "second message", "3"} {
+		n, err := sc.Read(buf)
+		if err != nil || string(buf[:n]) != want {
+			t.Fatalf("read %q, %v; want %q", buf[:n], err, want)
+		}
+	}
+}
+
+func TestLargeMessageFragmentsAndReassembles(t *testing.T) {
+	p1, p2, _, a2 := pair(t, ether.Profile{}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 1024) // 16 KiB > MTU
+	if _, err := dc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg)+100)
+	n, err := sc.Read(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(msg) || !bytes.Equal(got[:n], msg) {
+		t.Fatalf("reassembled %d bytes, want %d (single delimited message)", n, len(msg))
+	}
+}
+
+func TestReliabilityUnderLoss(t *testing.T) {
+	// 10% loss: everything must still arrive, in order, exactly once.
+	p1, p2, _, a2 := pair(t, ether.Profile{Loss: 0.10, Seed: 7, Bandwidth: 1 << 26}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	const msgs = 60
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	var got [][]byte
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4096)
+		for len(got) < msgs {
+			n, err := sc.Read(buf)
+			if err != nil {
+				recvErr = err
+				return
+			}
+			got = append(got, append([]byte(nil), buf[:n]...))
+		}
+	}()
+	for i := range msgs {
+		msg := bytes.Repeat([]byte{byte(i)}, 100+i)
+		if _, err := dc.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	for i, m := range got {
+		if len(m) != 100+i || m[0] != byte(i) {
+			t.Fatalf("message %d corrupted: len=%d first=%d", i, len(m), m[0])
+		}
+	}
+	if p1.Retransmits.Load() == 0 && p2.Retransmits.Load() == 0 {
+		t.Log("note: no retransmissions were needed (loss pattern missed data)")
+	}
+}
+
+func TestQueryNotBlindRetransmission(t *testing.T) {
+	// Under loss, the default configuration must recover via
+	// query/state exchanges, not periodic blind retransmission.
+	p1, p2, _, a2 := pair(t, ether.Profile{Loss: 0.25, Seed: 3, Bandwidth: 1 << 26}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	done := make(chan bool)
+	go func() {
+		buf := make([]byte, 4096)
+		count := 0
+		for count < 20 {
+			if _, err := sc.Read(buf); err != nil {
+				break
+			}
+			count++
+		}
+		done <- true
+	}()
+	for range 20 {
+		dc.Write(bytes.Repeat([]byte("q"), 200))
+	}
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("transfer did not complete under loss")
+	}
+	if p1.QueriesSent.Load() == 0 {
+		t.Error("no queries sent despite 25% loss — recovery was not query-driven")
+	}
+}
+
+func TestConnectionRefused(t *testing.T) {
+	p1, _, _, a2 := pair(t, ether.Profile{}, Config{})
+	dc, _ := p1.NewConn()
+	err := dc.Connect(ip.HostPort(a2, 9999)) // nobody listening
+	if !vfs.SameError(err, vfs.ErrConnRef) {
+		t.Errorf("connect to dead port = %v, want %v", err, vfs.ErrConnRef)
+	}
+	dc.Close()
+}
+
+func TestConnectNoRoute(t *testing.T) {
+	p1, _, _, _ := pair(t, ether.Profile{}, Config{})
+	dc, _ := p1.NewConn()
+	if err := dc.Connect("10.1.1.1!17008"); err == nil {
+		t.Error("connect with no route succeeded")
+	}
+	dc.Close()
+}
+
+func TestBadAddresses(t *testing.T) {
+	p1, _, _, _ := pair(t, ether.Profile{}, Config{})
+	dc, _ := p1.NewConn()
+	defer dc.Close()
+	for _, bad := range []string{"", "!", "host!port", "1.2.3.4!banana", "1.2.3.4!0", "*!17008"} {
+		if err := dc.Connect(bad); err == nil {
+			t.Errorf("Connect(%q) accepted", bad)
+		}
+	}
+	lc, _ := p1.NewConn()
+	defer lc.Close()
+	if err := lc.Announce("nonsense"); err == nil {
+		t.Error("Announce(nonsense) accepted")
+	}
+}
+
+func TestAnnouncePortCollision(t *testing.T) {
+	p1, _, _, _ := pair(t, ether.Profile{}, Config{})
+	a, _ := p1.NewConn()
+	if err := a.Announce("564"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, _ := p1.NewConn()
+	defer b.Close()
+	if err := b.Announce("564"); err != xport.ErrInUse {
+		t.Errorf("duplicate announce = %v", err)
+	}
+}
+
+func TestCloseDeliversEOF(t *testing.T) {
+	p1, p2, _, a2 := pair(t, ether.Profile{}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	dc.Write([]byte("bye"))
+	dc.Close()
+	buf := make([]byte, 64)
+	n, err := sc.Read(buf)
+	if err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("drain read %q, %v", buf[:n], err)
+	}
+	// Subsequent read sees EOF (hangup) once the close arrives.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := sc.Read(buf); err != nil {
+			return // EOF or closed: both acceptable
+		}
+	}
+	t.Fatal("reader never saw the close")
+}
+
+func TestAdaptiveRTTTracksMedium(t *testing.T) {
+	p1, p2, _, a2 := pair(t, ether.Profile{Latency: 20 * time.Millisecond, Bandwidth: 1 << 26}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := sc.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for range 10 {
+		dc.Write([]byte("measure me"))
+		time.Sleep(30 * time.Millisecond)
+	}
+	rtt := dc.(*Conn).RTT()
+	if rtt < 10*time.Millisecond {
+		t.Errorf("smoothed RTT %v on a 20ms-latency medium", rtt)
+	}
+	if rtt > 500*time.Millisecond {
+		t.Errorf("smoothed RTT %v absurdly high", rtt)
+	}
+}
+
+func TestSequentialConnections(t *testing.T) {
+	p1, p2, _, a2 := pair(t, ether.Profile{}, Config{})
+	lc, _ := p2.NewConn()
+	if err := lc.Announce("17008"); err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	for i := range 5 {
+		go func() {
+			nc, err := lc.Listen()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 64)
+			n, _ := nc.Read(buf)
+			nc.Write(buf[:n])
+			nc.Close()
+		}()
+		dc, _ := p1.NewConn()
+		if err := dc.Connect(ip.HostPort(a2, 17008)); err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		dc.Write([]byte("hi"))
+		buf := make([]byte, 64)
+		n, err := dc.Read(buf)
+		if err != nil || string(buf[:n]) != "hi" {
+			t.Fatalf("echo %d: %q, %v", i, buf[:n], err)
+		}
+		dc.Close()
+	}
+}
+
+func TestStatusAndAddrs(t *testing.T) {
+	p1, p2, a1, a2 := pair(t, ether.Profile{}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	if got := dc.LocalAddr(); got == "" || got[:len(a1.String())] != a1.String() {
+		t.Errorf("dialer local %q", got)
+	}
+	if got := dc.RemoteAddr(); got[:len(a2.String())] != a2.String() {
+		t.Errorf("dialer remote %q", got)
+	}
+	if s := dc.Status(); s == "" || s[:11] != "Established" {
+		t.Errorf("status %q", s)
+	}
+	if s := sc.Status(); s[:11] != "Established" {
+		t.Errorf("server status %q", s)
+	}
+}
+
+func TestHeaderRoundTripQuick(t *testing.T) {
+	f := func(typ, spec byte, src, dst uint16, id, ack uint32, data []byte) bool {
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		h := header{typ: typ % 6, spec: spec, src: src, dst: dst, id: id, ack: ack}
+		g, d, ok := unmarshal(marshal(h, data))
+		return ok && g == h && bytes.Equal(d, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	pkt := marshal(header{typ: msgData, src: 1, dst: 2, id: 3, ack: 4}, []byte("x"))
+	pkt[6] ^= 0x10
+	if _, _, ok := unmarshal(pkt); ok {
+		t.Error("corrupted IL packet accepted (checksum)")
+	}
+	if _, _, ok := unmarshal(pkt[:10]); ok {
+		t.Error("short IL packet accepted")
+	}
+}
+
+func TestWindowLimitsOutstandingMessages(t *testing.T) {
+	// With the peer not reading and acks still flowing, the sender
+	// may run ahead; but with the *network* cut (loss=1 after
+	// setup we can't do easily), instead verify the writer blocks
+	// once Window messages are unacked: use a huge-latency medium.
+	p1, p2, _, a2 := pair(t, ether.Profile{}, Config{})
+	dc, sc := connect(t, p1, p2, a2)
+	_ = sc
+	// Now make every data packet vanish by closing the server stack's
+	// segment... simplest: write from a conn whose peer is gone.
+	sc.(*Conn).proto.stack.Close()
+	done := make(chan int, 1)
+	go func() {
+		sent := 0
+		for range Window + 5 {
+			if _, err := dc.Write([]byte("x")); err != nil {
+				break
+			}
+			sent++
+		}
+		done <- sent
+	}()
+	select {
+	case n := <-done:
+		t.Fatalf("writer never blocked; sent %d", n)
+	case <-time.After(300 * time.Millisecond):
+		// Blocked, as required. Unblock by closing.
+		dc.Close()
+		<-done
+	}
+}

@@ -1,0 +1,35 @@
+package ip
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseHostPort parses the ASCII dial strings written to IP protocol
+// ctl files: "135.104.9.31!17008", "*!564", or a bare port "564".
+// The host "*" (or an empty host) yields the zero address, meaning any
+// local address.
+func ParseHostPort(s string) (Addr, uint16, error) {
+	host, portStr, ok := strings.Cut(s, "!")
+	if !ok {
+		portStr, host = host, "*"
+	}
+	var a Addr
+	if host != "*" && host != "" {
+		var err error
+		a, err = ParseAddr(host)
+		if err != nil {
+			return Addr{}, 0, err
+		}
+	}
+	p, err := strconv.Atoi(portStr)
+	if err != nil || p < 0 || p > 0xffff {
+		return Addr{}, 0, ErrBadAddr
+	}
+	return a, uint16(p), nil
+}
+
+// HostPort formats an address!port pair as the local/remote files do.
+func HostPort(a Addr, port uint16) string {
+	return a.String() + "!" + strconv.Itoa(int(port))
+}

@@ -1,0 +1,215 @@
+// Package medium provides the paced, lossy, unidirectional message
+// pipe used to simulate point-to-point media: Datakit circuit legs and
+// Cyclone fibers. (The Ethernet has its own broadcast-domain simulator
+// in package ether.) A Profile calibrates latency, bandwidth, maximum
+// transfer unit, and loss so benchmarks can reproduce the relative
+// speeds of the paper's media; the zero Profile delivers synchronously
+// at memory speed for tests.
+package medium
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// SleepUntil waits until t with sub-millisecond precision: it sleeps
+// coarsely while far away and spins (yielding) for the final stretch,
+// because OS timers quantize at ~1ms — far coarser than the media
+// being simulated (an Ethernet frame serializes in ~1.2ms, a Cyclone
+// frame in microseconds).
+func SleepUntil(t time.Time) {
+	for {
+		d := time.Until(t)
+		if d <= 0 {
+			return
+		}
+		if d > 3*time.Millisecond {
+			time.Sleep(d - 2*time.Millisecond)
+			continue
+		}
+		for time.Now().Before(t) {
+			runtime.Gosched()
+		}
+		return
+	}
+}
+
+// Profile characterizes one direction of a link.
+type Profile struct {
+	Latency   time.Duration // propagation delay per message
+	Bandwidth int64         // bytes/second; 0 = unlimited
+	MTU       int           // largest message; 0 = unlimited
+	Loss      float64       // drop probability in [0,1)
+	Seed      int64
+}
+
+// Errors.
+var (
+	ErrClosed  = errors.New("medium: pipe closed")
+	ErrTooLong = errors.New("medium: message exceeds MTU")
+)
+
+// Pipe is a unidirectional ordered message pipe with medium effects.
+type Pipe struct {
+	profile Profile
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	queue  chan []byte
+	sched  chan timedMsg
+	closed chan struct{}
+	once   sync.Once
+	// nextFree models the serialization point of the wire: the time
+	// at which the transmitter becomes free.
+	nextFree time.Time
+}
+
+type timedMsg struct {
+	msg []byte
+	at  time.Time
+}
+
+// NewPipe creates a pipe with the given profile.
+func NewPipe(p Profile) *Pipe {
+	pipe := &Pipe{
+		profile: p,
+		rng:     rand.New(rand.NewSource(p.Seed + 1)),
+		queue:   make(chan []byte, 1024),
+		closed:  make(chan struct{}),
+	}
+	if p.Latency > 0 {
+		// An ordered deliverer: messages arrive exactly Latency
+		// after transmission, pipelined (many can be in flight).
+		pipe.sched = make(chan timedMsg, 1024)
+		go pipe.deliverer()
+	}
+	return pipe
+}
+
+func (p *Pipe) deliverer() {
+	for {
+		select {
+		case <-p.closed:
+			return
+		case tm := <-p.sched:
+			SleepUntil(tm.at)
+			select {
+			case p.queue <- tm.msg:
+			case <-p.closed:
+				return
+			}
+		}
+	}
+}
+
+// Send queues one message, applying MTU, loss, bandwidth pacing, and
+// latency. Pacing sleeps the sender, modeling the transmitter staying
+// busy for size/bandwidth; propagation latency is applied by the
+// deliverer without blocking the sender, so throughput pipelines.
+func (p *Pipe) Send(msg []byte) error {
+	prof := p.profile
+	if prof.MTU > 0 && len(msg) > prof.MTU {
+		return ErrTooLong
+	}
+	select {
+	case <-p.closed:
+		return ErrClosed
+	default:
+	}
+	if prof.Bandwidth > 0 {
+		d := time.Duration(int64(len(msg)) * int64(time.Second) / prof.Bandwidth)
+		p.mu.Lock()
+		now := time.Now()
+		if p.nextFree.Before(now) {
+			p.nextFree = now
+		}
+		p.nextFree = p.nextFree.Add(d)
+		free := p.nextFree
+		p.mu.Unlock()
+		SleepUntil(free)
+	}
+	if prof.Loss > 0 {
+		p.mu.Lock()
+		drop := p.rng.Float64() < prof.Loss
+		p.mu.Unlock()
+		if drop {
+			return nil // vanished on the wire
+		}
+	}
+	cp := append([]byte(nil), msg...)
+	if prof.Latency > 0 {
+		select {
+		case p.sched <- timedMsg{msg: cp, at: time.Now().Add(prof.Latency)}:
+		case <-p.closed:
+			return ErrClosed
+		}
+		return nil
+	}
+	select {
+	case p.queue <- cp:
+	case <-p.closed:
+		return ErrClosed
+	}
+	return nil
+}
+
+// Recv blocks for the next message.
+func (p *Pipe) Recv() ([]byte, error) {
+	select {
+	case m := <-p.queue:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-p.queue:
+		return m, nil
+	case <-p.closed:
+		select {
+		case m := <-p.queue:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close tears the pipe down; blocked receivers fail.
+func (p *Pipe) Close() {
+	p.once.Do(func() { close(p.closed) })
+}
+
+// Duplex is a bidirectional message link built from two pipes.
+type Duplex struct {
+	tx *Pipe
+	rx *Pipe
+}
+
+// NewDuplex returns the two ends of a link, each with profile p.
+func NewDuplex(p Profile) (*Duplex, *Duplex) {
+	ab := NewPipe(p)
+	ba := NewPipe(p)
+	return &Duplex{tx: ab, rx: ba}, &Duplex{tx: ba, rx: ab}
+}
+
+// AssembleDuplex builds a Duplex from explicit pipes, for tests that
+// need asymmetric link behavior (e.g. a direction that drops
+// everything).
+func AssembleDuplex(tx, rx *Pipe) *Duplex { return &Duplex{tx: tx, rx: rx} }
+
+// Send transmits toward the peer end.
+func (d *Duplex) Send(msg []byte) error { return d.tx.Send(msg) }
+
+// Recv receives from the peer end.
+func (d *Duplex) Recv() ([]byte, error) { return d.rx.Recv() }
+
+// Close closes both directions.
+func (d *Duplex) Close() {
+	d.tx.Close()
+	d.rx.Close()
+}
+
+// MTU reports the link MTU (0 = unlimited).
+func (d *Duplex) MTU() int { return d.tx.profile.MTU }

@@ -1,0 +1,122 @@
+// Package mnt is the mount driver (§2.1): "a kernel resident file
+// server called the mount driver converts the procedural version of 9P
+// into RPCs." Given a transport to a 9P server — a pipe to a local
+// user-level server, or a network connection to a remote machine — it
+// yields a vfs.Node that can be mounted into a name space; every
+// operation on the subtree becomes a 9P message.
+package mnt
+
+import (
+	"runtime"
+
+	"repro/internal/ninep"
+	"repro/internal/vfs"
+)
+
+// Mount dials a 9P server over conn, authenticates uname, attaches to
+// aname, and returns the remote root as a mountable node. Closing the
+// returned client tears down the connection and every fid on it.
+func Mount(conn ninep.MsgConn, uname, aname string) (vfs.Node, *ninep.Client, error) {
+	cl, err := ninep.NewClient(conn)
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := cl.Attach(uname, aname)
+	if err != nil {
+		cl.Close()
+		return nil, nil, err
+	}
+	return newNode(root), cl, nil
+}
+
+// node is an unopened remote file; it holds a walked fid. Fids are
+// clunked by a finalizer when the node is collected, mirroring how the
+// kernel clunks a channel on the last close of its references.
+type node struct {
+	fid *ninep.Fid
+}
+
+var (
+	_ vfs.Node    = (*node)(nil)
+	_ vfs.Creator = (*node)(nil)
+	_ vfs.Remover = (*node)(nil)
+	_ vfs.Wstater = (*node)(nil)
+)
+
+func newNode(fid *ninep.Fid) *node {
+	n := &node{fid: fid}
+	runtime.SetFinalizer(n, func(n *node) { go n.fid.Clunk() })
+	return n
+}
+
+// Stat implements vfs.Node (Tstat).
+func (n *node) Stat() (vfs.Dir, error) { return n.fid.Stat() }
+
+// Walk implements vfs.Node (Tclwalk: clone + walk in one RPC).
+func (n *node) Walk(name string) (vfs.Node, error) {
+	nf, err := n.fid.CloneWalk(name)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(nf), nil
+}
+
+// Open implements vfs.Node. The node's fid stays unopened (so the node
+// remains walkable); a clone is opened and owned by the handle.
+func (n *node) Open(mode int) (vfs.Handle, error) {
+	f, err := n.fid.Clone()
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Open(mode); err != nil {
+		f.Clunk()
+		return nil, err
+	}
+	return &handle{fid: f}, nil
+}
+
+// Create implements vfs.Creator (Tcreate).
+func (n *node) Create(name string, perm uint32, mode int) (vfs.Node, vfs.Handle, error) {
+	f, err := n.fid.Clone()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Create(name, perm, mode); err != nil {
+		f.Clunk()
+		return nil, nil, err
+	}
+	// The fid now refers to the created, open file. The handle owns
+	// it; the returned node re-walks for a clean unopened fid.
+	nn, err := n.fid.CloneWalk(name)
+	if err != nil {
+		f.Clunk()
+		return nil, nil, err
+	}
+	return newNode(nn), &handle{fid: f}, nil
+}
+
+// Remove implements vfs.Remover (Tremove). The fid is clunked by the
+// server on remove; drop the finalizer's work by marking it done.
+func (n *node) Remove() error {
+	runtime.SetFinalizer(n, nil)
+	return n.fid.Remove()
+}
+
+// Wstat implements vfs.Wstater (Twstat).
+func (n *node) Wstat(d vfs.Dir) error { return n.fid.Wstat(d) }
+
+// handle is an open remote file.
+type handle struct {
+	fid *ninep.Fid
+}
+
+var _ vfs.Handle = (*handle)(nil)
+
+// Read implements vfs.Handle (Tread).
+func (h *handle) Read(p []byte, off int64) (int, error) { return h.fid.Read(p, off) }
+
+// Write implements vfs.Handle (Twrite).
+func (h *handle) Write(p []byte, off int64) (int, error) { return h.fid.Write(p, off) }
+
+// Close implements vfs.Handle (Tclunk).
+func (h *handle) Close() error { return h.fid.Clunk() }

@@ -1,0 +1,107 @@
+package ndb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The §4.1 experiment: "the database files can become large. Our
+// global file ... has 43,000 lines. To speed searches, we build hash
+// table files for each attribute we expect to search often." The
+// benchmarks compare hashed lookups, unhashed (scanning) lookups, and
+// lookups against a stale hash on a synthetic global database of
+// comparable size.
+
+func globalDB(b *testing.B, entries int) (*DB, *File) {
+	b.Helper()
+	data := GenerateGlobal(entries, 1)
+	if lines := strings.Count(string(data), "\n"); lines < 40000 && entries >= 13000 {
+		b.Fatalf("synthetic db only %d lines", lines)
+	}
+	f, err := Parse("global", data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(f), f
+}
+
+func BenchmarkNdbLookupHashed(b *testing.B) {
+	db, _ := globalDB(b, 13000)
+	db.HashAll("sys", "dom", "ip")
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		name := fmt.Sprintf("host%d", i%13000)
+		if _, ok := db.QueryOne("sys", name); !ok {
+			b.Fatalf("missing %s", name)
+		}
+		i++
+	}
+}
+
+func BenchmarkNdbLookupScan(b *testing.B) {
+	db, _ := globalDB(b, 13000)
+	// No hash tables: every lookup is a linear scan.
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		name := fmt.Sprintf("host%d", i%13000)
+		if _, ok := db.QueryOne("sys", name); !ok {
+			b.Fatalf("missing %s", name)
+		}
+		i++
+	}
+}
+
+func BenchmarkNdbLookupStaleHash(b *testing.B) {
+	// "Every hash file contains the modification time of its master
+	// file so we can avoid using an out-of-date hash table": a stale
+	// hash must fall back to scanning (correct, just slower).
+	db, f := globalDB(b, 13000)
+	db.HashAll("sys")
+	f.Replace(append(f.Entries, Entry{{Attr: "sys", Val: "fresh"}}))
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		name := fmt.Sprintf("host%d", i%13000)
+		if _, ok := db.QueryOne("sys", name); !ok {
+			b.Fatalf("missing %s", name)
+		}
+		i++
+	}
+	b.StopTimer()
+	if h, _ := db.Counters(); h != 0 {
+		b.Fatalf("stale hash was used %d times", h)
+	}
+}
+
+func BenchmarkNdbParse43kLines(b *testing.B) {
+	data := GenerateGlobal(13000, 1)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := Parse("global", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNdbBuildHash(b *testing.B) {
+	_, f := globalDB(b, 13000)
+	b.ResetTimer()
+	for b.Loop() {
+		f.BuildHash("sys")
+	}
+}
+
+func BenchmarkNdbIPInfoWalk(b *testing.B) {
+	db, _ := globalDB(b, 13000)
+	db.HashAll("sys", "ip", "ipnet")
+	b.ResetTimer()
+	for b.Loop() {
+		if _, ok := db.IPInfo("host42", "ipgw"); !ok {
+			b.Fatal("ipgw walk failed")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package ndb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenerateGlobal synthesizes a global database comparable to the one
+// the paper describes ("our global file ... has 43,000 lines"): n
+// system entries spread over a few hundred IP networks, each with a
+// domain name, addresses, and assorted attributes. It substitutes for
+// the proprietary AT&T database in the hash-vs-scan experiment; the
+// shape (many entries, several lines each) is what matters.
+func GenerateGlobal(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("# synthetic global database\n")
+	for net := range n/200 + 1 {
+		fmt.Fprintf(&b, "ipnet=net%d ip=10.%d.0.0 ipmask=255.255.255.0\n", net, net%250)
+		fmt.Fprintf(&b, "\tipgw=10.%d.0.1\n", net%250)
+	}
+	for i := range n {
+		fmt.Fprintf(&b, "sys=host%d\n", i)
+		fmt.Fprintf(&b, "\tdom=host%d.research.bell-labs.com\n", i)
+		fmt.Fprintf(&b, "\tip=10.%d.%d.%d ether=0800%08x\n",
+			(i/200)%250, (i/250)%250, i%250+2, i)
+		if rng.Intn(4) == 0 {
+			fmt.Fprintf(&b, "\tdk=nj/astro/host%d\n", i)
+		}
+		if rng.Intn(8) == 0 {
+			fmt.Fprintf(&b, "\tbootf=/mips/9power flavor=9cpu\n")
+		}
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,116 @@
+package ndb
+
+import (
+	"sort"
+
+	"repro/internal/ip"
+)
+
+// IPInfo implements the paper's "most closely associated" attribute
+// search (§4.2): to resolve $attr for a system, CS searches "the auth
+// attribute in the database entry for the source system, then its
+// subnetwork (if there is one) and then its network." The subnetwork
+// and network are the ipnet entries whose address/mask contain the
+// system's IP address, most specific first.
+func (db *DB) IPInfo(sysName, attr string) (string, bool) {
+	sys, ok := db.FindSystem(sysName)
+	if !ok {
+		return "", false
+	}
+	if v, ok := sys.Get(attr); ok {
+		return v, true
+	}
+	ipStr, ok := sys.Get("ip")
+	if !ok {
+		return "", false
+	}
+	addr, err := ip.ParseAddr(ipStr)
+	if err != nil {
+		return "", false
+	}
+	for _, net := range db.NetsContaining(addr) {
+		if v, ok := net.Entry.Get(attr); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// Net is an ipnet entry with its parsed address and mask.
+type Net struct {
+	Entry Entry
+	Addr  ip.Addr
+	Mask  ip.Addr
+}
+
+// NetsContaining returns the ipnet entries containing addr, most
+// specific first: the subnetwork (if there is one) and then the
+// network, following the real ndb algorithm. The network is the ipnet
+// entry for addr's classful network; its ipmask attribute, if any,
+// defines how subnets are carved (the paper's mh-astro-net entry
+// declares ipmask=255.255.255.0, and the per-floor subnets carry no
+// mask of their own); the subnetwork is the ipnet entry whose ip=
+// matches addr under that mask.
+func (db *DB) NetsContaining(addr ip.Addr) []Net {
+	classMask := ip.ClassMask(addr)
+	network, ok := db.findNet(addr.Mask(classMask))
+	if !ok {
+		// No declared network: a lone subnet entry may still match
+		// under its own or an inferred mask.
+		if sub, ok := db.findNet(addr.Mask(ip.Addr{255, 255, 255, 0})); ok {
+			return []Net{{Entry: sub, Addr: addr.Mask(ip.Addr{255, 255, 255, 0}), Mask: ip.Addr{255, 255, 255, 0}}}
+		}
+		return nil
+	}
+	nets := []Net{{Entry: network, Addr: addr.Mask(classMask), Mask: classMask}}
+	subMask := classMask
+	if ms, ok := network.Get("ipmask"); ok {
+		if m, err := ip.ParseMask(ms); err == nil {
+			subMask = m
+		}
+	}
+	if subMask != classMask {
+		subAddr := addr.Mask(subMask)
+		if sub, ok := db.findNet(subAddr); ok && !sameEntry(sub, network) {
+			nets = append([]Net{{Entry: sub, Addr: subAddr, Mask: subMask}}, nets...)
+		}
+	}
+	sort.SliceStable(nets, func(i, j int) bool {
+		return maskBits(nets[i].Mask) > maskBits(nets[j].Mask)
+	})
+	return nets
+}
+
+// findNet locates an ipnet entry whose ip= equals na exactly.
+func (db *DB) findNet(na ip.Addr) (Entry, bool) {
+	for _, e := range db.Query("ip", na.String()) {
+		if _, isNet := e.Get("ipnet"); isNet {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+func sameEntry(a, b Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maskBits(m ip.Addr) int {
+	n := 0
+	for _, b := range m {
+		for ; b != 0; b <<= 1 {
+			if b&0x80 != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

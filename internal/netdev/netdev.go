@@ -1,0 +1,366 @@
+// Package netdev serves any transport protocol as the uniform
+// protocol-device file tree of §2.3:
+//
+//	/net/tcp/clone
+//	/net/tcp/0/{ctl,data,listen,local,remote,status}
+//	...
+//
+// "All protocol devices look identical so user programs contain no
+// network-specific code." The connection dance is the paper's:
+//
+//  1. open the clone file to reserve a conversation; the returned fd
+//     is the ctl file of the new connection,
+//  2. read it for the ASCII connection number,
+//  3. write a protocol-specific ASCII address ("connect 135.104.9.31!564"),
+//  4. open the data file to exchange bytes.
+//
+// A listener writes "announce <addr>" instead and then opens the
+// listen file, which blocks until a call arrives and yields a file
+// descriptor for the ctl file of the new connection.
+package netdev
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/devtree"
+	"repro/internal/vfs"
+	"repro/internal/xport"
+)
+
+// MaxConvs bounds the conversations per protocol device.
+const MaxConvs = 64
+
+// Dev wraps an xport.Proto as a device file tree.
+type Dev struct {
+	proto xport.Proto
+	owner string
+
+	mu    sync.Mutex
+	convs [MaxConvs]*conv
+}
+
+type conv struct {
+	dev  *Dev
+	id   int
+	conn xport.Conn
+
+	mu    sync.Mutex
+	inuse int
+}
+
+var _ vfs.Device = (*Dev)(nil)
+
+// New wraps proto in its file tree.
+func New(proto xport.Proto, owner string) *Dev {
+	return &Dev{proto: proto, owner: owner}
+}
+
+// Name implements vfs.Device ("tcp", "il", "udp", "dk", "cyc").
+func (d *Dev) Name() string { return d.proto.Name() }
+
+// Attach implements vfs.Device.
+func (d *Dev) Attach(spec string) (vfs.Node, error) {
+	if spec != "" {
+		return nil, vfs.ErrBadSpec
+	}
+	return d.Root(), nil
+}
+
+// alloc reserves a conversation slot, creating the protocol
+// conversation behind it.
+func (d *Dev) alloc() (*conv, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := range MaxConvs {
+		c := d.convs[id]
+		if c == nil {
+			c = &conv{dev: d, id: id}
+			d.convs[id] = c
+		}
+		c.mu.Lock()
+		free := c.inuse == 0
+		if free {
+			conn, err := d.proto.NewConn()
+			if err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			c.conn = conn
+			c.inuse = 1
+		}
+		c.mu.Unlock()
+		if free {
+			return c, nil
+		}
+	}
+	return nil, vfs.ErrInUse
+}
+
+// adopt places an accepted conversation into a fresh slot (the new
+// connection a listen returns).
+func (d *Dev) adopt(conn xport.Conn) (*conv, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := range MaxConvs {
+		c := d.convs[id]
+		if c == nil {
+			c = &conv{dev: d, id: id}
+			d.convs[id] = c
+		}
+		c.mu.Lock()
+		free := c.inuse == 0
+		if free {
+			c.conn = conn
+			c.inuse = 1
+		}
+		c.mu.Unlock()
+		if free {
+			return c, nil
+		}
+	}
+	conn.Close()
+	return nil, vfs.ErrInUse
+}
+
+func (c *conv) incref() {
+	c.mu.Lock()
+	c.inuse++
+	c.mu.Unlock()
+}
+
+func (c *conv) decref() {
+	c.mu.Lock()
+	c.inuse--
+	done := c.inuse <= 0
+	conn := c.conn
+	if done {
+		c.inuse = 0
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	if done && conn != nil {
+		conn.Close()
+	}
+}
+
+func (c *conv) live() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inuse > 0
+}
+
+func (c *conv) xconn() xport.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
+}
+
+// Root returns the device's top directory.
+func (d *Dev) Root() vfs.Node {
+	root := &devtree.DirNode{Entry: devtree.MkDir(d.proto.Name(), d.owner, 0555)}
+	root.List = func() ([]vfs.Dir, error) {
+		ents := []vfs.Dir{
+			devtree.MkFile("clone", d.owner, 0666),
+			devtree.MkFile("stats", d.owner, 0444),
+		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		for id := range MaxConvs {
+			if c := d.convs[id]; c != nil && c.live() {
+				ents = append(ents, devtree.MkDir(strconv.Itoa(id), d.owner, 0555))
+			}
+		}
+		return ents, nil
+	}
+	root.Lookup = func(name string) (vfs.Node, error) {
+		if name == "stats" {
+			return devtree.TextFile(devtree.MkFile("stats", d.owner, 0444),
+				func() (string, error) { return d.statsText(), nil }), nil
+		}
+		if name == "clone" {
+			return &devtree.FileNode{
+				Entry: devtree.MkFile("clone", d.owner, 0666),
+				OpenFn: func(mode int) (vfs.Handle, error) {
+					c, err := d.alloc()
+					if err != nil {
+						return nil, err
+					}
+					return d.ctlHandle(c), nil
+				},
+			}, nil
+		}
+		id, err := strconv.Atoi(name)
+		if err != nil || id < 0 || id >= MaxConvs {
+			return nil, vfs.ErrNotExist
+		}
+		d.mu.Lock()
+		c := d.convs[id]
+		d.mu.Unlock()
+		if c == nil || !c.live() {
+			return nil, vfs.ErrNotExist
+		}
+		return d.convDir(c), nil
+	}
+	return root
+}
+
+// statsText renders one line per live conversation, netstat style.
+func (d *Dev) statsText() string {
+	var b strings.Builder
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := range MaxConvs {
+		c := d.convs[id]
+		if c == nil {
+			continue
+		}
+		conn := c.xconn()
+		if conn == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s/%d %s %s %s\n",
+			d.proto.Name(), id, conn.Status(), conn.LocalAddr(), conn.RemoteAddr())
+	}
+	return b.String()
+}
+
+func (d *Dev) ctlHandle(c *conv) vfs.Handle {
+	return &devtree.CtlHandle{
+		Get:   func() (string, error) { return strconv.Itoa(c.id), nil },
+		Cmd:   func(cmd string) error { return d.convCtl(c, cmd) },
+		OnEnd: func() { c.decref() },
+	}
+}
+
+// convCtl parses the ASCII control requests of §2.3.
+func (d *Dev) convCtl(c *conv, cmd string) error {
+	conn := c.xconn()
+	if conn == nil {
+		return vfs.ErrHungup
+	}
+	verb, arg, _ := strings.Cut(cmd, " ")
+	arg = strings.TrimSpace(arg)
+	switch verb {
+	case "connect":
+		if arg == "" {
+			return vfs.ErrBadCtl
+		}
+		// A connect argument may carry a local-address suffix
+		// ("addr local"), which we accept and ignore (most
+		// networks do not support it, §5.1).
+		addr, _, _ := strings.Cut(arg, " ")
+		return conn.Connect(addr)
+	case "announce":
+		if arg == "" {
+			return vfs.ErrBadCtl
+		}
+		return conn.Announce(arg)
+	case "hangup":
+		return conn.Close()
+	case "reject":
+		// Datakit accepts a reason; IP networks ignore it (§5.2).
+		return conn.Close()
+	default:
+		return vfs.ErrBadCtl
+	}
+}
+
+// convDir serves one numbered connection directory.
+func (d *Dev) convDir(c *conv) vfs.Node {
+	mk := func(n string, perm uint32) vfs.Dir { return devtree.MkFile(n, d.owner, perm) }
+	get := func(f func(xport.Conn) string) func() (string, error) {
+		return func() (string, error) {
+			conn := c.xconn()
+			if conn == nil {
+				return "", vfs.ErrHungup
+			}
+			return f(conn), nil
+		}
+	}
+	ctl := &devtree.FileNode{
+		Entry: mk("ctl", 0666),
+		OpenFn: func(mode int) (vfs.Handle, error) {
+			c.incref()
+			return d.ctlHandle(c), nil
+		},
+	}
+	data := &devtree.FileNode{
+		Entry: mk("data", 0666),
+		OpenFn: func(mode int) (vfs.Handle, error) {
+			c.incref()
+			return &dataHandle{c: c}, nil
+		},
+	}
+	listen := &devtree.FileNode{
+		Entry: mk("listen", 0666),
+		OpenFn: func(mode int) (vfs.Handle, error) {
+			conn := c.xconn()
+			if conn == nil {
+				return nil, vfs.ErrHungup
+			}
+			// Block until a call arrives; the returned handle is
+			// the ctl file of the new connection.
+			nconn, err := conn.Listen()
+			if err != nil {
+				return nil, err
+			}
+			nc, err := d.adopt(nconn)
+			if err != nil {
+				return nil, err
+			}
+			return d.ctlHandle(nc), nil
+		},
+	}
+	local := devtree.TextFile(mk("local", 0444),
+		get(func(cn xport.Conn) string { return cn.LocalAddr() + "\n" }))
+	remote := devtree.TextFile(mk("remote", 0444),
+		get(func(cn xport.Conn) string { return cn.RemoteAddr() + "\n" }))
+	status := devtree.TextFile(mk("status", 0444),
+		get(func(cn xport.Conn) string {
+			return d.proto.Name() + "/" + strconv.Itoa(c.id) + " " + cn.Status() + "\n"
+		}))
+	return devtree.StaticDir(devtree.MkDir(strconv.Itoa(c.id), d.owner, 0555),
+		map[string]vfs.Node{
+			"ctl": ctl, "data": data, "listen": listen,
+			"local": local, "remote": remote, "status": status,
+		},
+		[]string{"ctl", "data", "listen", "local", "remote", "status"})
+}
+
+// dataHandle is the data file: the process end of the conversation's
+// stream.
+type dataHandle struct{ c *conv }
+
+var _ vfs.Handle = (*dataHandle)(nil)
+
+// Read implements vfs.Handle (offset ignored; stream semantics).
+func (h *dataHandle) Read(p []byte, off int64) (int, error) {
+	conn := h.c.xconn()
+	if conn == nil {
+		return 0, vfs.ErrHungup
+	}
+	n, err := conn.Read(p)
+	if err == io.EOF {
+		return n, nil // EOF is a zero-length read at the file boundary
+	}
+	return n, err
+}
+
+// Write implements vfs.Handle.
+func (h *dataHandle) Write(p []byte, off int64) (int, error) {
+	conn := h.c.xconn()
+	if conn == nil {
+		return 0, vfs.ErrHungup
+	}
+	return conn.Write(p)
+}
+
+// Close implements vfs.Handle.
+func (h *dataHandle) Close() error {
+	h.c.decref()
+	return nil
+}

@@ -1,0 +1,296 @@
+package ninep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// Client is the RPC engine of the mount driver (§2.1): it packs
+// procedural operations into 9P messages, demultiplexes responses among
+// the processes using the file server, and manages fids and tags.
+type Client struct {
+	conn MsgConn
+
+	mu      sync.Mutex
+	tags    map[uint16]chan *Fcall
+	nextTag uint16
+	nextFid uint32
+	err     error
+	done    chan struct{}
+}
+
+// NewClient starts a 9P client on conn and performs the session
+// handshake. The caller then Attaches to obtain a root fid.
+func NewClient(conn MsgConn) (*Client, error) {
+	cl := &Client{
+		conn: conn,
+		tags: make(map[uint16]chan *Fcall),
+		done: make(chan struct{}),
+	}
+	go cl.demux()
+	if _, err := cl.RPC(&Fcall{Type: Tsession, Chal: "repro"}); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// demux reads responses and hands each to the waiting process, "the
+// mount driver ... demultiplexes among processes using the file
+// server".
+func (cl *Client) demux() {
+	for {
+		msg, err := cl.conn.ReadMsg()
+		if err != nil {
+			cl.fail(err)
+			return
+		}
+		f, err := UnmarshalFcall(msg)
+		if err != nil {
+			cl.fail(err)
+			return
+		}
+		cl.mu.Lock()
+		ch := cl.tags[f.Tag]
+		delete(cl.tags, f.Tag)
+		cl.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+func (cl *Client) fail(err error) {
+	cl.mu.Lock()
+	if cl.err == nil {
+		cl.err = err
+		close(cl.done)
+	}
+	pending := cl.tags
+	cl.tags = make(map[uint16]chan *Fcall)
+	cl.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Close tears down the connection; outstanding RPCs fail.
+func (cl *Client) Close() error {
+	err := cl.conn.Close()
+	cl.fail(ErrConnClosed)
+	return err
+}
+
+// RPC performs one request/response exchange. On an Rerror response it
+// returns the error string as an error.
+func (cl *Client) RPC(t *Fcall) (*Fcall, error) {
+	ch := make(chan *Fcall, 1)
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.nextTag++
+	if cl.nextTag == NoTag {
+		cl.nextTag = 1
+	}
+	tag := cl.nextTag
+	for cl.tags[tag] != nil { // skip tags still in flight
+		tag++
+		if tag == NoTag {
+			tag = 1
+		}
+	}
+	cl.tags[tag] = ch
+	cl.mu.Unlock()
+
+	t.Tag = tag
+	msg, err := MarshalFcall(t)
+	if err != nil {
+		cl.mu.Lock()
+		delete(cl.tags, tag)
+		cl.mu.Unlock()
+		return nil, err
+	}
+	if err := cl.conn.WriteMsg(msg); err != nil {
+		cl.mu.Lock()
+		delete(cl.tags, tag)
+		cl.mu.Unlock()
+		return nil, err
+	}
+	r, ok := <-ch
+	if !ok {
+		cl.mu.Lock()
+		err := cl.err
+		cl.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return nil, err
+	}
+	if r.Type == Rerror {
+		return nil, errors.New(r.Ename)
+	}
+	if r.Type != t.Type+1 {
+		return nil, fmt.Errorf("9P: got %s in response to %s", TypeName(r.Type), TypeName(t.Type))
+	}
+	return r, nil
+}
+
+func (cl *Client) newFid() uint32 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.nextFid++
+	return cl.nextFid
+}
+
+// Fid is a remote file handle: the client end of a server fid.
+type Fid struct {
+	cl  *Client
+	fid uint32
+	qid vfs.Qid
+}
+
+// Attach authenticates uname to the server and returns a fid for the
+// root of the tree named by aname.
+func (cl *Client) Attach(uname, aname string) (*Fid, error) {
+	fid := cl.newFid()
+	r, err := cl.RPC(&Fcall{Type: Tattach, Fid: fid, Uname: uname, Aname: aname})
+	if err != nil {
+		return nil, err
+	}
+	return &Fid{cl: cl, fid: fid, qid: r.Qid}, nil
+}
+
+// Qid returns the qid most recently reported for the fid.
+func (f *Fid) Qid() vfs.Qid { return f.qid }
+
+// Clone duplicates the fid (Tclone), like dup(2) on a channel.
+func (f *Fid) Clone() (*Fid, error) {
+	nf := f.cl.newFid()
+	if _, err := f.cl.RPC(&Fcall{Type: Tclone, Fid: f.fid, Newfid: nf}); err != nil {
+		return nil, err
+	}
+	return &Fid{cl: f.cl, fid: nf, qid: f.qid}, nil
+}
+
+// Walk moves the fid one level down the hierarchy (Twalk).
+func (f *Fid) Walk(name string) error {
+	r, err := f.cl.RPC(&Fcall{Type: Twalk, Fid: f.fid, Name: name})
+	if err != nil {
+		return err
+	}
+	f.qid = r.Qid
+	return nil
+}
+
+// CloneWalk clones the fid and walks the clone in one RPC (Tclwalk).
+func (f *Fid) CloneWalk(name string) (*Fid, error) {
+	nf := f.cl.newFid()
+	r, err := f.cl.RPC(&Fcall{Type: Tclwalk, Fid: f.fid, Newfid: nf, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return &Fid{cl: f.cl, fid: nf, qid: r.Qid}, nil
+}
+
+// Open prepares the fid for reads and writes (Topen).
+func (f *Fid) Open(mode int) error {
+	r, err := f.cl.RPC(&Fcall{Type: Topen, Fid: f.fid, Mode: uint8(mode)})
+	if err != nil {
+		return err
+	}
+	f.qid = r.Qid
+	return nil
+}
+
+// Create creates name in the directory the fid refers to and opens it
+// (Tcreate); the fid moves to the new file.
+func (f *Fid) Create(name string, perm uint32, mode int) error {
+	r, err := f.cl.RPC(&Fcall{Type: Tcreate, Fid: f.fid, Name: name, Perm: perm, Mode: uint8(mode)})
+	if err != nil {
+		return err
+	}
+	f.qid = r.Qid
+	return nil
+}
+
+// Read reads up to len(p) bytes at offset off, splitting into MaxFData
+// RPCs as the mount driver does. As in the kernel's mnt driver, a
+// short response ends the read (EOF or a message boundary on a
+// delimited device); reads of at most MaxFData map to exactly one RPC,
+// which is how delimiters survive the mount driver.
+func (f *Fid) Read(p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxFData {
+			n = MaxFData
+		}
+		r, err := f.cl.RPC(&Fcall{Type: Tread, Fid: f.fid, Offset: off + int64(total), Count: uint16(n)})
+		if err != nil {
+			return total, err
+		}
+		copy(p[total:], r.Data)
+		total += len(r.Data)
+		if len(r.Data) < n {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Write writes p at offset off, splitting into MaxFData RPCs.
+func (f *Fid) Write(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		_, err := f.cl.RPC(&Fcall{Type: Twrite, Fid: f.fid, Offset: off})
+		return 0, err
+	}
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > MaxFData {
+			n = MaxFData
+		}
+		r, err := f.cl.RPC(&Fcall{Type: Twrite, Fid: f.fid, Offset: off + int64(total), Data: p[total : total+n]})
+		if err != nil {
+			return total, err
+		}
+		total += int(r.Count)
+		if int(r.Count) < n {
+			return total, nil
+		}
+	}
+	return total, nil
+}
+
+// Stat returns the file's directory entry (Tstat).
+func (f *Fid) Stat() (vfs.Dir, error) {
+	r, err := f.cl.RPC(&Fcall{Type: Tstat, Fid: f.fid})
+	if err != nil {
+		return vfs.Dir{}, err
+	}
+	return r.Stat, nil
+}
+
+// Wstat rewrites the file's attributes (Twstat).
+func (f *Fid) Wstat(d vfs.Dir) error {
+	_, err := f.cl.RPC(&Fcall{Type: Twstat, Fid: f.fid, Stat: d})
+	return err
+}
+
+// Clunk discards the fid without affecting the file (Tclunk).
+func (f *Fid) Clunk() error {
+	_, err := f.cl.RPC(&Fcall{Type: Tclunk, Fid: f.fid})
+	return err
+}
+
+// Remove removes the file and clunks the fid (Tremove).
+func (f *Fid) Remove() error {
+	_, err := f.cl.RPC(&Fcall{Type: Tremove, Fid: f.fid})
+	return err
+}

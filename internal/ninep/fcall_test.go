@@ -1,0 +1,211 @@
+package ninep
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vfs"
+)
+
+func roundTrip(t *testing.T, f *Fcall) *Fcall {
+	t.Helper()
+	b, err := MarshalFcall(f)
+	if err != nil {
+		t.Fatalf("marshal %s: %v", TypeName(f.Type), err)
+	}
+	g, err := UnmarshalFcall(b)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", TypeName(f.Type), err)
+	}
+	return g
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	qid := vfs.Qid{Path: 0x1234567890ab, Vers: 9, Type: vfs.QTDIR}
+	stat := vfs.Dir{Name: "data", Uid: "ehg", Gid: "bootes", Muid: "ehg",
+		Qid: qid, Mode: vfs.DMDIR | 0775, Atime: 1, Mtime: 2, Length: 3}
+	cases := []*Fcall{
+		{Type: Tnop},
+		{Type: Rnop},
+		{Type: Tsession, Chal: "challenge"},
+		{Type: Rsession, Chal: "response"},
+		{Type: Rerror, Ename: "file does not exist"},
+		{Type: Tflush, Oldtag: 77},
+		{Type: Rflush},
+		{Type: Tattach, Fid: 1, Uname: "presotto", Aname: "net"},
+		{Type: Rattach, Fid: 1, Qid: qid},
+		{Type: Tauth, Fid: 2, Uname: "philw", Chal: "c"},
+		{Type: Rauth, Chal: "ticket"},
+		{Type: Tclone, Fid: 1, Newfid: 2},
+		{Type: Rclone, Fid: 1},
+		{Type: Twalk, Fid: 2, Name: "tcp"},
+		{Type: Rwalk, Fid: 2, Qid: qid},
+		{Type: Tclwalk, Fid: 2, Newfid: 3, Name: "clone"},
+		{Type: Rclwalk, Fid: 3, Qid: qid},
+		{Type: Topen, Fid: 3, Mode: vfs.ORDWR},
+		{Type: Ropen, Fid: 3, Qid: qid},
+		{Type: Tcreate, Fid: 3, Name: "f", Perm: 0664, Mode: vfs.OWRITE},
+		{Type: Rcreate, Fid: 3, Qid: qid},
+		{Type: Tread, Fid: 3, Offset: 1 << 40, Count: 8192},
+		{Type: Rread, Fid: 3, Data: []byte("hello"), Count: 5},
+		{Type: Twrite, Fid: 3, Offset: 7, Data: []byte("world"), Count: 5},
+		{Type: Rwrite, Fid: 3, Count: 5},
+		{Type: Tclunk, Fid: 3},
+		{Type: Rclunk, Fid: 3},
+		{Type: Tremove, Fid: 3},
+		{Type: Rremove, Fid: 3},
+		{Type: Tstat, Fid: 3},
+		{Type: Rstat, Fid: 3, Stat: stat},
+		{Type: Twstat, Fid: 3, Stat: stat},
+		{Type: Rwstat, Fid: 3},
+	}
+	for _, f := range cases {
+		f.Tag = 42
+		g := roundTrip(t, f)
+		if !reflect.DeepEqual(f, g) {
+			t.Errorf("%s: round trip mismatch\n got %+v\nwant %+v", TypeName(f.Type), g, f)
+		}
+	}
+}
+
+func TestSeventeenMessageOperations(t *testing.T) {
+	// The paper: "The protocol consists of 17 messages." Count the
+	// distinct operations we implement (T types plus Rerror, minus
+	// the illegal Terror).
+	ops := 0
+	for ty := Tnop; ty < Tmax; ty += 2 {
+		if ty == Terror {
+			continue // only the R form exists
+		}
+		ops++
+	}
+	ops++ // error
+	if ops != 17 {
+		t.Errorf("protocol has %d message operations, paper says 17", ops)
+	}
+}
+
+func TestMarshalRejectsOversizedData(t *testing.T) {
+	big := make([]byte, MaxFData+1)
+	if _, err := MarshalFcall(&Fcall{Type: Rread, Data: big}); err != ErrDataLen {
+		t.Errorf("oversized Rread: %v", err)
+	}
+	if _, err := MarshalFcall(&Fcall{Type: Twrite, Data: big}); err != ErrDataLen {
+		t.Errorf("oversized Twrite: %v", err)
+	}
+}
+
+func TestMarshalRejectsLongNames(t *testing.T) {
+	long := string(bytes.Repeat([]byte("x"), NameLen))
+	if _, err := MarshalFcall(&Fcall{Type: Twalk, Name: long}); err != ErrNameLen {
+		t.Errorf("long walk name: %v", err)
+	}
+}
+
+func TestMarshalRejectsBadType(t *testing.T) {
+	if _, err := MarshalFcall(&Fcall{Type: Terror}); err != ErrBadType {
+		t.Errorf("Terror marshal: %v", err)
+	}
+	if _, err := MarshalFcall(&Fcall{Type: 250}); err != ErrBadType {
+		t.Errorf("unknown type marshal: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalFcall(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := UnmarshalFcall([]byte{1, 2, 3}); err == nil {
+		t.Error("short accepted")
+	}
+	// Valid message with corrupted size.
+	b, _ := MarshalFcall(&Fcall{Type: Tnop, Tag: 1})
+	b[0] = 99
+	if _, err := UnmarshalFcall(b); err == nil {
+		t.Error("bad size accepted")
+	}
+	// Truncated body.
+	b, _ = MarshalFcall(&Fcall{Type: Tattach, Fid: 1, Uname: "u"})
+	if _, err := UnmarshalFcall(b[:10]); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Rread whose count exceeds the buffer.
+	b, _ = MarshalFcall(&Fcall{Type: Rread, Data: []byte("abcd")})
+	b[11] = 0xff // count low byte
+	b[12] = 0xff
+	if _, err := UnmarshalFcall(b); err == nil {
+		t.Error("overlong count accepted")
+	}
+}
+
+// Property: unmarshal(marshal(f)) is the identity for arbitrary
+// well-formed write messages.
+func TestWriteRoundTripQuick(t *testing.T) {
+	f := func(fid uint32, off int64, data []byte) bool {
+		if len(data) > MaxFData {
+			data = data[:MaxFData]
+		}
+		if off < 0 {
+			off = -off
+		}
+		in := &Fcall{Type: Twrite, Tag: 3, Fid: fid, Offset: off, Data: data, Count: uint16(len(data))}
+		b, err := MarshalFcall(in)
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalFcall(b)
+		if err != nil {
+			return false
+		}
+		if len(in.Data) == 0 {
+			in.Data, out.Data = nil, nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the unmarshaler never panics on random bytes.
+func TestUnmarshalFuzzSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for range 5000 {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		rng.Read(b)
+		UnmarshalFcall(b) // must not panic
+	}
+	// Also mutate valid messages.
+	valid, _ := MarshalFcall(&Fcall{Type: Tcreate, Tag: 1, Fid: 2, Name: "x", Perm: 0664, Mode: 1})
+	for range 5000 {
+		b := append([]byte(nil), valid...)
+		b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		UnmarshalFcall(b)
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if TypeName(Tattach) != "Tattach" || TypeName(Rerror) != "Rerror" {
+		t.Error("TypeName wrong for known types")
+	}
+	if TypeName(255) == "" {
+		t.Error("TypeName empty for unknown type")
+	}
+}
+
+func TestFcallString(t *testing.T) {
+	for _, f := range []*Fcall{
+		{Type: Rerror, Ename: "x"},
+		{Type: Twalk, Name: "n"},
+		{Type: Tread, Count: 1},
+		{Type: Tclunk},
+	} {
+		if f.String() == "" {
+			t.Errorf("empty String for %d", f.Type)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package ninep
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// blockingFS serves one file whose reads block until released — the
+// shape of a listen file or an idle network data file, the reason the
+// paper says exportfs must be multithreaded (§6.1).
+type blockingFS struct {
+	release chan struct{}
+}
+
+func (f *blockingFS) Name() string { return "blocking" }
+func (f *blockingFS) Attach(spec string) (vfs.Node, error) {
+	return blockNode{f: f}, nil
+}
+
+type blockNode struct{ f *blockingFS }
+
+func (n blockNode) Stat() (vfs.Dir, error) {
+	return vfs.Dir{Name: "block", Mode: 0666, Qid: vfs.Qid{Path: 1}}, nil
+}
+func (n blockNode) Walk(name string) (vfs.Node, error) { return nil, vfs.ErrNotExist }
+func (n blockNode) Open(mode int) (vfs.Handle, error)  { return blockHandle{f: n.f}, nil }
+
+type blockHandle struct{ f *blockingFS }
+
+func (h blockHandle) Read(p []byte, off int64) (int, error) {
+	<-h.f.release
+	return copy(p, "released"), nil
+}
+func (h blockHandle) Write(p []byte, off int64) (int, error) { return len(p), nil }
+func (h blockHandle) Close() error                           { return nil }
+
+// TestFlushAbandonsBlockedRead: a client starts a read that blocks in
+// the server, flushes it, gets Rflush immediately, and — per the 9P
+// contract — never receives the abandoned read's response, while the
+// connection keeps working.
+func TestFlushAbandonsBlockedRead(t *testing.T) {
+	fs := &blockingFS{release: make(chan struct{})}
+	a, b := NewPipe()
+	go Serve(b, func(uname, aname string) (vfs.Node, error) { return fs.Attach("") })
+	cl, err := NewClient(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	root, err := cl.Attach("u", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Open(vfs.OREAD); err != nil {
+		t.Fatal(err)
+	}
+
+	// Issue the blocking read with a raw, hand-tagged RPC so we know
+	// the tag to flush. The response channel stays registered so we
+	// can assert no response ever arrives.
+	readDone := make(chan *Fcall, 1)
+	const readTag = 77
+	cl.mu.Lock()
+	cl.tags[readTag] = make(chan *Fcall, 1)
+	respCh := cl.tags[readTag]
+	cl.mu.Unlock()
+	msg, _ := MarshalFcall(&Fcall{Type: Tread, Tag: readTag, Fid: 2, Count: 64})
+	if err := cl.conn.WriteMsg(msg); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if r, ok := <-respCh; ok {
+			readDone <- r
+		}
+	}()
+
+	// While it blocks, other traffic flows (multithreaded server).
+	if _, err := root.Stat(); err != nil {
+		t.Fatalf("stat during blocked read: %v", err)
+	}
+
+	// Flush the read.
+	r, err := cl.RPC(&Fcall{Type: Tflush, Oldtag: readTag})
+	if err != nil || r.Type != Rflush {
+		t.Fatalf("flush = %+v, %v", r, err)
+	}
+
+	// Release the server-side read; its response must be suppressed.
+	close(fs.release)
+	select {
+	case resp := <-readDone:
+		t.Fatalf("flushed read still answered: %+v", resp)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// The connection is still healthy.
+	if _, err := root.Stat(); err != nil {
+		t.Fatalf("stat after flush: %v", err)
+	}
+	f.Clunk()
+}

@@ -1,0 +1,372 @@
+package ninep
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// AttachFunc resolves an attach request to the root of a served tree.
+// It is how a server decides what uname sees for a given attach name —
+// exportfs, for example, re-roots at the requested path of the
+// exporting process's name space.
+type AttachFunc func(uname, aname string) (vfs.Node, error)
+
+// Server serves a file tree over 9P. It is multithreaded in the way
+// the paper requires of exportfs (§6.1): each request runs in its own
+// goroutine because open, read, and write may block (a read on a
+// listen file blocks until a call arrives), and Tflush lets a client
+// abandon a blocked request.
+type Server struct {
+	conn   MsgConn
+	attach AttachFunc
+
+	wmu sync.Mutex // serializes response writes
+
+	mu      sync.Mutex
+	fids    map[uint32]*srvFid
+	flushed map[uint16]bool // tags flushed while in flight
+	inUse   map[uint16]bool
+}
+
+type srvFid struct {
+	mu   sync.Mutex
+	node vfs.Node
+	h    vfs.Handle
+	open bool
+	mode int
+}
+
+// Serve runs a 9P server on conn until the transport fails or the
+// client goes away. It returns the transport error (io.EOF for a
+// clean close).
+func Serve(conn MsgConn, attach AttachFunc) error {
+	s := &Server{
+		conn:    conn,
+		attach:  attach,
+		fids:    make(map[uint32]*srvFid),
+		flushed: make(map[uint16]bool),
+		inUse:   make(map[uint16]bool),
+	}
+	defer s.cleanup()
+	for {
+		msg, err := conn.ReadMsg()
+		if err != nil {
+			return err
+		}
+		f, err := UnmarshalFcall(msg)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case Tnop, Tsession, Tauth, Tflush:
+			// Control messages are answered synchronously so a
+			// Tflush can never be overtaken by the work it
+			// flushes.
+			s.respond(f.Tag, s.process(f))
+		default:
+			s.mu.Lock()
+			s.inUse[f.Tag] = true
+			s.mu.Unlock()
+			go func(f *Fcall) {
+				r := s.process(f)
+				s.mu.Lock()
+				delete(s.inUse, f.Tag)
+				skip := s.flushed[f.Tag]
+				delete(s.flushed, f.Tag)
+				s.mu.Unlock()
+				if !skip {
+					s.respond(f.Tag, r)
+				}
+			}(f)
+		}
+	}
+}
+
+func (s *Server) cleanup() {
+	s.mu.Lock()
+	fids := s.fids
+	s.fids = make(map[uint32]*srvFid)
+	s.mu.Unlock()
+	for _, sf := range fids {
+		sf.mu.Lock()
+		if sf.open && sf.h != nil {
+			sf.h.Close()
+		}
+		sf.mu.Unlock()
+	}
+}
+
+func (s *Server) respond(tag uint16, r *Fcall) {
+	r.Tag = tag
+	msg, err := MarshalFcall(r)
+	if err != nil {
+		msg, _ = MarshalFcall(&Fcall{Type: Rerror, Tag: tag, Ename: err.Error()})
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.conn.WriteMsg(msg)
+}
+
+func rerror(err error) *Fcall {
+	e := err.Error()
+	if len(e) >= ErrLen {
+		e = e[:ErrLen-1]
+	}
+	return &Fcall{Type: Rerror, Ename: e}
+}
+
+func (s *Server) getFid(fid uint32) (*srvFid, *Fcall) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sf, ok := s.fids[fid]
+	if !ok {
+		return nil, rerror(fmt.Errorf("unknown fid %d", fid))
+	}
+	return sf, nil
+}
+
+func (s *Server) process(t *Fcall) *Fcall {
+	switch t.Type {
+	case Tnop:
+		return &Fcall{Type: Rnop}
+	case Tsession:
+		return &Fcall{Type: Rsession, Chal: t.Chal}
+	case Tauth:
+		// Toy authentication: echo a ticket derived from the uname.
+		return &Fcall{Type: Rauth, Chal: "ticket-" + t.Uname}
+	case Tflush:
+		s.mu.Lock()
+		if s.inUse[t.Oldtag] {
+			s.flushed[t.Oldtag] = true
+		}
+		s.mu.Unlock()
+		return &Fcall{Type: Rflush}
+	case Tattach:
+		root, err := s.attach(t.Uname, t.Aname)
+		if err != nil {
+			return rerror(err)
+		}
+		d, err := root.Stat()
+		if err != nil {
+			return rerror(err)
+		}
+		s.mu.Lock()
+		if _, dup := s.fids[t.Fid]; dup {
+			s.mu.Unlock()
+			return rerror(vfs.ErrInUse)
+		}
+		s.fids[t.Fid] = &srvFid{node: root}
+		s.mu.Unlock()
+		return &Fcall{Type: Rattach, Fid: t.Fid, Qid: d.Qid}
+	case Tclone:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		if sf.open {
+			sf.mu.Unlock()
+			return rerror(vfs.ErrBadUseFd)
+		}
+		node := sf.node
+		sf.mu.Unlock()
+		s.mu.Lock()
+		if _, dup := s.fids[t.Newfid]; dup {
+			s.mu.Unlock()
+			return rerror(vfs.ErrInUse)
+		}
+		s.fids[t.Newfid] = &srvFid{node: node}
+		s.mu.Unlock()
+		return &Fcall{Type: Rclone, Fid: t.Fid}
+	case Twalk:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		defer sf.mu.Unlock()
+		if sf.open {
+			return rerror(vfs.ErrBadUseFd)
+		}
+		n, err := sf.node.Walk(t.Name)
+		if err != nil {
+			return rerror(err)
+		}
+		d, err := n.Stat()
+		if err != nil {
+			return rerror(err)
+		}
+		sf.node = n
+		return &Fcall{Type: Rwalk, Fid: t.Fid, Qid: d.Qid}
+	case Tclwalk:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		if sf.open {
+			sf.mu.Unlock()
+			return rerror(vfs.ErrBadUseFd)
+		}
+		n, err := sf.node.Walk(t.Name)
+		sf.mu.Unlock()
+		if err != nil {
+			return rerror(err)
+		}
+		d, err := n.Stat()
+		if err != nil {
+			return rerror(err)
+		}
+		s.mu.Lock()
+		if _, dup := s.fids[t.Newfid]; dup {
+			s.mu.Unlock()
+			return rerror(vfs.ErrInUse)
+		}
+		s.fids[t.Newfid] = &srvFid{node: n}
+		s.mu.Unlock()
+		return &Fcall{Type: Rclwalk, Fid: t.Newfid, Qid: d.Qid}
+	case Topen:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		defer sf.mu.Unlock()
+		if sf.open {
+			return rerror(vfs.ErrBadUseFd)
+		}
+		h, err := sf.node.Open(int(t.Mode))
+		if err != nil {
+			return rerror(err)
+		}
+		d, err := sf.node.Stat()
+		if err != nil {
+			h.Close()
+			return rerror(err)
+		}
+		sf.h, sf.open, sf.mode = h, true, int(t.Mode)
+		return &Fcall{Type: Ropen, Fid: t.Fid, Qid: d.Qid}
+	case Tcreate:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		defer sf.mu.Unlock()
+		if sf.open {
+			return rerror(vfs.ErrBadUseFd)
+		}
+		cr, ok := sf.node.(vfs.Creator)
+		if !ok {
+			return rerror(vfs.ErrPerm)
+		}
+		n, h, err := cr.Create(t.Name, t.Perm, int(t.Mode))
+		if err != nil {
+			return rerror(err)
+		}
+		d, err := n.Stat()
+		if err != nil {
+			h.Close()
+			return rerror(err)
+		}
+		sf.node, sf.h, sf.open, sf.mode = n, h, true, int(t.Mode)
+		return &Fcall{Type: Rcreate, Fid: t.Fid, Qid: d.Qid}
+	case Tread:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		h, open := sf.h, sf.open
+		sf.mu.Unlock()
+		if !open {
+			return rerror(vfs.ErrBadUseFd)
+		}
+		if t.Count > MaxFData {
+			return rerror(ErrDataLen)
+		}
+		buf := make([]byte, t.Count)
+		n, err := h.Read(buf, t.Offset)
+		if err != nil {
+			return rerror(err)
+		}
+		return &Fcall{Type: Rread, Fid: t.Fid, Data: buf[:n]}
+	case Twrite:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		h, open := sf.h, sf.open
+		sf.mu.Unlock()
+		if !open {
+			return rerror(vfs.ErrBadUseFd)
+		}
+		n, err := h.Write(t.Data, t.Offset)
+		if err != nil {
+			return rerror(err)
+		}
+		return &Fcall{Type: Rwrite, Fid: t.Fid, Count: uint16(n)}
+	case Tclunk, Tremove:
+		s.mu.Lock()
+		sf, ok := s.fids[t.Fid]
+		delete(s.fids, t.Fid)
+		s.mu.Unlock()
+		if !ok {
+			return rerror(fmt.Errorf("unknown fid %d", t.Fid))
+		}
+		sf.mu.Lock()
+		if sf.open && sf.h != nil {
+			sf.h.Close()
+		}
+		var err error
+		if t.Type == Tremove {
+			if rm, ok := sf.node.(vfs.Remover); ok {
+				err = rm.Remove()
+			} else {
+				err = vfs.ErrPerm
+			}
+		}
+		sf.mu.Unlock()
+		if err != nil {
+			return rerror(err)
+		}
+		if t.Type == Tremove {
+			return &Fcall{Type: Rremove, Fid: t.Fid}
+		}
+		return &Fcall{Type: Rclunk, Fid: t.Fid}
+	case Tstat:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		node := sf.node
+		sf.mu.Unlock()
+		d, err := node.Stat()
+		if err != nil {
+			return rerror(err)
+		}
+		return &Fcall{Type: Rstat, Fid: t.Fid, Stat: d}
+	case Twstat:
+		sf, e := s.getFid(t.Fid)
+		if e != nil {
+			return e
+		}
+		sf.mu.Lock()
+		node := sf.node
+		sf.mu.Unlock()
+		w, ok := node.(vfs.Wstater)
+		if !ok {
+			return rerror(vfs.ErrPerm)
+		}
+		if err := w.Wstat(t.Stat); err != nil {
+			return rerror(err)
+		}
+		return &Fcall{Type: Rwstat, Fid: t.Fid}
+	default:
+		return rerror(ErrBadType)
+	}
+}

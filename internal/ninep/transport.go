@@ -1,0 +1,187 @@
+package ninep
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+)
+
+// MsgConn is a duplex transport that preserves message delimiters, the
+// property 9P requires of its transport (§2.1). IL conversations and
+// in-machine pipes provide it natively; byte streams such as TCP are
+// adapted with NewStreamConn.
+type MsgConn interface {
+	// ReadMsg returns the next whole message.
+	ReadMsg() ([]byte, error)
+	// WriteMsg sends p as one message.
+	WriteMsg(p []byte) error
+	// Close tears the transport down; pending readers fail.
+	Close() error
+}
+
+// ErrConnClosed reports I/O on a closed transport.
+var ErrConnClosed = errors.New("9P: connection closed")
+
+// pipe is an in-process MsgConn pair, the analogue of mounting a pipe
+// to a user-level file server.
+type pipe struct {
+	in     <-chan []byte
+	out    chan<- []byte
+	closed chan struct{}
+	peer   *pipe
+	once   sync.Once
+}
+
+// NewPipe returns two connected MsgConns. Messages written to one are
+// read from the other, in order, with delimiters preserved.
+func NewPipe() (MsgConn, MsgConn) {
+	ab := make(chan []byte, 32)
+	ba := make(chan []byte, 32)
+	a := &pipe{in: ba, out: ab, closed: make(chan struct{})}
+	b := &pipe{in: ab, out: ba, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// ReadMsg implements MsgConn.
+func (p *pipe) ReadMsg() ([]byte, error) {
+	select {
+	case m := <-p.in:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-p.in:
+		return m, nil
+	case <-p.closed:
+		// Drain anything already queued before reporting close.
+		select {
+		case m := <-p.in:
+			return m, nil
+		default:
+			return nil, ErrConnClosed
+		}
+	case <-p.peer.closed:
+		select {
+		case m := <-p.in:
+			return m, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+// WriteMsg implements MsgConn.
+func (p *pipe) WriteMsg(m []byte) error {
+	cp := append([]byte(nil), m...)
+	select { // closed ends win over a ready buffer
+	case <-p.closed:
+		return ErrConnClosed
+	case <-p.peer.closed:
+		return ErrConnClosed
+	default:
+	}
+	select {
+	case <-p.closed:
+		return ErrConnClosed
+	case <-p.peer.closed:
+		return ErrConnClosed
+	case p.out <- cp:
+		return nil
+	}
+}
+
+// Close implements MsgConn.
+func (p *pipe) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	return nil
+}
+
+// streamConn adapts a byte stream (e.g. a TCP data file) into a
+// MsgConn by length-prefix framing: the marshaling the paper says is
+// needed "when a protocol does not meet these requirements (for
+// example, TCP does not preserve delimiters)". 9P messages already
+// begin with their length, so the frame is the message itself; the
+// adapter reads the 4-byte size then the remainder.
+type streamConn struct {
+	rwc io.ReadWriteCloser
+	rmu sync.Mutex
+	wmu sync.Mutex
+}
+
+// NewStreamConn wraps a byte-stream connection as a MsgConn.
+func NewStreamConn(rwc io.ReadWriteCloser) MsgConn {
+	return &streamConn{rwc: rwc}
+}
+
+// ReadMsg implements MsgConn.
+func (s *streamConn) ReadMsg() ([]byte, error) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(s.rwc, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:])
+	if size < 7 || size > MaxMsg {
+		return nil, ErrBadMsg
+	}
+	msg := make([]byte, size)
+	copy(msg, hdr[:])
+	if _, err := io.ReadFull(s.rwc, msg[4:]); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// WriteMsg implements MsgConn.
+func (s *streamConn) WriteMsg(p []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	_, err := s.rwc.Write(p)
+	return err
+}
+
+// Close implements MsgConn.
+func (s *streamConn) Close() error { return s.rwc.Close() }
+
+// delimConn adapts a delimiter-preserving duplex file (an IL data
+// file, or any stream whose reads return one written message) into a
+// MsgConn: each Read yields exactly one message.
+type delimConn struct {
+	rwc io.ReadWriteCloser
+	rmu sync.Mutex
+	wmu sync.Mutex
+	buf []byte
+}
+
+// NewDelimConn wraps a delimiter-preserving connection as a MsgConn.
+func NewDelimConn(rwc io.ReadWriteCloser) MsgConn {
+	return &delimConn{rwc: rwc, buf: make([]byte, MaxMsg)}
+}
+
+// ReadMsg implements MsgConn.
+func (d *delimConn) ReadMsg() ([]byte, error) {
+	d.rmu.Lock()
+	defer d.rmu.Unlock()
+	n, err := d.rwc.Read(d.buf)
+	if n == 0 {
+		if err == nil {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	return append([]byte(nil), d.buf[:n]...), nil
+}
+
+// WriteMsg implements MsgConn.
+func (d *delimConn) WriteMsg(p []byte) error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	_, err := d.rwc.Write(p)
+	return err
+}
+
+// Close implements MsgConn.
+func (d *delimConn) Close() error { return d.rwc.Close() }

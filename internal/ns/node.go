@@ -1,0 +1,89 @@
+package ns
+
+import (
+	"repro/internal/vfs"
+)
+
+// PathNode is a vfs.Node that resolves every operation through a name
+// space. It is what exportfs serves: walking a PathNode consults the
+// exporting process's mount table at every level, so a remote client
+// sees the exporter's composed view — mounts, unions, and all. This is
+// the mechanism behind the paper's §6.1 gateway example, where
+// importing /net from a machine brings over everything mounted there.
+type PathNode struct {
+	nsp  *Namespace
+	path string
+}
+
+var (
+	_ vfs.Node    = PathNode{}
+	_ vfs.Creator = PathNode{}
+	_ vfs.Remover = PathNode{}
+	_ vfs.Wstater = PathNode{}
+)
+
+// NodeAt returns a namespace-resolving node for path.
+func NodeAt(nsp *Namespace, path string) PathNode {
+	return PathNode{nsp: nsp, path: Clean(path)}
+}
+
+// Path returns the canonical path the node resolves.
+func (n PathNode) Path() string { return n.path }
+
+// Stat implements vfs.Node.
+func (n PathNode) Stat() (vfs.Dir, error) { return n.nsp.Stat(n.path) }
+
+// Walk implements vfs.Node, resolving through the mount table.
+func (n PathNode) Walk(name string) (vfs.Node, error) {
+	child := Clean(n.path + "/" + name)
+	if _, err := n.nsp.Walk(child); err != nil {
+		return nil, err
+	}
+	return PathNode{nsp: n.nsp, path: child}, nil
+}
+
+// Open implements vfs.Node; union directories open as their merged
+// listing, exactly as a local process sees them.
+func (n PathNode) Open(mode int) (vfs.Handle, error) {
+	fd, err := n.nsp.Open(n.path, mode)
+	if err != nil {
+		return nil, err
+	}
+	return fdHandle{fd: fd}, nil
+}
+
+// Create implements vfs.Creator.
+func (n PathNode) Create(name string, perm uint32, mode int) (vfs.Node, vfs.Handle, error) {
+	child := Clean(n.path + "/" + name)
+	fd, err := n.nsp.Create(child, perm, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return PathNode{nsp: n.nsp, path: child}, fdHandle{fd: fd}, nil
+}
+
+// Remove implements vfs.Remover.
+func (n PathNode) Remove() error { return n.nsp.Remove(n.path) }
+
+// Wstat implements vfs.Wstater.
+func (n PathNode) Wstat(d vfs.Dir) error { return n.nsp.Wstat(n.path, d) }
+
+// fdHandle adapts an FD to the offset-addressed vfs.Handle interface.
+type fdHandle struct{ fd *FD }
+
+var (
+	_ vfs.Handle    = fdHandle{}
+	_ vfs.DirReader = fdHandle{}
+)
+
+// Read implements vfs.Handle.
+func (h fdHandle) Read(p []byte, off int64) (int, error) { return h.fd.ReadAt(p, off) }
+
+// Write implements vfs.Handle.
+func (h fdHandle) Write(p []byte, off int64) (int, error) { return h.fd.WriteAt(p, off) }
+
+// Close implements vfs.Handle.
+func (h fdHandle) Close() error { return h.fd.Close() }
+
+// ReadDir implements vfs.DirReader.
+func (h fdHandle) ReadDir() ([]vfs.Dir, error) { return h.fd.ReadDir() }

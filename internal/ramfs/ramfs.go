@@ -1,0 +1,449 @@
+// Package ramfs is an in-memory hierarchical file system with full
+// create/remove/wstat support. Machines use one as the root of their
+// name space (/, /tmp, /lib, /n, ...); it also serves as the reference
+// file server for 9P, mount-driver, and exportfs tests, and as the
+// cache behind ftpfs.
+package ramfs
+
+import (
+	"sync"
+
+	"repro/internal/devtree"
+	"repro/internal/vfs"
+)
+
+// FS is a RAM file system; it implements vfs.Device.
+type FS struct {
+	mu    sync.RWMutex
+	root  *file
+	owner string
+}
+
+type file struct {
+	fs       *FS
+	parent   *file
+	dir      vfs.Dir
+	data     []byte           // plain files
+	children map[string]*file // directories
+	order    []string         // stable directory order
+	open     int              // open handle count (for DMEXCL / ORCLOSE)
+	gone     bool             // removed while open
+}
+
+// New returns an empty file system whose root is owned by owner.
+func New(owner string) *FS {
+	fs := &FS{owner: owner}
+	fs.root = &file{
+		fs:       fs,
+		dir:      devtree.MkDir("/", owner, 0775),
+		children: make(map[string]*file),
+	}
+	return fs
+}
+
+// Name implements vfs.Device.
+func (fs *FS) Name() string { return "ram" }
+
+// Attach implements vfs.Device.
+func (fs *FS) Attach(spec string) (vfs.Node, error) {
+	if spec != "" {
+		return nil, vfs.ErrBadSpec
+	}
+	return node{f: fs.root}, nil
+}
+
+// Root returns the root node directly.
+func (fs *FS) Root() vfs.Node { return node{f: fs.root} }
+
+// MkdirAll creates a directory path (elements separated by /) and
+// returns nil if it already exists as a directory. A convenience for
+// world assembly; path must be clean and absolute-like ("a/b/c").
+func (fs *FS) MkdirAll(path string, perm uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.root
+	start := 0
+	for start < len(path) {
+		end := start
+		for end < len(path) && path[end] != '/' {
+			end++
+		}
+		name := path[start:end]
+		start = end + 1
+		if name == "" {
+			continue
+		}
+		child, ok := f.children[name]
+		if !ok {
+			child = &file{
+				fs:       fs,
+				parent:   f,
+				dir:      devtree.MkDir(name, fs.owner, perm),
+				children: make(map[string]*file),
+			}
+			f.children[name] = child
+			f.order = append(f.order, name)
+		} else if !child.dir.IsDir() {
+			return vfs.ErrNotDir
+		}
+		f = child
+	}
+	return nil
+}
+
+// WriteFile creates (or truncates) a plain file at path with contents.
+func (fs *FS) WriteFile(path string, contents []byte, perm uint32) error {
+	dir, name := splitPath(path)
+	if name == "" {
+		return vfs.ErrBadArg
+	}
+	if dir != "" {
+		if err := fs.MkdirAll(dir, 0775); err != nil {
+			return err
+		}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, err := fs.lookupLocked(dir)
+	if err != nil {
+		return err
+	}
+	child, ok := f.children[name]
+	if !ok {
+		child = &file{fs: fs, parent: f, dir: devtree.MkFile(name, fs.owner, perm)}
+		f.children[name] = child
+		f.order = append(f.order, name)
+	}
+	if child.dir.IsDir() {
+		return vfs.ErrIsDir
+	}
+	child.data = append([]byte(nil), contents...)
+	child.dir.Length = int64(len(child.data))
+	child.dir.Qid.Vers++
+	child.dir.Mtime = devtree.Now()
+	return nil
+}
+
+// ReadFile returns a copy of the contents of the plain file at path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, err := fs.lookupLocked(path)
+	if err != nil {
+		return nil, err
+	}
+	if f.dir.IsDir() {
+		return nil, vfs.ErrIsDir
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func splitPath(path string) (dir, name string) {
+	last := -1
+	for i := range len(path) {
+		if path[i] == '/' {
+			last = i
+		}
+	}
+	if last < 0 {
+		return "", path
+	}
+	return path[:last], path[last+1:]
+}
+
+func (fs *FS) lookupLocked(path string) (*file, error) {
+	f := fs.root
+	start := 0
+	for start < len(path) {
+		end := start
+		for end < len(path) && path[end] != '/' {
+			end++
+		}
+		name := path[start:end]
+		start = end + 1
+		if name == "" {
+			continue
+		}
+		child, ok := f.children[name]
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		f = child
+	}
+	return f, nil
+}
+
+// node is the vfs.Node view of a file.
+type node struct{ f *file }
+
+var (
+	_ vfs.Node    = node{}
+	_ vfs.Creator = node{}
+	_ vfs.Remover = node{}
+	_ vfs.Wstater = node{}
+)
+
+// Stat implements vfs.Node.
+func (n node) Stat() (vfs.Dir, error) {
+	n.f.fs.mu.RLock()
+	defer n.f.fs.mu.RUnlock()
+	return n.f.dir, nil
+}
+
+// Walk implements vfs.Node.
+func (n node) Walk(name string) (vfs.Node, error) {
+	n.f.fs.mu.RLock()
+	defer n.f.fs.mu.RUnlock()
+	if !n.f.dir.IsDir() {
+		return nil, vfs.ErrNotDir
+	}
+	if name == ".." {
+		if n.f.parent == nil {
+			return n, nil
+		}
+		return node{f: n.f.parent}, nil
+	}
+	child, ok := n.f.children[name]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	return node{f: child}, nil
+}
+
+// Open implements vfs.Node.
+func (n node) Open(mode int) (vfs.Handle, error) {
+	f := n.f
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.gone {
+		return nil, vfs.ErrNotExist
+	}
+	if f.dir.IsDir() {
+		if vfs.AccessMode(mode) != vfs.OREAD || mode&(vfs.OTRUNC|vfs.ORCLOSE) != 0 {
+			return nil, vfs.ErrIsDir
+		}
+		return &dirHandle{f: f}, nil
+	}
+	if f.dir.Mode&vfs.DMEXCL != 0 && f.open > 0 {
+		return nil, vfs.ErrInUse
+	}
+	if mode&vfs.OTRUNC != 0 && f.dir.Mode&vfs.DMAPPEND == 0 {
+		f.data = nil
+		f.dir.Length = 0
+		f.dir.Qid.Vers++
+	}
+	f.open++
+	return &fileHandle{f: f, mode: mode}, nil
+}
+
+// Create implements vfs.Creator.
+func (n node) Create(name string, perm uint32, mode int) (vfs.Node, vfs.Handle, error) {
+	f := n.f
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if !f.dir.IsDir() {
+		return nil, nil, vfs.ErrNotDir
+	}
+	if f.gone {
+		return nil, nil, vfs.ErrNotExist
+	}
+	if name == "" || name == "." || name == ".." {
+		return nil, nil, vfs.ErrBadArg
+	}
+	if _, ok := f.children[name]; ok {
+		return nil, nil, vfs.ErrExists
+	}
+	child := &file{fs: f.fs, parent: f}
+	if perm&vfs.DMDIR != 0 {
+		// Permissions inherit from the parent as in Plan 9:
+		// perm & (~0777 | parent&0777) for directories.
+		child.dir = devtree.MkDir(name, f.fs.owner, perm&(^uint32(0777)|f.dir.Mode&0777)&^vfs.DMDIR)
+		child.dir.Mode |= vfs.DMDIR
+		child.children = make(map[string]*file)
+	} else {
+		child.dir = devtree.MkFile(name, f.fs.owner, perm&(^uint32(0666)|f.dir.Mode&0666))
+	}
+	f.children[name] = child
+	f.order = append(f.order, name)
+	f.dir.Qid.Vers++
+	f.dir.Mtime = devtree.Now()
+	if child.dir.IsDir() {
+		return node{f: child}, &dirHandle{f: child}, nil
+	}
+	child.open++
+	return node{f: child}, &fileHandle{f: child, mode: mode}, nil
+}
+
+// Remove implements vfs.Remover.
+func (n node) Remove() error {
+	f := n.f
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return removeLocked(f)
+}
+
+func removeLocked(f *file) error {
+	if f.parent == nil {
+		return vfs.ErrPerm // cannot remove the root
+	}
+	if f.gone {
+		return vfs.ErrNotExist
+	}
+	if f.dir.IsDir() && len(f.children) > 0 {
+		return vfs.ErrInUse
+	}
+	delete(f.parent.children, f.dir.Name)
+	for i, nm := range f.parent.order {
+		if nm == f.dir.Name {
+			f.parent.order = append(f.parent.order[:i], f.parent.order[i+1:]...)
+			break
+		}
+	}
+	f.parent.dir.Qid.Vers++
+	f.parent.dir.Mtime = devtree.Now()
+	f.gone = true
+	return nil
+}
+
+// Wstat implements vfs.Wstater. Blank fields ("" / ^0) leave the
+// attribute unchanged, as in 9P.
+func (n node) Wstat(d vfs.Dir) error {
+	f := n.f
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.gone {
+		return vfs.ErrNotExist
+	}
+	if d.Name != "" && d.Name != f.dir.Name {
+		if f.parent == nil {
+			return vfs.ErrPerm
+		}
+		if _, ok := f.parent.children[d.Name]; ok {
+			return vfs.ErrExists
+		}
+		delete(f.parent.children, f.dir.Name)
+		f.parent.children[d.Name] = f
+		for i, nm := range f.parent.order {
+			if nm == f.dir.Name {
+				f.parent.order[i] = d.Name
+				break
+			}
+		}
+		f.dir.Name = d.Name
+	}
+	if d.Mode != ^uint32(0) && d.Mode != 0 {
+		if d.Mode&vfs.DMDIR != f.dir.Mode&vfs.DMDIR {
+			return vfs.ErrPerm // cannot change directory bit
+		}
+		f.dir.Mode = d.Mode
+	}
+	if d.Gid != "" {
+		f.dir.Gid = d.Gid
+	}
+	if d.Mtime != 0 && d.Mtime != ^uint32(0) {
+		f.dir.Mtime = d.Mtime
+	}
+	f.dir.Qid.Vers++
+	return nil
+}
+
+type fileHandle struct {
+	f    *file
+	mode int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ vfs.Handle = (*fileHandle)(nil)
+
+// Read implements vfs.Handle.
+func (h *fileHandle) Read(p []byte, off int64) (int, error) {
+	if !vfs.ModeReadable(h.mode) {
+		return 0, vfs.ErrBadUseFd
+	}
+	f := h.f
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
+	if off >= int64(len(f.data)) {
+		return 0, nil
+	}
+	return copy(p, f.data[off:]), nil
+}
+
+// Write implements vfs.Handle.
+func (h *fileHandle) Write(p []byte, off int64) (int, error) {
+	if !vfs.ModeWritable(h.mode) {
+		return 0, vfs.ErrBadUseFd
+	}
+	f := h.f
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.dir.Mode&vfs.DMAPPEND != 0 {
+		off = int64(len(f.data))
+	}
+	if need := off + int64(len(p)); need > int64(len(f.data)) {
+		grown := make([]byte, need)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:], p)
+	f.dir.Length = int64(len(f.data))
+	f.dir.Qid.Vers++
+	f.dir.Mtime = devtree.Now()
+	return len(p), nil
+}
+
+// Close implements vfs.Handle.
+func (h *fileHandle) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	f := h.f
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.open--
+	if h.mode&vfs.ORCLOSE != 0 && !f.gone {
+		// Best effort, as in the kernel.
+		_ = removeLocked(f)
+	}
+	return nil
+}
+
+type dirHandle struct{ f *file }
+
+var (
+	_ vfs.Handle    = (*dirHandle)(nil)
+	_ vfs.DirReader = (*dirHandle)(nil)
+)
+
+// ReadDir implements vfs.DirReader.
+func (h *dirHandle) ReadDir() ([]vfs.Dir, error) {
+	f := h.f
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
+	ents := make([]vfs.Dir, 0, len(f.order))
+	for _, name := range f.order {
+		ents = append(ents, f.children[name].dir)
+	}
+	return ents, nil
+}
+
+// Read implements vfs.Handle.
+func (h *dirHandle) Read(p []byte, off int64) (int, error) {
+	ents, err := h.ReadDir()
+	if err != nil {
+		return 0, err
+	}
+	return vfs.ReadDirAt(ents, p, off)
+}
+
+// Write implements vfs.Handle.
+func (h *dirHandle) Write(p []byte, off int64) (int, error) { return 0, vfs.ErrIsDir }
+
+// Close implements vfs.Handle.
+func (h *dirHandle) Close() error { return nil }

@@ -1,0 +1,128 @@
+package streams
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the reusable processing modules that ship with the
+// stream system. Protocol engines (TCP, IL, URP) are modules too, but
+// they live with their protocols; these are the generic ones a user can
+// "push" onto any stream (§2.4.1).
+
+func init() {
+	Register(frameModule)
+	Register(traceModule)
+}
+
+// frameModule restores message delimiters over a byte-stream transport:
+// the marshaling the paper says is needed when "a protocol does not
+// meet these requirements (for example, TCP does not preserve
+// delimiters)". Downstream, each delimited write gains a 4-byte length
+// prefix; upstream, the module reassembles the byte stream into
+// delimited blocks.
+var frameModule = &Qinfo{
+	Name: "frame",
+	Open: func(q *Queue, arg any) error {
+		q.Aux = &frameState{}
+		return nil
+	},
+	Iput: frameIput,
+	Oput: frameOput,
+}
+
+type frameState struct {
+	mu      sync.Mutex
+	partial []byte // accumulated upstream bytes not yet framed
+	pending []byte // downstream bytes of the current unfinished write
+}
+
+func frameOput(q *Queue, b *Block) {
+	if b.Type != BlockData {
+		q.PutNext(b)
+		return
+	}
+	st := q.Other().Aux.(*frameState)
+	st.mu.Lock()
+	st.pending = append(st.pending, b.Buf...)
+	if !b.Delim {
+		st.mu.Unlock()
+		return
+	}
+	msg := st.pending
+	st.pending = nil
+	st.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	out := &Block{Type: BlockData, Buf: append(hdr[:], msg...), Delim: true}
+	q.PutNext(out)
+}
+
+func frameIput(q *Queue, b *Block) {
+	if b.Type != BlockData {
+		q.PutNext(b)
+		return
+	}
+	st := q.Aux.(*frameState)
+	st.mu.Lock()
+	st.partial = append(st.partial, b.Buf...)
+	var msgs [][]byte
+	for len(st.partial) >= 4 {
+		n := int(binary.BigEndian.Uint32(st.partial))
+		if len(st.partial) < 4+n {
+			break
+		}
+		msgs = append(msgs, append([]byte(nil), st.partial[4:4+n]...))
+		st.partial = st.partial[4+n:]
+	}
+	st.mu.Unlock()
+	for _, m := range msgs {
+		nb := &Block{Type: BlockData, Buf: m, Delim: true}
+		q.PutNext(nb)
+	}
+}
+
+// traceModule counts blocks and bytes in both directions without
+// altering them — the kind of diagnostic interface the Ethernet
+// driver's snooping conversations provide (§2.2).
+var traceModule = &Qinfo{
+	Name: "trace",
+	Open: func(q *Queue, arg any) error {
+		st := &TraceStats{}
+		q.Aux = st
+		if p, ok := arg.(**TraceStats); ok && p != nil {
+			*p = st
+		}
+		return nil
+	},
+	Iput: func(q *Queue, b *Block) {
+		st := q.Aux.(*TraceStats)
+		if b.Type == BlockData {
+			st.InBlocks.Add(1)
+			st.InBytes.Add(int64(len(b.Buf)))
+		}
+		q.PutNext(b)
+	},
+	Oput: func(q *Queue, b *Block) {
+		st := q.Other().Aux.(*TraceStats)
+		if b.Type == BlockData {
+			st.OutBlocks.Add(1)
+			st.OutBytes.Add(int64(len(b.Buf)))
+		}
+		q.PutNext(b)
+	},
+}
+
+// TraceStats accumulates the trace module's counters.
+type TraceStats struct {
+	InBlocks, InBytes   atomic.Int64
+	OutBlocks, OutBytes atomic.Int64
+}
+
+// String formats the counters in the ASCII style of a stats file.
+func (t *TraceStats) String() string {
+	return fmt.Sprintf("in: %d blocks %d bytes\nout: %d blocks %d bytes\n",
+		t.InBlocks.Load(), t.InBytes.Load(), t.OutBlocks.Load(), t.OutBytes.Load())
+}

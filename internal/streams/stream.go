@@ -1,0 +1,315 @@
+package streams
+
+import (
+	"io"
+	"strings"
+	"sync"
+)
+
+// Stream is a bidirectional channel between a device and user
+// processes (§2.4): a linear list of module instances between a user
+// end at the top and a device end at the bottom.
+//
+// Topology, from top to bottom (upstream is toward the top):
+//
+//	user read/write
+//	  topRead (up, queueing)   topWrite (down, pass)
+//	  [pushed modules ...]
+//	  devUp (up, pass)         devWrite (down, device output)
+//	device receive/transmit
+type Stream struct {
+	limit int
+
+	cfg      sync.RWMutex // guards module list changes vs. traffic
+	topRead  *Queue       // up direction terminator: user reads here
+	topWrite *Queue       // down direction entry: user writes here
+	devUp    *Queue       // up direction entry: device injects here
+	devWrite *Queue       // down direction terminator: device output
+
+	rlock sync.Mutex // the per-stream read lock of §2.4.1
+
+	mu      sync.Mutex
+	closed  bool
+	onClose []func()
+}
+
+// DeviceFunc is the device-end output routine: it receives every block
+// that reaches the bottom of the stream. It corresponds to the output
+// put routine of a device interface (§2.4.2).
+type DeviceFunc func(b *Block)
+
+// New creates a stream whose device end delivers downstream blocks to
+// dev. limit <= 0 selects DefaultLimit.
+func New(limit int, dev DeviceFunc) *Stream {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	s := &Stream{limit: limit}
+	s.topRead = newQueue(s, nil, true, PutQ)
+	s.topWrite = newQueue(s, nil, false, PassPut)
+	s.devUp = newQueue(s, nil, true, PassPut)
+	s.devWrite = newQueue(s, nil, false, func(q *Queue, b *Block) {
+		if dev != nil {
+			dev(b)
+		}
+	})
+	// Initially no modules: writes go straight to the device, device
+	// input goes straight to the read queue.
+	s.topWrite.next = s.devWrite
+	s.devUp.next = s.topRead
+	return s
+}
+
+// OnClose registers a hook run once when the stream is destroyed.
+func (s *Stream) OnClose(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onClose = append(s.onClose, f)
+}
+
+// Push adds an instance of module qi to the top of the stream
+// (§2.4.1 "push name"), passing arg to its Open hook.
+func (s *Stream) Push(qi *Qinfo, arg any) error {
+	s.cfg.Lock()
+	up := newQueue(s, qi, true, qi.Iput)
+	down := newQueue(s, qi, false, qi.Oput)
+	up.other, down.other = down, up
+	// Splice below the top pair.
+	up.next = s.topRead
+	down.next = s.topWrite.next
+	s.topWrite.next = down
+	// Find the queue currently feeding topRead and repoint it.
+	prev := s.prevUpLocked(s.topRead)
+	prev.next = up
+	s.cfg.Unlock()
+	if qi.Open != nil {
+		if err := qi.Open(up, arg); err != nil {
+			s.popModule() // undo the splice
+			return err
+		}
+	}
+	return nil
+}
+
+// PushName pushes a registered module by name.
+func (s *Stream) PushName(name string, arg any) error {
+	qi, ok := Lookup(name)
+	if !ok {
+		return ErrUnknownMod
+	}
+	return s.Push(qi, arg)
+}
+
+// Pop removes the top module (§2.4.1 "pop").
+func (s *Stream) Pop() error {
+	up := s.popModule()
+	if up == nil {
+		return ErrNothingToPop
+	}
+	if up.qi != nil && up.qi.Close != nil {
+		up.qi.Close(up)
+	}
+	return nil
+}
+
+// popModule unsplices and returns the top module's up queue.
+func (s *Stream) popModule() *Queue {
+	s.cfg.Lock()
+	defer s.cfg.Unlock()
+	down := s.topWrite.next
+	if down == s.devWrite || down == nil {
+		return nil
+	}
+	up := down.other
+	s.topWrite.next = down.next
+	prev := s.prevUpLocked(up)
+	prev.next = up.next
+	up.close()
+	down.close()
+	return up
+}
+
+// prevUpLocked finds the queue whose next (in the up direction) is q.
+func (s *Stream) prevUpLocked(q *Queue) *Queue {
+	cur := s.devUp
+	for cur.next != nil && cur.next != q {
+		cur = cur.next
+	}
+	return cur
+}
+
+// Modules returns the names of pushed modules, top first.
+func (s *Stream) Modules() []string {
+	s.cfg.RLock()
+	defer s.cfg.RUnlock()
+	var names []string
+	for q := s.topWrite.next; q != nil && q != s.devWrite; q = q.next {
+		if q.qi != nil {
+			names = append(names, q.qi.Name)
+		}
+	}
+	return names
+}
+
+// Write copies p into blocks of at most MaxBlock bytes and sends them
+// down the stream; the final block carries the delimiter flag, alerting
+// "downstream modules that care about write boundaries". Concurrent
+// writes are not synchronized with each other, as in the kernel, but a
+// single write of <= MaxBlock is atomic (one block).
+func (s *Stream) Write(p []byte) (int, error) {
+	if s.isClosed() {
+		return 0, ErrClosed
+	}
+	if s.topRead.Hungup() {
+		return 0, ErrHungup
+	}
+	total := 0
+	for {
+		n := len(p) - total
+		if n > MaxBlock {
+			n = MaxBlock
+		}
+		b := NewBlock(p[total : total+n])
+		total += n
+		b.Delim = total == len(p)
+		s.cfg.RLock()
+		entry := s.topWrite
+		s.cfg.RUnlock()
+		entry.Put(b)
+		if total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+// WriteCtl sends a control request down the stream. The stream system
+// itself intercepts and interprets "push <name>", "pop", and "hangup";
+// all other control blocks pass down for the modules to parse
+// (§2.4.1).
+func (s *Stream) WriteCtl(cmd string) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	fields := strings.Fields(cmd)
+	if len(fields) > 0 {
+		switch fields[0] {
+		case "push":
+			if len(fields) != 2 {
+				return ErrUnknownMod
+			}
+			return s.PushName(fields[1], nil)
+		case "pop":
+			return s.Pop()
+		case "hangup":
+			s.HangupUp()
+			return nil
+		}
+	}
+	s.cfg.RLock()
+	entry := s.topWrite
+	s.cfg.RUnlock()
+	entry.Put(NewCtlBlock(cmd))
+	return nil
+}
+
+// Read reads queued data from the top of the stream under the
+// per-stream read lock. It returns when the count is reached or a
+// delimited block boundary is encountered; a partially-read block's
+// remainder stays queued, keeping the byte stream contiguous.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.rlock.Lock()
+	defer s.rlock.Unlock()
+	total := 0
+	for total < len(p) || len(p) == 0 {
+		b, err := s.topRead.Get()
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			if err == ErrHungup {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		if b.Type == BlockCtl {
+			continue // control information is not data
+		}
+		n := copy(p[total:], b.Buf)
+		total += n
+		if n < len(b.Buf) {
+			b.Buf = b.Buf[n:]
+			s.topRead.putback(b)
+			return total, nil
+		}
+		if b.Delim {
+			return total, nil
+		}
+		if total == len(p) {
+			return total, nil
+		}
+		// Undelimited and buffer not full: take more only if
+		// already queued; otherwise return what we have.
+		if s.topRead.Len() == 0 {
+			return total, nil
+		}
+	}
+	return total, nil
+}
+
+// DeviceUp injects a block at the device end, moving upstream through
+// the module Iputs to the read queue — what a device interrupt
+// handler's kernel process does with received data (§2.4.2).
+func (s *Stream) DeviceUp(b *Block) {
+	s.cfg.RLock()
+	entry := s.devUp
+	s.cfg.RUnlock()
+	entry.Put(b)
+}
+
+// DeviceUpData is DeviceUp for a delimited data payload.
+func (s *Stream) DeviceUpData(p []byte) {
+	b := NewBlock(p)
+	b.Delim = true
+	s.DeviceUp(b)
+}
+
+// HangupUp sends a hangup up the stream from the device end (§2.4.1):
+// readers drain queued data then see EOF; writers fail.
+func (s *Stream) HangupUp() {
+	s.DeviceUp(&Block{Type: BlockHangup})
+}
+
+// Close destroys the stream: modules are closed top-down, queued data
+// is discarded, and all blocked readers and writers are woken.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	hooks := s.onClose
+	s.mu.Unlock()
+	for {
+		if err := s.Pop(); err != nil {
+			break
+		}
+	}
+	s.topRead.close()
+	s.topWrite.close()
+	s.devUp.close()
+	s.devWrite.close()
+	for _, f := range hooks {
+		f()
+	}
+	return nil
+}
+
+func (s *Stream) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// QueuedBytes reports bytes waiting at the top read queue.
+func (s *Stream) QueuedBytes() int { return s.topRead.Len() }

@@ -1,0 +1,113 @@
+package table1
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShapeMatchesPaper is the headline reproduction check: the
+// relative ordering of Table 1's rows must match the paper, in both
+// columns, on ideal media (which preserve protocol cost ratios).
+func TestShapeMatchesPaper(t *testing.T) {
+	res := Run(FastConfig())
+	rows := map[string]Row{}
+	for _, r := range res.Rows {
+		if r.Err != nil {
+			t.Fatalf("%s failed: %v", r.Name, r.Err)
+		}
+		rows[r.Name] = r
+	}
+	for _, name := range []string{"pipes", "IL/ether", "URP/Datakit", "Cyclone"} {
+		if _, ok := rows[name]; !ok {
+			t.Fatalf("missing row %q", name)
+		}
+	}
+	// Throughput on ideal media: the engine-less paths (pipes,
+	// Cyclone — both are bare framed channels here) must beat the
+	// paths that run a protocol engine (IL, URP). Pipes vs Cyclone is
+	// only distinguishable on calibrated media (netsim -table1),
+	// where the fiber's bandwidth separates them.
+	for _, fast := range []string{"pipes", "Cyclone"} {
+		for _, slow := range []string{"IL/ether", "URP/Datakit"} {
+			if !(rows[fast].Throughput > rows[slow].Throughput) {
+				t.Errorf("%s (%v) not faster than %s (%v)",
+					fast, rows[fast].Throughput, slow, rows[slow].Throughput)
+			}
+		}
+	}
+	// Latency: pipes and Cyclone (no protocol engine) beat IL and URP.
+	if !(rows["pipes"].Latency < rows["IL/ether"].Latency) {
+		t.Errorf("pipes latency (%v) not below IL/ether (%v)",
+			rows["pipes"].Latency, rows["IL/ether"].Latency)
+	}
+	if !(rows["Cyclone"].Latency < rows["IL/ether"].Latency) {
+		t.Errorf("Cyclone latency (%v) not below IL/ether (%v)",
+			rows["Cyclone"].Latency, rows["IL/ether"].Latency)
+	}
+}
+
+func TestFormatLayout(t *testing.T) {
+	res := Result{Rows: []Row{
+		{Name: "pipes", Throughput: 8.15, Latency: 0.255},
+		{Name: "IL/ether", Throughput: 1.02, Latency: 1.42},
+	}}
+	out := res.Format()
+	if !strings.Contains(out, "Table 1") ||
+		!strings.Contains(out, "MBytes/sec") ||
+		!strings.Contains(out, "millisec") {
+		t.Errorf("format header:\n%s", out)
+	}
+	if !strings.Contains(out, "8.15") || !strings.Contains(out, "1.420") {
+		t.Errorf("format values:\n%s", out)
+	}
+	// Error rows render.
+	res.Rows = append(res.Rows, Row{Name: "broken", Err: errFake{}})
+	if !strings.Contains(res.Format(), "broken") {
+		t.Error("error row missing")
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func TestBuildWorldPaths(t *testing.T) {
+	w, paths, err := BuildWorld(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var names []string
+	for _, p := range paths {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	want := []string{"Cyclone", "IL/ether", "URP/Datakit", "pipes"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("paths %v", names)
+	}
+}
+
+func TestMeasureLatencySanity(t *testing.T) {
+	p := pipePath()
+	lat, err := MeasureLatency(p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 || lat > time.Second {
+		t.Errorf("pipe latency %v", lat)
+	}
+}
+
+func TestMeasureThroughputSanity(t *testing.T) {
+	p := pipePath()
+	tp, err := MeasureThroughput(p, 16*1024, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp <= 0 {
+		t.Errorf("pipe throughput %v", tp)
+	}
+}

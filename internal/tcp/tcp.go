@@ -1,0 +1,878 @@
+// Package tcp implements TCP over the simulated IP stack: the paper's
+// heavyweight baseline (§3: "TCP has a high overhead and does not
+// preserve delimiters"). It is a real byte-stream TCP — three-way
+// handshake, byte sequence space, sliding window with receiver
+// advertisement, adaptive retransmission, FIN teardown — simplified
+// where the paper's comparisons do not care: no congestion control, no
+// SACK (retransmission is go-back-N), no urgent data, no options, and
+// a short TIME-WAIT. Delimiters are deliberately NOT preserved; 9P
+// over TCP therefore needs the marshaling adapter, exactly as §2.1
+// describes.
+package tcp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/streams"
+	"repro/internal/vfs"
+	"repro/internal/xport"
+)
+
+// HdrLen is our simplified TCP header: src[2] dst[2] seq[4] ack[4]
+// flags[1] pad[1] win[2] sum[2].
+const HdrLen = 18
+
+// Header flags.
+const (
+	flagFIN = 1 << iota
+	flagSYN
+	flagRST
+	flagACK
+)
+
+// BufSize is the send and receive buffer size (and the largest window
+// ever advertised).
+const BufSize = 64 * 1024
+
+// Connection states.
+const (
+	Closed = iota
+	Listen
+	SynSent
+	SynRcvd
+	Established
+	FinWait1
+	FinWait2
+	CloseWait
+	LastAck
+	Closing
+	TimeWait
+)
+
+var stateNames = []string{
+	"Closed", "Listen", "Syn_sent", "Syn_rcvd", "Established",
+	"Finwait1", "Finwait2", "Close_wait", "Last_ack", "Closing", "Time_wait",
+}
+
+const (
+	tickInterval = 5 * time.Millisecond
+	minRTO       = 20 * time.Millisecond
+	maxRTO       = 2 * time.Second
+	synRetry     = 200 * time.Millisecond
+	deathTime    = 30 * time.Second
+	timeWaitDur  = 200 * time.Millisecond
+)
+
+// Proto is a machine's TCP protocol device.
+type Proto struct {
+	stack *ip.Stack
+
+	mu        sync.Mutex
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Conn
+	nextEphem uint16
+	rng       *rand.Rand
+
+	Retransmits atomic.Int64
+	SegsSent    atomic.Int64
+	SegsRcvd    atomic.Int64
+}
+
+type connKey struct {
+	raddr ip.Addr
+	rport uint16
+	lport uint16
+}
+
+var _ xport.Proto = (*Proto)(nil)
+
+// New creates the TCP device on a stack and registers its demux.
+func New(stack *ip.Stack) *Proto {
+	p := &Proto{
+		stack:     stack,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Conn),
+		nextEphem: 5000,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	stack.Register(ip.ProtoTCP, p.recv)
+	return p
+}
+
+// Name implements xport.Proto.
+func (p *Proto) Name() string { return "tcp" }
+
+// NewConn implements xport.Proto.
+func (p *Proto) NewConn() (xport.Conn, error) { return p.newConn(), nil }
+
+func (p *Proto) newConn() *Conn {
+	c := &Conn{proto: p, state: Closed}
+	c.cond = sync.NewCond(&c.mu)
+	c.rstream = streams.New(1<<22, nil)
+	c.accepted = make(chan *Conn, 8)
+	return c
+}
+
+func (p *Proto) allocEphemeralLocked() uint16 {
+	for {
+		p.nextEphem++
+		if p.nextEphem < 5000 {
+			p.nextEphem = 5000
+		}
+		if _, taken := p.listeners[p.nextEphem]; taken {
+			continue
+		}
+		free := true
+		for k := range p.conns {
+			if k.lport == p.nextEphem {
+				free = false
+				break
+			}
+		}
+		if free {
+			return p.nextEphem
+		}
+	}
+}
+
+type header struct {
+	src, dst uint16
+	seq, ack uint32
+	flags    byte
+	win      uint16
+}
+
+func marshal(h header, data []byte) []byte {
+	p := make([]byte, HdrLen+len(data))
+	p[0] = byte(h.src >> 8)
+	p[1] = byte(h.src)
+	p[2] = byte(h.dst >> 8)
+	p[3] = byte(h.dst)
+	p[4] = byte(h.seq >> 24)
+	p[5] = byte(h.seq >> 16)
+	p[6] = byte(h.seq >> 8)
+	p[7] = byte(h.seq)
+	p[8] = byte(h.ack >> 24)
+	p[9] = byte(h.ack >> 16)
+	p[10] = byte(h.ack >> 8)
+	p[11] = byte(h.ack)
+	p[12] = h.flags
+	p[14] = byte(h.win >> 8)
+	p[15] = byte(h.win)
+	copy(p[HdrLen:], data)
+	ck := ip.Checksum(p)
+	p[16] = byte(ck >> 8)
+	p[17] = byte(ck)
+	return p
+}
+
+func unmarshal(p []byte) (header, []byte, bool) {
+	var h header
+	if len(p) < HdrLen {
+		return h, nil, false
+	}
+	// Move the checksum to the front order-independently: sum with
+	// the field zeroed must equal the carried value.
+	carried := uint16(p[16])<<8 | uint16(p[17])
+	cp := append([]byte(nil), p...)
+	cp[16], cp[17] = 0, 0
+	if ip.Checksum(cp) != carried {
+		return h, nil, false
+	}
+	h.src = uint16(p[0])<<8 | uint16(p[1])
+	h.dst = uint16(p[2])<<8 | uint16(p[3])
+	h.seq = uint32(p[4])<<24 | uint32(p[5])<<16 | uint32(p[6])<<8 | uint32(p[7])
+	h.ack = uint32(p[8])<<24 | uint32(p[9])<<16 | uint32(p[10])<<8 | uint32(p[11])
+	h.flags = p[12]
+	h.win = uint16(p[14])<<8 | uint16(p[15])
+	return h, p[HdrLen:], true
+}
+
+// recv demultiplexes an incoming segment.
+func (p *Proto) recv(src, dst ip.Addr, payload []byte) {
+	h, data, ok := unmarshal(payload)
+	if !ok {
+		return
+	}
+	p.SegsRcvd.Add(1)
+	key := connKey{raddr: src, rport: h.src, lport: h.dst}
+	p.mu.Lock()
+	c := p.conns[key]
+	if c == nil && h.flags&flagSYN != 0 && h.flags&flagACK == 0 {
+		l := p.listeners[h.dst]
+		if l == nil {
+			l = p.listeners[0] // the announce-all listener (§5.2)
+		}
+		if l != nil {
+			c = p.spawnLocked(l, src, h)
+		}
+	}
+	p.mu.Unlock()
+	if c == nil {
+		if h.flags&flagRST == 0 {
+			rst := marshal(header{src: h.dst, dst: h.src, seq: h.ack,
+				ack: h.seq + 1, flags: flagRST | flagACK}, nil)
+			p.stack.Send(ip.ProtoTCP, dst, src, rst)
+		}
+		return
+	}
+	c.segment(h, data)
+}
+
+func (p *Proto) spawnLocked(l *Conn, src ip.Addr, h header) *Conn {
+	c := p.newConn()
+	c.localPort = h.dst
+	c.localAddr = l.localAddr
+	c.remoteAddr = src
+	c.remotePort = h.src
+	c.listener = l
+	c.state = SynRcvd
+	c.iss = p.rng.Uint32() & 0xffffff
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	c.rcvNxt = h.seq + 1
+	p.conns[connKey{raddr: src, rport: h.src, lport: h.dst}] = c
+	go c.timer()
+	c.sendSegLocked(flagSYN|flagACK, c.iss, nil)
+	return c
+}
+
+func (p *Proto) remove(c *Conn) {
+	p.mu.Lock()
+	key := connKey{raddr: c.remoteAddr, rport: c.remotePort, lport: c.localPort}
+	if p.conns[key] == c {
+		delete(p.conns, key)
+	}
+	if p.listeners[c.localPort] == c {
+		delete(p.listeners, c.localPort)
+	}
+	p.mu.Unlock()
+}
+
+// Conn is a TCP conversation.
+type Conn struct {
+	proto   *Proto
+	rstream *streams.Stream
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state      int
+	localAddr  ip.Addr
+	localPort  uint16
+	remoteAddr ip.Addr
+	remotePort uint16
+
+	// Send side: sndBuf holds bytes [sndUna, sndUna+len).
+	iss        uint32
+	sndUna     uint32
+	sndNxt     uint32
+	sndBuf     []byte
+	sndWnd     uint16 // peer's advertised window
+	finSent    bool
+	finPending bool // close requested, data still draining
+	finSeq     uint32
+	oldestTx   time.Time
+
+	// Receive side.
+	rcvNxt  uint32
+	ooo     map[uint32][]byte
+	finRcvd bool
+	finAt   uint32
+
+	// RTT estimation.
+	srtt, mdev time.Duration
+	timing     bool
+	timedSeq   uint32
+	timedAt    time.Time
+
+	lastProgress time.Time
+
+	listener *Conn
+	accepted chan *Conn
+	// acceptClosed guards accepted against send-after-close; set
+	// under the listener's own mu.
+	acceptClosed bool
+
+	closed bool
+	err    error
+}
+
+var _ xport.Conn = (*Conn)(nil)
+
+// Connect implements xport.Conn: the active open.
+func (c *Conn) Connect(addr string) error {
+	a, port, err := ip.ParseHostPort(addr)
+	if err != nil || a.IsZero() || port == 0 {
+		return xport.ErrBadAddress
+	}
+	local, err := c.proto.stack.LocalAddrFor(a)
+	if err != nil {
+		return err
+	}
+	p := c.proto
+	p.mu.Lock()
+	c.mu.Lock()
+	if c.state != Closed {
+		c.mu.Unlock()
+		p.mu.Unlock()
+		return xport.ErrConnected
+	}
+	c.localAddr = local
+	c.localPort = p.allocEphemeralLocked()
+	c.remoteAddr, c.remotePort = a, port
+	c.iss = p.rng.Uint32() & 0xffffff
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	c.state = SynSent
+	c.lastProgress = time.Now()
+	p.conns[connKey{raddr: a, rport: port, lport: c.localPort}] = c
+	c.sendSegLocked(flagSYN, c.iss, nil)
+	c.mu.Unlock()
+	p.mu.Unlock()
+
+	go c.timer()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.state == SynSent || c.state == SynRcvd {
+		c.cond.Wait()
+	}
+	if c.state != Established {
+		if c.err == nil {
+			c.err = vfs.ErrConnRef
+		}
+		return c.err
+	}
+	return nil
+}
+
+// Announce implements xport.Conn. The address "*" announces all
+// services not explicitly announced (§5.2): port 0 holds the
+// catch-all listener.
+func (c *Conn) Announce(addr string) error {
+	var port uint16
+	if addr != "*" && addr != "*!*" {
+		var err error
+		_, port, err = ip.ParseHostPort(addr)
+		if err != nil {
+			return xport.ErrBadAddress
+		}
+		if port == 0 {
+			return xport.ErrBadAddress
+		}
+	}
+	p := c.proto
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Closed {
+		return xport.ErrConnected
+	}
+	if _, taken := p.listeners[port]; taken {
+		return xport.ErrInUse
+	}
+	c.localPort = port
+	c.state = Listen
+	p.listeners[port] = c
+	return nil
+}
+
+// Listen implements xport.Conn.
+func (c *Conn) Listen() (xport.Conn, error) {
+	c.mu.Lock()
+	if c.state != Listen {
+		c.mu.Unlock()
+		return nil, xport.ErrNotAnnounced
+	}
+	ch := c.accepted
+	c.mu.Unlock()
+	nc, ok := <-ch
+	if !ok {
+		return nil, streams.ErrClosed
+	}
+	return nc, nil
+}
+
+// rcvWndLocked is the window we advertise.
+func (c *Conn) rcvWndLocked() uint16 {
+	q := c.rstream.QueuedBytes()
+	if q >= BufSize {
+		return 0
+	}
+	w := BufSize - q
+	if w > 0xffff { // the 16-bit window field caps what we can say
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+// sendSegLocked transmits one segment with the current ack state.
+func (c *Conn) sendSegLocked(flags byte, seq uint32, data []byte) {
+	h := header{src: c.localPort, dst: c.remotePort, seq: seq,
+		ack: c.rcvNxt, flags: flags | flagACK, win: c.rcvWndLocked()}
+	if c.state == SynSent {
+		h.flags = flags // no ACK before we have rcvNxt
+	}
+	pkt := marshal(h, data)
+	src, dst := c.localAddr, c.remoteAddr
+	go func() {
+		c.proto.SegsSent.Add(1)
+		c.proto.stack.Send(ip.ProtoTCP, src, dst, pkt)
+	}()
+}
+
+// Write implements xport.Conn: bytes enter the send buffer and are
+// pumped out as MTU-sized segments within the send window. The writer
+// blocks while the buffer is full — the byte-stream backpressure TCP
+// provides in place of delimiters.
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		c.mu.Lock()
+		for c.state == Established && len(c.sndBuf) >= BufSize {
+			c.cond.Wait()
+		}
+		if c.state != Established && c.state != CloseWait {
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = streams.ErrHungup
+			}
+			return total, err
+		}
+		n := len(p) - total
+		if room := BufSize - len(c.sndBuf); n > room {
+			n = room
+		}
+		c.sndBuf = append(c.sndBuf, p[total:total+n]...)
+		total += n
+		c.pumpLocked()
+		c.mu.Unlock()
+	}
+	return total, nil
+}
+
+// pumpLocked transmits as much buffered data as the window allows.
+func (c *Conn) pumpLocked() {
+	mss := c.proto.stack.MTUFor(c.remoteAddr) - HdrLen
+	if mss <= 0 {
+		mss = 512
+	}
+	wnd := uint32(c.sndWnd)
+	if wnd > BufSize {
+		wnd = BufSize
+	}
+	if wnd == 0 {
+		wnd = 1 // window probe
+	}
+	for {
+		inFlight := c.sndNxt - c.sndUna
+		if c.finSent {
+			inFlight-- // FIN occupies a unit but no buffer byte
+		}
+		avail := uint32(len(c.sndBuf)) - inFlight
+		if avail == 0 || inFlight >= wnd {
+			// A pending close sends its FIN once the buffer has
+			// fully drained onto the wire.
+			if avail == 0 && c.finPending && !c.finSent {
+				c.finPending = false
+				c.sendFinLocked()
+			}
+			return
+		}
+		n := avail
+		if n > uint32(mss) {
+			n = uint32(mss)
+		}
+		if inFlight+n > wnd {
+			n = wnd - inFlight
+		}
+		start := inFlight
+		data := c.sndBuf[start : start+n]
+		seq := c.sndNxt
+		if !c.timing {
+			c.timing = true
+			c.timedSeq = seq + n
+			c.timedAt = time.Now()
+		}
+		if c.sndUna == c.sndNxt {
+			c.oldestTx = time.Now()
+		}
+		c.sndNxt += n
+		c.sendSegLocked(0, seq, append([]byte(nil), data...))
+	}
+}
+
+// Read implements xport.Conn: a byte stream with no delimiters.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.rstream.Read(p)
+	// Reading freed receive buffer: let the peer know if the window
+	// had closed.
+	return n, err
+}
+
+// segment processes one received segment.
+func (c *Conn) segment(h header, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed && c.state == Closed {
+		return
+	}
+	c.lastProgress = time.Now()
+	if h.flags&flagRST != 0 {
+		c.err = vfs.ErrConnRef
+		c.dieLocked()
+		return
+	}
+	switch c.state {
+	case SynSent:
+		if h.flags&flagSYN != 0 {
+			c.rcvNxt = h.seq + 1
+			if h.flags&flagACK != 0 && h.ack == c.iss+1 {
+				c.sndUna = h.ack
+				c.state = Established
+				c.sndWnd = h.win
+				c.cond.Broadcast()
+				c.sendSegLocked(0, c.sndNxt, nil) // the final ack
+			}
+		}
+		return
+	case SynRcvd:
+		if h.flags&flagACK != 0 && h.ack == c.iss+1 {
+			c.sndUna = h.ack
+			c.state = Established
+			c.sndWnd = h.win
+			c.cond.Broadcast()
+			if l := c.listener; l != nil {
+				c.listener = nil
+				ok := false
+				l.mu.Lock() // listener code never takes a conn's mu
+				if !l.acceptClosed {
+					select {
+					case l.accepted <- c:
+						ok = true
+					default:
+					}
+				}
+				l.mu.Unlock()
+				if !ok {
+					// Listener gone or backlog full: refuse.
+					c.err = vfs.ErrConnRef
+					c.sendSegLocked(flagRST, c.sndNxt, nil)
+					c.dieLocked()
+					return
+				}
+			}
+		}
+		// fall through to data processing below
+	}
+	// ACK processing.
+	if h.flags&flagACK != 0 && h.ack > c.sndUna && h.ack <= c.sndNxt {
+		acked := h.ack - c.sndUna
+		if c.timing && h.ack >= c.timedSeq {
+			rtt := time.Since(c.timedAt)
+			if c.srtt == 0 {
+				c.srtt, c.mdev = rtt, rtt/2
+			} else {
+				diff := rtt - c.srtt
+				c.srtt += diff / 8
+				if diff < 0 {
+					diff = -diff
+				}
+				c.mdev += (diff - c.mdev) / 4
+			}
+			c.timing = false
+		}
+		// FIN consumes a sequence unit but no buffer byte.
+		bufAcked := acked
+		if c.finSent && h.ack > c.finSeq {
+			bufAcked--
+		}
+		if bufAcked > uint32(len(c.sndBuf)) {
+			bufAcked = uint32(len(c.sndBuf))
+		}
+		c.sndBuf = c.sndBuf[bufAcked:]
+		c.sndUna = h.ack
+		c.oldestTx = time.Now()
+		c.cond.Broadcast()
+		// State transitions on FIN acknowledgement.
+		if c.finSent && h.ack > c.finSeq {
+			switch c.state {
+			case FinWait1:
+				c.state = FinWait2
+			case Closing:
+				c.enterTimeWaitLocked()
+			case LastAck:
+				c.dieLocked()
+				return
+			}
+		}
+	}
+	if h.flags&flagACK != 0 {
+		c.sndWnd = h.win
+		c.pumpLocked()
+	}
+	// Data processing.
+	if len(data) > 0 {
+		c.dataLocked(h.seq, data)
+	}
+	// FIN processing (sequenced like a byte).
+	if h.flags&flagFIN != 0 {
+		finSeq := h.seq + uint32(len(data))
+		c.finRcvd = true
+		c.finAt = finSeq
+		c.maybeFinLocked()
+	}
+}
+
+// dataLocked accepts in-order data, buffers out-of-order segments.
+func (c *Conn) dataLocked(seq uint32, data []byte) {
+	switch {
+	case seq == c.rcvNxt:
+		c.rcvNxt += uint32(len(data))
+		b := streams.NewBlock(data)
+		// TCP does not preserve delimiters: blocks are undelimited
+		// so reads merge across segment boundaries.
+		c.rstream.DeviceUp(b)
+		for {
+			d, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.rcvNxt += uint32(len(d))
+			c.rstream.DeviceUp(streams.NewBlock(d))
+		}
+		c.sendSegLocked(0, c.sndNxt, nil) // immediate ack
+		c.maybeFinLocked()
+	case seq > c.rcvNxt && seq < c.rcvNxt+BufSize:
+		if c.ooo == nil {
+			c.ooo = make(map[uint32][]byte)
+		}
+		c.ooo[seq] = append([]byte(nil), data...)
+		c.sendSegLocked(0, c.sndNxt, nil) // dup ack
+	default:
+		// Old or far-future data: re-ack.
+		c.sendSegLocked(0, c.sndNxt, nil)
+	}
+}
+
+// maybeFinLocked completes a received FIN once all data before it has
+// been consumed.
+func (c *Conn) maybeFinLocked() {
+	if !c.finRcvd || c.rcvNxt != c.finAt {
+		return
+	}
+	c.rcvNxt++ // the FIN itself
+	c.sendSegLocked(0, c.sndNxt, nil)
+	c.rstream.HangupUp()
+	switch c.state {
+	case Established:
+		c.state = CloseWait
+	case FinWait1:
+		c.state = Closing
+	case FinWait2:
+		c.enterTimeWaitLocked()
+	}
+	c.cond.Broadcast()
+}
+
+func (c *Conn) enterTimeWaitLocked() {
+	c.state = TimeWait
+	c.cond.Broadcast()
+	time.AfterFunc(timeWaitDur, func() {
+		c.mu.Lock()
+		c.dieLocked()
+		c.mu.Unlock()
+	})
+}
+
+// dieLocked finalizes the connection.
+func (c *Conn) dieLocked() {
+	if c.state == Closed && c.closed {
+		return
+	}
+	c.state = Closed
+	c.cond.Broadcast()
+	c.rstream.HangupUp()
+	go c.proto.remove(c)
+}
+
+func (c *Conn) rtoLocked() time.Duration {
+	if c.srtt == 0 {
+		return synRetry
+	}
+	rto := c.srtt + 4*c.mdev
+	if rto < minRTO {
+		rto = minRTO
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}
+
+// timer is the connection's helper process: SYN retries, go-back-N
+// retransmission, FIN retries, death timer.
+func (c *Conn) timer() {
+	tick := time.NewTicker(tickInterval)
+	defer tick.Stop()
+	for range tick.C {
+		c.mu.Lock()
+		if c.state == Closed {
+			c.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		if now.Sub(c.lastProgress) > deathTime {
+			c.err = vfs.ErrTimedOut
+			c.dieLocked()
+			c.mu.Unlock()
+			return
+		}
+		switch c.state {
+		case SynSent:
+			c.sendSegLocked(flagSYN, c.iss, nil)
+			c.mu.Unlock()
+			time.Sleep(synRetry)
+			continue
+		case SynRcvd:
+			c.sendSegLocked(flagSYN|flagACK, c.iss, nil)
+			c.mu.Unlock()
+			time.Sleep(synRetry)
+			continue
+		}
+		// Retransmission: go-back-N from sndUna.
+		if c.sndUna != c.sndNxt && now.Sub(c.oldestTx) > c.rtoLocked() {
+			c.retransmitLocked()
+			c.oldestTx = now
+		}
+		c.mu.Unlock()
+	}
+}
+
+// retransmitLocked resends everything from sndUna (go-back-N).
+func (c *Conn) retransmitLocked() {
+	mss := c.proto.stack.MTUFor(c.remoteAddr) - HdrLen
+	if mss <= 0 {
+		mss = 512
+	}
+	c.timing = false
+	seq := c.sndUna
+	remaining := c.sndBuf
+	inFlightData := c.sndNxt - c.sndUna
+	if c.finSent {
+		inFlightData--
+	}
+	if uint32(len(remaining)) > inFlightData {
+		remaining = remaining[:inFlightData]
+	}
+	for len(remaining) > 0 {
+		n := len(remaining)
+		if n > mss {
+			n = mss
+		}
+		c.proto.Retransmits.Add(1)
+		c.sendSegLocked(0, seq, append([]byte(nil), remaining[:n]...))
+		seq += uint32(n)
+		remaining = remaining[n:]
+	}
+	if c.finSent && c.sndUna <= c.finSeq {
+		c.proto.Retransmits.Add(1)
+		c.sendSegLocked(flagFIN, c.finSeq, nil)
+	}
+}
+
+// LocalAddr implements xport.Conn.
+func (c *Conn) LocalAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ip.HostPort(c.localAddr, c.localPort)
+}
+
+// RemoteAddr implements xport.Conn.
+func (c *Conn) RemoteAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ip.HostPort(c.remoteAddr, c.remotePort)
+}
+
+// Status implements xport.Conn, in the style of the paper's transcript:
+// "tcp/2 1 Established connect".
+func (c *Conn) Status() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%s rtt %d ms srcv %d unacked %d",
+		stateNames[c.state], c.srtt.Milliseconds(),
+		c.rstream.QueuedBytes(), c.sndNxt-c.sndUna)
+}
+
+// State returns the symbolic state name (for tests).
+func (c *Conn) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return stateNames[c.state]
+}
+
+// Close implements xport.Conn: orderly release with FIN.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	switch c.state {
+	case Established:
+		c.state = FinWait1
+		c.queueFinLocked()
+	case CloseWait:
+		c.state = LastAck
+		c.queueFinLocked()
+	case Listen:
+		c.state = Closed
+		c.acceptClosed = true
+		close(c.accepted)
+		c.mu.Unlock()
+		c.proto.remove(c)
+		c.rstream.Close()
+		return nil
+	case SynSent, SynRcvd:
+		c.sendSegLocked(flagRST, c.sndNxt, nil)
+		c.dieLocked()
+	default:
+		c.dieLocked()
+	}
+	c.mu.Unlock()
+	// Don't linger forever waiting for the FIN exchange.
+	time.AfterFunc(2*time.Second, func() {
+		c.mu.Lock()
+		c.dieLocked()
+		c.mu.Unlock()
+		c.rstream.Close()
+	})
+	return nil
+}
+
+func (c *Conn) sendFinLocked() {
+	c.finSent = true
+	c.finSeq = c.sndNxt
+	c.sndNxt++
+	c.oldestTx = time.Now()
+	c.sendSegLocked(flagFIN, c.finSeq, nil)
+}
+
+// queueFinLocked sends the FIN immediately when the send buffer has
+// drained, or defers it to the pump otherwise.
+func (c *Conn) queueFinLocked() {
+	inFlight := c.sndNxt - c.sndUna
+	if uint32(len(c.sndBuf)) == inFlight {
+		c.sendFinLocked()
+	} else {
+		c.finPending = true
+	}
+}

@@ -1,0 +1,360 @@
+// Package urp implements URP, the Universal Receiver Protocol that
+// carries Plan 9 traffic over Datakit virtual circuits (§2.3, §8).
+// URP is the narrow, cell-oriented protocol of Fraser's Datakit: small
+// blocks, mod-8 sequence numbers, a window of at most seven
+// outstanding blocks, go-back-N recovery driven by the receiver
+// (REJ) and sender enquiries (ENQ). Those properties — tiny blocks
+// and a shallow window — are exactly why URP/Datakit is the slowest
+// row of the paper's Table 1, and the simulation keeps them.
+//
+// The protocol runs over any cell transport (the Wire interface);
+// package datakit supplies circuits.
+package urp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/streams"
+	"repro/internal/vfs"
+)
+
+// Wire is a cell transport: ordered, possibly lossy delivery of small
+// cells.
+type Wire interface {
+	SendCell(p []byte) error
+	RecvCell() ([]byte, error)
+	Close() error
+}
+
+// Protocol constants.
+const (
+	// BlockSize is the URP block: Datakit moved small blocks, not
+	// Ethernet-sized frames.
+	BlockSize = 1024
+	// SeqMod is the sequence space: 3 bits.
+	SeqMod = 8
+	// Window is the outstanding-block limit (< SeqMod for mod-8
+	// arithmetic to stay unambiguous).
+	Window = 4
+)
+
+// Cell types.
+const (
+	cellData = iota
+	cellAck  // ack[seq]: everything before seq received
+	cellRej  // rej[seq]: retransmit from seq
+	cellEnq  // sender asks "what have you got?"
+	cellHup  // circuit hangup
+)
+
+// Cell layout: type[1] seq[1] flags[1] len[2] data...
+const hdrLen = 5
+
+// flagEOM marks the final block of a message (the BOT/BOTM trailer of
+// real URP, i.e. the delimiter).
+const flagEOM = 0x01
+
+const (
+	tickInterval = 5 * time.Millisecond
+	enqTimeout   = 50 * time.Millisecond
+	deathTime    = 30 * time.Second
+)
+
+// Stats counts protocol events (for the ablation benches).
+type Stats struct {
+	Blocks      atomic.Int64
+	Retransmits atomic.Int64
+	Rejects     atomic.Int64
+	Enquiries   atomic.Int64
+}
+
+// Conn runs URP over a wire. Both ends are symmetric.
+type Conn struct {
+	wire  Wire
+	stats *Stats
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Sender: blocks [sndUna, sndNxt) are in flight (mod-8).
+	sndUna   int
+	sndNxt   int
+	unacked  []sentBlock // parallel to seq range
+	lastSend time.Time
+	enqSent  bool
+
+	// Receiver.
+	rcvNext    int
+	reassembly []byte
+
+	rstream *streams.Stream
+	closed  bool
+	dead    bool
+
+	lastProgress time.Time
+}
+
+type sentBlock struct {
+	seq   int
+	flags byte
+	data  []byte
+}
+
+// New starts URP on a wire. stats may be nil.
+func New(wire Wire, stats *Stats) *Conn {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	c := &Conn{
+		wire:         wire,
+		stats:        stats,
+		rstream:      streams.New(1<<22, nil),
+		lastProgress: time.Now(),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.reader()
+	go c.timer()
+	return c
+}
+
+// Stream exposes the receive stream (for pushing diagnostic modules).
+func (c *Conn) Stream() *streams.Stream { return c.rstream }
+
+func (c *Conn) sendCell(typ, seq int, flags byte, data []byte) error {
+	cell := make([]byte, hdrLen+len(data))
+	cell[0] = byte(typ)
+	cell[1] = byte(seq)
+	cell[2] = flags
+	cell[3] = byte(len(data) >> 8)
+	cell[4] = byte(len(data))
+	copy(cell[hdrLen:], data)
+	return c.wire.SendCell(cell)
+}
+
+// Write sends one delimited message as a sequence of blocks, blocking
+// while the window is full.
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for {
+		c.mu.Lock()
+		for !c.dead && !c.closed && c.inFlightLocked() >= Window {
+			c.cond.Wait()
+		}
+		if c.dead || c.closed {
+			c.mu.Unlock()
+			return total, vfs.ErrHungup
+		}
+		n := len(p) - total
+		if n > BlockSize {
+			n = BlockSize
+		}
+		var flags byte
+		if total+n == len(p) {
+			flags = flagEOM
+		}
+		seq := c.sndNxt
+		c.sndNxt = (c.sndNxt + 1) % SeqMod
+		data := append([]byte(nil), p[total:total+n]...)
+		c.unacked = append(c.unacked, sentBlock{seq: seq, flags: flags, data: data})
+		c.lastSend = time.Now()
+		c.stats.Blocks.Add(1)
+		c.mu.Unlock()
+		c.sendCell(cellData, seq, flags, data)
+		total += n
+		if total == len(p) {
+			return total, nil
+		}
+	}
+}
+
+func (c *Conn) inFlightLocked() int { return len(c.unacked) }
+
+// Read returns one delimited message (or part, if the buffer is
+// short).
+func (c *Conn) Read(p []byte) (int, error) { return c.rstream.Read(p) }
+
+// reader is the receive kernel process.
+func (c *Conn) reader() {
+	for {
+		cell, err := c.wire.RecvCell()
+		if err != nil {
+			c.hangup()
+			return
+		}
+		if len(cell) < hdrLen {
+			continue
+		}
+		typ := int(cell[0])
+		seq := int(cell[1])
+		flags := cell[2]
+		n := int(cell[3])<<8 | int(cell[4])
+		if n > len(cell)-hdrLen {
+			continue
+		}
+		data := cell[hdrLen : hdrLen+n]
+		switch typ {
+		case cellData:
+			c.recvData(seq, flags, data)
+		case cellAck:
+			c.recvAck(seq)
+		case cellRej:
+			c.stats.Rejects.Add(1)
+			c.recvAck(seq) // everything before seq arrived
+			c.retransmit()
+		case cellEnq:
+			// Answer with the receiver's state: an ACK of what
+			// we expect next.
+			c.mu.Lock()
+			next := c.rcvNext
+			c.mu.Unlock()
+			c.sendCell(cellAck, next, 0, nil)
+		case cellHup:
+			c.hangup()
+			return
+		}
+	}
+}
+
+// recvData applies the universal-receiver rule: accept exactly the
+// next block in sequence, reject anything else.
+func (c *Conn) recvData(seq int, flags byte, data []byte) {
+	c.mu.Lock()
+	c.lastProgress = time.Now()
+	if seq != c.rcvNext {
+		// Out of order: REJ asks for retransmission from the
+		// block we expect.
+		next := c.rcvNext
+		c.mu.Unlock()
+		c.sendCell(cellRej, next, 0, nil)
+		return
+	}
+	c.rcvNext = (c.rcvNext + 1) % SeqMod
+	c.reassembly = append(c.reassembly, data...)
+	var msg []byte
+	if flags&flagEOM != 0 {
+		msg = c.reassembly
+		c.reassembly = nil
+	}
+	next := c.rcvNext
+	c.mu.Unlock()
+	if msg != nil {
+		c.rstream.DeviceUpData(msg)
+	}
+	c.sendCell(cellAck, next, 0, nil)
+}
+
+// recvAck drops acknowledged blocks: ack(seq) says the receiver now
+// expects seq, i.e. everything before it arrived.
+func (c *Conn) recvAck(seq int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastProgress = time.Now()
+	c.enqSent = false
+	for len(c.unacked) > 0 {
+		if c.unacked[0].seq == seq {
+			break // not yet acknowledged
+		}
+		c.unacked = c.unacked[1:]
+		c.sndUna = (c.sndUna + 1) % SeqMod
+	}
+	c.cond.Broadcast()
+}
+
+// retransmit resends the whole window (go-back-N).
+func (c *Conn) retransmit() {
+	c.mu.Lock()
+	blocks := append([]sentBlock(nil), c.unacked...)
+	c.lastSend = time.Now()
+	c.mu.Unlock()
+	for _, b := range blocks {
+		c.stats.Retransmits.Add(1)
+		c.sendCell(cellData, b.seq, b.flags, b.data)
+	}
+}
+
+// timer sends enquiries when acknowledgements stall. It keeps running
+// through the close linger so the final blocks still get retransmitted
+// if their acks are lost.
+func (c *Conn) timer() {
+	tick := time.NewTicker(tickInterval)
+	defer tick.Stop()
+	for range tick.C {
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			return
+		}
+		stalled := len(c.unacked) > 0 && time.Since(c.lastSend) > enqTimeout
+		dead := len(c.unacked) > 0 && time.Since(c.lastProgress) > deathTime
+		if dead {
+			c.mu.Unlock()
+			c.hangup()
+			return
+		}
+		if stalled {
+			c.lastSend = time.Now()
+			c.stats.Enquiries.Add(1)
+			c.mu.Unlock()
+			c.sendCell(cellEnq, 0, 0, nil)
+			continue
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Conn) hangup() {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.rstream.HangupUp()
+}
+
+// Close hangs up the circuit: it lingers until outstanding blocks are
+// acknowledged (bounded), sends the hangup cell after them, and only
+// then unplugs the wire — so data written just before close is not
+// lost in flight.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		drained := len(c.unacked) == 0 || c.dead
+		c.mu.Unlock()
+		if drained {
+			break
+		}
+		time.Sleep(tickInterval)
+	}
+	c.sendCell(cellHup, 0, 0, nil)
+	// Let the hangup propagate before unplugging.
+	time.AfterFunc(250*time.Millisecond, func() {
+		c.mu.Lock()
+		c.dead = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		c.wire.Close()
+	})
+	c.rstream.HangupUp()
+	return nil
+}
+
+// Dead reports whether the circuit has hung up.
+func (c *Conn) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead || c.closed
+}

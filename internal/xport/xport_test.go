@@ -1,0 +1,42 @@
+package xport_test
+
+import (
+	"testing"
+
+	"repro/internal/cyclone"
+	"repro/internal/datakit"
+	"repro/internal/il"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+	"repro/internal/xport"
+)
+
+// Every transport in the repository satisfies the uniform interface —
+// the compile-time face of "all protocol devices look identical".
+var (
+	_ xport.Proto = (*il.Proto)(nil)
+	_ xport.Proto = (*tcp.Proto)(nil)
+	_ xport.Proto = (*udp.Proto)(nil)
+	_ xport.Proto = (*datakit.Proto)(nil)
+	_ xport.Proto = (*cyclone.End)(nil)
+)
+
+func TestErrorMessagesDistinct(t *testing.T) {
+	errs := []error{
+		xport.ErrBadAddress,
+		xport.ErrNotAnnounced,
+		xport.ErrInUse,
+		xport.ErrNotConnected,
+		xport.ErrConnected,
+	}
+	seen := map[string]bool{}
+	for _, e := range errs {
+		if e.Error() == "" {
+			t.Error("empty error message")
+		}
+		if seen[e.Error()] {
+			t.Errorf("duplicate error message %q", e)
+		}
+		seen[e.Error()] = true
+	}
+}
