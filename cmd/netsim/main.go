@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dialer"
+	"repro/internal/netmsg"
 	"repro/internal/ns"
 	"repro/internal/table1"
 	"repro/internal/vfs"
@@ -71,7 +72,7 @@ func printFigure1(w *core.World) {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
-		ctl.WriteString("connect 2048")
+		ctl.WriteString(netmsg.Connect("2048"))
 		ctls = append(ctls, ctl)
 	}
 	defer func() {

@@ -1,0 +1,134 @@
+// Command netvet is the repo's concurrency and resource-lifecycle
+// analyzer: a stdlib-only static checker (go/ast + go/types, no
+// x/tools) enforcing the invariants the paper's stream/mux
+// architecture depends on. It walks the whole module and reports:
+//
+//	lock-across-send    mutex held across a channel op or blocking call
+//	unjoined-goroutine  goroutine with no shutdown path
+//	unclosed-resource   closeable value dropped without Close
+//	naked-ctl-string    ctl literal bypassing the netmsg helpers
+//
+// Usage:
+//
+//	go run ./cmd/netvet ./...
+//	go run ./cmd/netvet -tests -checks lock-across-send ./...
+//
+// Deliberate exceptions carry a `//netvet:ignore <check> <why>`
+// directive on the offending line (or the line above); suppressed
+// findings are counted in the summary so they stay reviewable.
+// Exit status is 1 when unsuppressed diagnostics remain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	checksFlag := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	quiet := flag.Bool("q", false, "suppress the summary line")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: netvet [-tests] [-checks list] [./... | dir]\nchecks: %s\n",
+			strings.Join(analysis.CheckNames(), ", "))
+	}
+	flag.Parse()
+
+	root, err := moduleRoot(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	checks, err := selectChecks(*checksFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	mod, err := analysis.LoadModule(root, *tests)
+	if err != nil {
+		fatal(err)
+	}
+	res := analysis.Run(mod, checks)
+	for _, d := range res.Diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Check, d.Message)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "netvet: %d package(s), %d diagnostic(s)%s\n",
+			len(mod.Pkgs), len(res.Diags), suppressedSummary(res))
+	}
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot resolves the argument (./..., a directory, or nothing)
+// to the nearest enclosing directory holding go.mod.
+func moduleRoot(args []string) (string, error) {
+	dir := "."
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			continue
+		}
+		dir = strings.TrimSuffix(a, "/...")
+		break
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("netvet: no go.mod at or above %s", dir)
+		}
+	}
+}
+
+func selectChecks(list string) ([]*analysis.Check, error) {
+	all := analysis.Checks()
+	if list == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Check{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*analysis.Check
+	for _, name := range strings.Split(list, ",") {
+		c := byName[strings.TrimSpace(name)]
+		if c == nil {
+			return nil, fmt.Errorf("netvet: unknown check %q (have %s)",
+				name, strings.Join(analysis.CheckNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func suppressedSummary(res *analysis.Result) string {
+	if len(res.Suppressed) == 0 {
+		return ""
+	}
+	var parts []string
+	for name, n := range res.Suppressed {
+		parts = append(parts, fmt.Sprintf("%s %d", name, n))
+	}
+	sort.Strings(parts)
+	return ", suppressed: " + strings.Join(parts, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dialer"
 	"repro/internal/ether"
 	"repro/internal/ip"
+	"repro/internal/netmsg"
 	"repro/internal/vfs"
 )
 
@@ -44,8 +45,8 @@ func main() {
 	buf := make([]byte, 16)
 	n, _ := ctl.Read(buf)
 	dir := "/net/ether0/" + string(buf[:n])
-	ctl.WriteString("connect -1")
-	ctl.WriteString("promiscuous")
+	ctl.WriteString(netmsg.Connect("-1"))
+	ctl.WriteString(netmsg.Promiscuous())
 	data, err := aroot.NS.Open(dir+"/data", vfs.OREAD)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snoopy:", err)
@@ -53,8 +54,13 @@ func main() {
 	}
 	defer data.Close()
 
-	// Stir up traffic: an IL echo, a TCP dial, and a DNS query.
+	// Stir up traffic: an IL echo, a TCP dial, and a DNS query. The
+	// generator is joined to main's lifetime through stop so the world
+	// is not torn down under a dial in flight.
+	stop := make(chan struct{})
+	trafficDone := make(chan struct{})
 	go func() {
+		defer close(trafficDone)
 		musca := w.Machine("musca")
 		for {
 			if conn, err := dialer.Dial(musca.NS, "il!helix!echo"); err == nil {
@@ -68,7 +74,11 @@ func main() {
 				conn.Close()
 			}
 			musca.Resolver.LookupA("p9auth.research.bell-labs.com")
-			time.Sleep(10 * time.Millisecond)
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
 		}
 	}()
 
@@ -80,6 +90,8 @@ func main() {
 		}
 		fmt.Println(decode(frame[:n]))
 	}
+	close(stop)
+	<-trafficDone
 }
 
 // decode renders one captured frame, layer by layer.

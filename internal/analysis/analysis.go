@@ -1,0 +1,210 @@
+// Package analysis is netvet's engine: a stdlib-only static analyzer
+// (go/ast + go/parser + go/types, no x/tools) enforcing the
+// concurrency and resource-lifecycle invariants the paper's network
+// organization depends on. The module is a web of cooperating
+// kernel-process analogues — stream put chains, the mount driver's
+// RPC demux, protocol engines — and the checks target exactly the
+// failure shapes such code grows at scale:
+//
+//	lock-across-send    a sync.Mutex/RWMutex held across a channel
+//	                    operation or known-blocking call
+//	unjoined-goroutine  a go statement whose body can never exit —
+//	                    a leak candidate with no shutdown path
+//	unclosed-resource   a closeable value created and dropped without
+//	                    Close/Free/Unmount and without escaping
+//	naked-ctl-string    an ad-hoc ctl message literal bypassing the
+//	                    canonical netmsg formatting helpers
+//
+// A finding is suppressed by a directive comment on its line or the
+// line above:
+//
+//	//netvet:ignore <check>[,<check>...] [reason]
+//
+// Suppressions are counted and reported, so deliberate exceptions
+// stay visible.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Check is one named invariant.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Checks returns all checks, in reporting order.
+func Checks() []*Check {
+	return []*Check{
+		lockAcrossSendCheck,
+		unjoinedGoroutineCheck,
+		unclosedResourceCheck,
+		nakedCtlStringCheck,
+	}
+}
+
+// CheckNames returns the valid check names.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Pass is one check running over one package.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *Pkg
+	check *Check
+	res   *Result
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.res.report(p.Fset.Position(pos), p.check.Name, fmt.Sprintf(format, args...))
+}
+
+// Result accumulates findings and suppression counts for a run.
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed map[string]int // check name -> suppressed findings
+
+	ignores map[string]map[int][]string // filename -> line -> checks ("" = all)
+}
+
+// Run executes the checks over every package of the module.
+func Run(mod *Module, checks []*Check) *Result {
+	res := &Result{
+		Suppressed: make(map[string]int),
+		ignores:    make(map[string]map[int][]string),
+	}
+	for _, pkg := range mod.Pkgs {
+		res.collectIgnores(mod.Fset, pkg)
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, c := range checks {
+			c.Run(&Pass{Fset: mod.Fset, Pkg: pkg, check: c, res: res})
+		}
+	}
+	sort.Slice(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i], res.Diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return res
+}
+
+// RunPkg executes the checks over a single package (the test-corpus
+// entry point).
+func RunPkg(fset *token.FileSet, pkg *Pkg, checks []*Check) *Result {
+	mod := &Module{Fset: fset, Pkgs: []*Pkg{pkg}}
+	return Run(mod, checks)
+}
+
+// ignorePrefix introduces a suppression directive.
+const ignorePrefix = "//netvet:ignore"
+
+// collectIgnores scans a package's comments for directives.
+func (r *Result) collectIgnores(fset *token.FileSet, pkg *Pkg) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				var checks []string
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						checks = append(checks, strings.TrimSpace(name))
+					}
+				} else {
+					checks = []string{""} // bare directive: ignore all
+				}
+				pos := fset.Position(c.Pos())
+				byLine := r.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					r.ignores[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], checks...)
+			}
+		}
+	}
+}
+
+// ignored reports whether a finding of check at pos is suppressed by a
+// directive on the same line or the line immediately above.
+func (r *Result) ignored(pos token.Position, check string) bool {
+	byLine := r.ignores[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == "" || name == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *Result) report(pos token.Position, check, msg string) {
+	if r.ignored(pos, check) {
+		r.Suppressed[check]++
+		return
+	}
+	r.Diags = append(r.Diags, Diagnostic{Pos: pos, Check: check, Message: msg})
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — so checks analyze each in its own goroutine context.
+func funcBodies(f *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// inspectSkippingFuncLits walks the subtree rooted at n without
+// descending into nested function literals — their bodies run on other
+// goroutines (or later) and are analyzed separately.
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

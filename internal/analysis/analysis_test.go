@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches corpus expectations: // want <check> "substring".
+var wantRe = regexp.MustCompile(`// want ([\w-]+) "([^"]*)"`)
+
+type want struct {
+	check   string
+	substr  string
+	matched bool
+}
+
+// TestCorpus runs every check over each testdata file and demands an
+// exact position match both ways: every diagnostic must hit a want on
+// its line, and every want must be hit.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "src", "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			res := runCorpusFile(t, file)
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := map[int][]*want{}
+			total := 0
+			for i, line := range strings.Split(string(src), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					wants[i+1] = append(wants[i+1], &want{check: m[1], substr: m[2]})
+					total++
+				}
+			}
+			for _, d := range res.Diags {
+				found := false
+				for _, w := range wants[d.Pos.Line] {
+					if w.check == d.Check && strings.Contains(d.Message, w.substr) {
+						w.matched = true
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s:%d: unexpected %s: %s", file, d.Pos.Line, d.Check, d.Message)
+				}
+			}
+			for line, ws := range wants {
+				for _, w := range ws {
+					if !w.matched {
+						t.Errorf("%s:%d: missing %s diagnostic matching %q", file, line, w.check, w.substr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIgnoreDirectiveCounted pins the suppression accounting: the
+// ignorecase corpus carries three suppressed sends (same line, line
+// above, bare directive) and one live one (wrong check name).
+func TestIgnoreDirectiveCounted(t *testing.T) {
+	res := runCorpusFile(t, filepath.Join("testdata", "src", "ignorecase.go"))
+	if got := res.Suppressed["lock-across-send"]; got != 3 {
+		t.Errorf("suppressed lock-across-send = %d, want 3", got)
+	}
+	if len(res.Diags) != 1 {
+		t.Errorf("live diagnostics = %d, want 1 (wrong-name directive must not suppress)", len(res.Diags))
+	}
+}
+
+func runCorpusFile(t *testing.T, file string) *Result {
+	t.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := CheckSource(fset, file, src)
+	if err != nil {
+		t.Fatalf("corpus file must type-check: %v", err)
+	}
+	return RunPkg(fset, pkg, Checks())
+}
+
+// TestSelfClean turns the analyzer on its own module: the repo must
+// stay at zero unsuppressed diagnostics.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(mod, Checks())
+	for _, d := range res.Diags {
+		t.Errorf("unsuppressed: %s", d)
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// nakedCtlStringCheck flags ad-hoc ctl message literals — "connect
+// ...", "announce ...", and friends — written to a ctl file or stream
+// outside the canonical netmsg helpers. The ASCII ctl vocabulary is a
+// wire protocol (§2.3, §5); formatting it in one place keeps producers
+// and parsers from drifting apart. The check looks at the first
+// argument of Write/WriteString/WriteCtl calls and traces the leading
+// string literal through concatenations, []byte conversions, and
+// fmt.Sprintf format strings.
+var nakedCtlStringCheck = &Check{
+	Name: "naked-ctl-string",
+	Doc:  "ad-hoc ctl message literal bypassing the netmsg helpers",
+	Run:  runNakedCtlString,
+}
+
+// canonicalCtlPkg is the one package allowed to spell ctl verbs out.
+const canonicalCtlPkg = "netmsg"
+
+var ctlVerbs = map[string]string{
+	"connect":     "netmsg.Connect",
+	"announce":    "netmsg.Announce",
+	"reject":      "netmsg.Reject",
+	"push":        "netmsg.Push",
+	"pop":         "netmsg.Pop",
+	"hangup":      "netmsg.Hangup",
+	"promiscuous": "netmsg.Promiscuous",
+}
+
+var ctlWriters = map[string]bool{"Write": true, "WriteString": true, "WriteCtl": true}
+
+func runNakedCtlString(p *Pass) {
+	if p.Pkg.Name == canonicalCtlPkg {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !ctlWriters[sel.Sel.Name] {
+				return true
+			}
+			prefix, ok := literalPrefix(call.Args[0])
+			if !ok {
+				return true
+			}
+			verb, _, _ := strings.Cut(prefix, " ")
+			verb = strings.TrimSpace(verb)
+			if helper, isVerb := ctlVerbs[verb]; isVerb {
+				p.Reportf(call.Args[0].Pos(), "naked ctl string %q: format it with %s so the wire vocabulary stays canonical",
+					truncate(prefix, 32), helper)
+			}
+			return true
+		})
+	}
+}
+
+// literalPrefix extracts the leading compile-time string of an
+// expression: a literal, the left side of a concatenation chain, a
+// []byte(...) conversion, or a Sprintf-style format string.
+func literalPrefix(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		return literalPrefix(e.X)
+	case *ast.ParenExpr:
+		return literalPrefix(e.X)
+	case *ast.CallExpr:
+		// []byte("...") and string("...") conversions.
+		if _, ok := e.Fun.(*ast.ArrayType); ok && len(e.Args) == 1 {
+			return literalPrefix(e.Args[0])
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "string" && len(e.Args) == 1 {
+			return literalPrefix(e.Args[0])
+		}
+		// fmt.Sprintf("connect %s", ...): the format string leads.
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Sprint") && len(e.Args) > 0 {
+			return literalPrefix(e.Args[0])
+		}
+	}
+	return "", false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unjoinedGoroutineCheck flags go statements whose body can never
+// exit: an unconditional loop (or empty select) containing no return,
+// no break, no channel operation, and no panic. Such a goroutine has
+// no shutdown path — it is not registered with any machine or stream
+// lifecycle and nothing can ever join it, so every call of the
+// enclosing function leaks one goroutine. Pump loops that exit on a
+// failed Read, select on a done channel, range over a channel, or
+// signal a WaitGroup all pass; the check is aimed at the fire-and-
+// forget daemon that outlives its world.
+var unjoinedGoroutineCheck = &Check{
+	Name: "unjoined-goroutine",
+	Doc:  "goroutine with no shutdown path (unconditional loop that cannot exit)",
+	Run:  runUnjoinedGoroutine,
+}
+
+func runUnjoinedGoroutine(p *Pass) {
+	// Map named functions to their declarations so `go f()` can be
+	// analyzed through the call.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(p, g, decls)
+			if body == nil {
+				return true
+			}
+			if pos, what, leaky := foreverWithoutExit(p, body); leaky {
+				p.Reportf(g.Pos(), "goroutine has no shutdown path: %s at line %d can never exit; join it to a lifecycle (done channel, context, or WaitGroup)",
+					what, p.Fset.Position(pos).Line)
+			}
+			return true
+		})
+	}
+}
+
+// goBody resolves the body a go statement runs: a literal's body, or
+// the declaration of a same-package function. Cross-package calls are
+// opaque and trusted.
+func goBody(p *Pass, g *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[p.Pkg.Info.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[p.Pkg.Info.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// foreverWithoutExit looks for an unconditional `for` loop (or empty
+// select) with no way out, outside nested function literals.
+func foreverWithoutExit(p *Pass, body *ast.BlockStmt) (pos token.Pos, what string, leaky bool) {
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if leaky {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				pos, what, leaky = n.Pos(), "empty select", true
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopCanExit(p, n.Body) {
+				pos, what, leaky = n.Pos(), "unconditional loop", true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, what, leaky
+}
+
+// loopCanExit reports whether a loop body contains any exit evidence:
+// return, break, goto, panic, or a channel operation (receives,
+// selects, and ranges give shutdown paths; a send can at least be
+// observed by a peer that closes the channel to panic us — it still
+// couples the goroutine to another's lifecycle, so it does not count).
+func loopCanExit(p *Pass, body *ast.BlockStmt) bool {
+	can := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if can {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			can = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				can = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				can = true
+			}
+		case *ast.SelectStmt:
+			can = true
+		case *ast.RangeStmt:
+			if t, ok := p.Pkg.Info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					can = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				can = true
+			}
+		}
+		return !can
+	})
+	return can
+}

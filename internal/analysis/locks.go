@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockAcrossSendCheck flags sync.Mutex/RWMutex regions that reach a
+// channel operation or a known-blocking call while the lock is held.
+// In the stream put chains and the mount driver mux this is the
+// classic deadlock shape: the send blocks for flow control, the peer
+// needs the lock to drain, and the machine wedges. Known-blocking
+// calls are select (without default), sync.WaitGroup.Wait, time.Sleep,
+// and acquiring another mutex (lock-order inversions start here).
+var lockAcrossSendCheck = &Check{
+	Name: "lock-across-send",
+	Doc:  "mutex held across a channel operation or blocking call",
+	Run:  runLockAcrossSend,
+}
+
+func runLockAcrossSend(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(body *ast.BlockStmt) {
+			s := &lockScan{p: p, held: map[string]token.Pos{}}
+			s.stmts(body.List)
+		})
+	}
+}
+
+// lockScan walks a statement list tracking which mutexes are held.
+// Nested blocks are scanned with a copy of the held set, so branch-
+// local lock/unlock pairs stay local; a defer'd unlock keeps the
+// region open to the end of the function, as at runtime.
+type lockScan struct {
+	p    *Pass
+	held map[string]token.Pos // receiver expr -> Lock position
+}
+
+func (s *lockScan) fork() *lockScan {
+	held := make(map[string]token.Pos, len(s.held))
+	for k, v := range s.held {
+		held[k] = v
+	}
+	return &lockScan{p: s.p, held: held}
+}
+
+func (s *lockScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, method, ok := s.p.mutexMethod(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					s.lockWhileHeld(call, recv)
+					s.held[recv] = call.Pos()
+					return
+				case "Unlock", "RUnlock":
+					delete(s.held, recv)
+					return
+				}
+			}
+		}
+		s.scan(st)
+	case *ast.DeferStmt:
+		if recv, method, ok := s.p.mutexMethod(st.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			_ = recv // releases only at return; the held region continues
+			return
+		}
+		// The deferred call itself runs later; its arguments are
+		// evaluated now.
+		for _, a := range st.Call.Args {
+			s.scan(a)
+		}
+	case *ast.SendStmt:
+		s.report(st.Pos(), "channel send")
+		s.scan(st.Chan)
+		s.scan(st.Value)
+	case *ast.SelectStmt:
+		if blockingSelect(st) {
+			s.report(st.Pos(), "select")
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			sub := s.fork()
+			sub.stmts(cc.Body)
+		}
+	case *ast.RangeStmt:
+		if t, ok := s.p.Pkg.Info.Types[st.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				s.report(st.Pos(), "range over channel")
+			}
+		}
+		s.scan(st.X)
+		sub := s.fork()
+		sub.stmts(st.Body.List)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.scan(st.Cond)
+		}
+		sub := s.fork()
+		sub.stmts(st.Body.List)
+		if st.Post != nil {
+			sub.stmt(st.Post)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.scan(st.Cond)
+		sub := s.fork()
+		sub.stmts(st.Body.List)
+		if st.Else != nil {
+			sub2 := s.fork()
+			sub2.stmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		sub := s.fork()
+		sub.stmts(st.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.scan(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			sub := s.fork()
+			sub.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			sub := s.fork()
+			sub.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.GoStmt:
+		// Starting a goroutine never blocks; only the argument
+		// expressions are evaluated here.
+		for _, a := range st.Call.Args {
+			s.scan(a)
+		}
+	default:
+		s.scan(st)
+	}
+}
+
+// scan inspects a statement or expression subtree for blocking
+// operations while any lock is held, without descending into function
+// literals.
+func (s *lockScan) scan(n ast.Node) {
+	if n == nil || len(s.held) == 0 {
+		return
+	}
+	inspectSkippingFuncLits(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.report(n.Pos(), "channel receive")
+			}
+		case *ast.SendStmt:
+			s.report(n.Pos(), "channel send")
+		case *ast.CallExpr:
+			if recv, method, ok := s.p.mutexMethod(n); ok && (method == "Lock" || method == "RLock") {
+				s.lockWhileHeld(n, recv)
+				return false
+			}
+			if what, ok := s.p.blockingCall(n); ok {
+				s.report(n.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+// lockWhileHeld reports acquiring recv while a different mutex is
+// already held — the opening move of a lock-order inversion.
+func (s *lockScan) lockWhileHeld(call *ast.CallExpr, recv string) {
+	for other, pos := range s.held {
+		if other != recv {
+			s.p.Reportf(call.Pos(), "acquiring %s while holding %s (locked at line %d)",
+				recv, other, s.p.Fset.Position(pos).Line)
+			return
+		}
+	}
+}
+
+func (s *lockScan) report(pos token.Pos, what string) {
+	for recv, lockPos := range s.held {
+		s.p.Reportf(pos, "%s while holding %s (locked at line %d)",
+			what, recv, s.p.Fset.Position(lockPos).Line)
+		return // one finding per site is enough
+	}
+}
+
+// blockingSelect reports whether a select can block (no default case).
+func blockingSelect(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// mutexMethod resolves call to a sync.Mutex/RWMutex method, returning
+// the receiver expression (the lock's identity) and the method name.
+// Promoted methods of embedded mutexes resolve too.
+func (p *Pass) mutexMethod(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	fn, okFn := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	r := fn.Type().(*types.Signature).Recv()
+	if r == nil {
+		return "", "", false
+	}
+	name := typeName(r.Type())
+	if name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// blockingCall classifies calls known to block: sync.WaitGroup.Wait
+// and time.Sleep. sync.Cond.Wait is deliberately excluded — it
+// releases its locker while waiting.
+func (p *Pass) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+		if r := fn.Type().(*types.Signature).Recv(); r != nil && typeName(r.Type()) == "WaitGroup" {
+			return "sync.WaitGroup.Wait", true
+		}
+	case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	}
+	return "", false
+}
+
+// typeName returns the bare name of a (possibly pointer) named type.
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// unclosedResourceCheck flags values that carry a Close/Free/Unmount
+// method, are obtained from a creation call (New*, Open*, Dial*,
+// Accept, Announce, Clone, ...), and then neither reach a close on any
+// use nor escape the function (returned, stored, passed on, captured).
+// In this module such values are conversations, streams, fids, and
+// mounts — dropping one silently strands its peer and its queues.
+var unclosedResourceCheck = &Check{
+	Name: "unclosed-resource",
+	Doc:  "closeable value created, never closed, and never escaping",
+	Run:  runUnclosedResource,
+}
+
+// closerNames are the release methods the paper's resources carry.
+var closerNames = map[string]bool{"Close": true, "Free": true, "Unmount": true}
+
+// creationPrefixes mark callees that transfer ownership to the caller.
+var creationPrefixes = []string{
+	"New", "Open", "Dial", "Create", "Accept", "Announce", "Listen",
+	"Mount", "Import", "Clone", "Attach",
+}
+
+func runUnclosedResource(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		// Walk each outermost function; nested literals are scanned as
+		// part of their parent so captures count as uses.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncResources(p, fd.Body)
+		}
+	}
+}
+
+type tracked struct {
+	obj     types.Object
+	ident   *ast.Ident
+	creator string
+	closed  bool
+	escaped bool
+}
+
+func checkFuncResources(p *Pass, body *ast.BlockStmt) {
+	var all []*tracked
+	byObj := map[types.Object]*tracked{}
+
+	// Pass 1: find creation sites.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !isCreationName(name) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Pkg.Info.Defs[id]
+			if obj == nil {
+				// Plain `=` to an existing variable: reassignment is
+				// tracked only for := definitions to stay simple.
+				continue
+			}
+			if !hasCloser(obj.Type()) {
+				continue
+			}
+			tr := &tracked{obj: obj, ident: id, creator: name}
+			all = append(all, tr)
+			byObj[obj] = tr
+		}
+		return true
+	})
+	if len(all) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each tracked object.
+	w := &useWalker{p: p, byObj: byObj}
+	w.walk(body, nil)
+
+	for _, tr := range all {
+		if !tr.closed && !tr.escaped {
+			p.Reportf(tr.ident.Pos(), "%s from %s is never closed and never escapes this function (needs %s)",
+				tr.ident.Name, tr.creator, closerFor(tr.obj.Type()))
+		}
+	}
+}
+
+// useWalker visits the function with a parent stack, classifying each
+// use of a tracked identifier.
+type useWalker struct {
+	p     *Pass
+	byObj map[types.Object]*tracked
+}
+
+func (w *useWalker) walk(n ast.Node, parents []ast.Node) {
+	if n == nil {
+		return
+	}
+	if id, ok := n.(*ast.Ident); ok {
+		if tr := w.byObj[w.p.Pkg.Info.Uses[id]]; tr != nil {
+			w.classify(tr, id, parents)
+		}
+		return
+	}
+	parents = append(parents, n)
+	for _, child := range childNodes(n) {
+		w.walk(child, parents)
+	}
+}
+
+func (w *useWalker) classify(tr *tracked, id *ast.Ident, parents []ast.Node) {
+	if len(parents) == 0 {
+		return
+	}
+	parent := parents[len(parents)-1]
+
+	// Any mention of a close method counts as arranging the close: a
+	// direct c.Close() (deferred or not, even inside a nested
+	// literal), or the method value c.Close handed to a lifecycle
+	// hook like OnClose.
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+		if closerNames[sel.Sel.Name] {
+			tr.closed = true
+		}
+		// Other method calls and field reads on the value are local
+		// uses, not escapes.
+		return
+	}
+
+	switch parent := parent.(type) {
+	case *ast.CallExpr:
+		for _, a := range parent.Args {
+			if a == id {
+				tr.escaped = true // ownership may transfer
+				return
+			}
+		}
+	case *ast.UnaryExpr, *ast.StarExpr:
+		tr.escaped = true // address taken or dereferenced into elsewhere
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt, *ast.IndexExpr:
+		tr.escaped = true
+	case *ast.AssignStmt:
+		for _, r := range parent.Rhs {
+			if r == id {
+				tr.escaped = true // aliased into another variable
+				return
+			}
+		}
+	case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.CaseClause, *ast.TypeAssertExpr:
+		// Comparisons and conditions are neutral reads.
+	}
+}
+
+// childNodes lists a node's immediate children, in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// calleeName extracts the called function's bare name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isCreationName(name string) bool {
+	for _, p := range creationPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCloser reports whether t (or *t) carries one of the release
+// methods, excluding trivial types.
+func hasCloser(t types.Type) bool {
+	return closerFor(t) != ""
+}
+
+func closerFor(t types.Type) string {
+	for _, name := range []string{"Close", "Free", "Unmount"} {
+		if hasMethod(t, name) {
+			return name
+		}
+	}
+	return ""
+}
+
+func hasMethod(t types.Type, name string) bool {
+	// Look through the pointer method set too.
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name && ms.At(i).Obj().Exported() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+// Corpus for the naked-ctl-string check.
+package ctlcase
+
+import "fmt"
+
+type file struct{}
+
+func (f *file) Write(p []byte) (int, error)       { return len(p), nil }
+func (f *file) WriteString(s string) (int, error) { return len(s), nil }
+
+func naked(f *file, addr string) {
+	f.WriteString("connect " + addr)            // want naked-ctl-string "netmsg.Connect"
+	f.Write([]byte("announce " + addr))         // want naked-ctl-string "netmsg.Announce"
+	f.WriteString(fmt.Sprintf("push %s", addr)) // want naked-ctl-string "netmsg.Push"
+	f.WriteString("hangup")                     // want naked-ctl-string "netmsg.Hangup"
+	f.WriteString(string("reject " + addr))     // want naked-ctl-string "netmsg.Reject"
+}
+
+// The rest must stay silent.
+
+func fine(f *file, addr string, msg string) {
+	f.WriteString("status " + addr) // not a ctl verb
+	f.WriteString(msg)              // no literal prefix to judge
+	f.WriteString("disconnected")   // verb must be a whole word
+}

@@ -1,0 +1,70 @@
+// Corpus for the unjoined-goroutine check.
+package gocase
+
+import "time"
+
+func leakyLoop() {
+	go func() { // want unjoined-goroutine "no shutdown path"
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func leakyEmptySelect() {
+	go func() { // want unjoined-goroutine "no shutdown path"
+		select {}
+	}()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func work() {}
+
+func leakyNamed() {
+	go spin() // want unjoined-goroutine "no shutdown path"
+}
+
+// The rest must stay silent.
+
+func joinedByDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+}
+
+func joinedByRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func exitsOnError(read func() error) {
+	go func() {
+		for {
+			if read() != nil {
+				return
+			}
+		}
+	}()
+}
+
+func boundedLoop() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			work()
+		}
+	}()
+}

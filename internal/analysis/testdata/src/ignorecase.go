@@ -1,0 +1,38 @@
+// Corpus for the //netvet:ignore directive: same-line and line-above
+// placement suppress, a bare directive suppresses every check, and a
+// directive naming a different check suppresses nothing.
+package ignorecase
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sameLine(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 //netvet:ignore lock-across-send deliberate: peer never drains under this lock
+	b.mu.Unlock()
+}
+
+func lineAbove(b *box) {
+	b.mu.Lock()
+	//netvet:ignore lock-across-send deliberate
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+func bareDirective(b *box) {
+	b.mu.Lock()
+	//netvet:ignore
+	b.ch <- 1
+	b.mu.Unlock()
+}
+
+func wrongCheckName(b *box) {
+	b.mu.Lock()
+	//netvet:ignore unclosed-resource names a different check
+	b.ch <- 1 // want lock-across-send "channel send while holding b.mu"
+	b.mu.Unlock()
+}

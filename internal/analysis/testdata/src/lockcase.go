@@ -1,0 +1,115 @@
+// Corpus for the lock-across-send check. Each `want` comment asserts
+// one diagnostic at that exact line.
+package lockcase
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendWhileLocked(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want lock-across-send "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func recvWhileLocked(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want lock-across-send "channel receive while holding b.mu"
+}
+
+func selectWhileLocked(b *box, done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want lock-across-send "select while holding b.mu"
+	case <-done:
+	}
+}
+
+func sleepWhileLocked(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want lock-across-send "time.Sleep while holding b.mu"
+	b.mu.Unlock()
+}
+
+func waitWhileLocked(b *box, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want lock-across-send "sync.WaitGroup.Wait while holding b.mu"
+	b.mu.Unlock()
+}
+
+func rangeWhileLocked(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want lock-across-send "range over channel while holding b.mu"
+		_ = v
+	}
+}
+
+type pair struct {
+	a, b sync.Mutex
+}
+
+func inversion(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want lock-across-send "acquiring p.b while holding p.a"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+type rbox struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func rlockSend(r *rbox) {
+	r.mu.RLock()
+	r.ch <- 1 // want lock-across-send "channel send while holding r.mu"
+	r.mu.RUnlock()
+}
+
+// The rest must stay silent.
+
+func unlockBeforeSend(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1 // released first
+}
+
+func nonBlockingSelect(b *box, done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case <-done:
+	default: // cannot block
+	}
+}
+
+func condWaitReleases(b *box) {
+	c := sync.NewCond(&b.mu)
+	b.mu.Lock()
+	c.Wait() // Cond.Wait releases its locker
+	b.mu.Unlock()
+}
+
+func branchLocalLock(b *box, hot bool) {
+	if hot {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	b.ch <- 1 // no lock held on this path
+}
+
+func sendInNestedLiteral(b *box) func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() {
+		b.ch <- 1 // runs after the region; analyzed as its own body
+	}
+}

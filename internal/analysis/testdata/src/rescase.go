@@ -1,0 +1,76 @@
+// Corpus for the unclosed-resource check.
+package rescase
+
+type conn struct{}
+
+func (c *conn) Close() error { return nil }
+func (c *conn) Ping()        {}
+
+type ring struct{}
+
+func (r *ring) Free()     {}
+func (r *ring) Size() int { return 0 }
+
+func NewConn() *conn  { return &conn{} }
+func OpenRing() *ring { return &ring{} }
+func helper() *conn   { return nil }
+
+func dropped() {
+	c := NewConn() // want unclosed-resource "never closed"
+	c.Ping()
+}
+
+func droppedRing() {
+	r := OpenRing() // want unclosed-resource "needs Free"
+	r.Size()
+}
+
+// The rest must stay silent.
+
+func closedDirectly() {
+	c := NewConn()
+	c.Ping()
+	c.Close()
+}
+
+func closedByDefer() {
+	c := NewConn()
+	defer c.Close()
+	c.Ping()
+}
+
+func onClose(f func() error) {}
+
+func closerHandedOff() {
+	c := NewConn()
+	onClose(c.Close) // method value arranges the close
+}
+
+func escapesReturn() *conn {
+	c := NewConn()
+	return c
+}
+
+func consume(c *conn) {}
+
+func escapesArg() {
+	c := NewConn()
+	consume(c)
+}
+
+type holder struct{ c *conn }
+
+func escapesStore(h *holder) {
+	c := NewConn()
+	h.c = c
+}
+
+func escapesChannel(ch chan *conn) {
+	c := NewConn()
+	ch <- c
+}
+
+func notACreationCall() {
+	c := helper() // helper transfers no ownership by name
+	c.Ping()
+}

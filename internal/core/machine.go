@@ -279,6 +279,15 @@ func (m *Machine) Close() {
 	for i := len(closers) - 1; i >= 0; i-- {
 		closers[i]()
 	}
+	// Kill the protocol engines before the stack: dying conversations
+	// wake their timers and any reader still blocked in a service
+	// handler, so machine teardown leaves no goroutine behind.
+	if m.TCP != nil {
+		m.TCP.Close()
+	}
+	if m.IL != nil {
+		m.IL.Close()
+	}
 	if m.Stack != nil {
 		m.Stack.Close()
 	}

@@ -90,17 +90,34 @@ type Conn struct {
 
 var _ xport.Conn = (*Conn)(nil)
 
-// attach claims the link for this conversation.
+// attach claims the link for this conversation. Lock order on a link
+// is e.mu before c.mu (Listen polls isClosed while holding e.mu), so
+// the wire is claimed first and the conversation marked after, never
+// nesting the two the other way around.
 func (c *Conn) attach() error {
 	e := c.end
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.init()
 	if e.conn != nil && e.conn != c {
+		e.mu.Unlock()
 		return xport.ErrInUse
 	}
 	e.conn = c
+	e.mu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		// Lost a race with Close: give the wire back.
+		c.mu.Unlock()
+		e.mu.Lock()
+		if e.conn == c {
+			e.conn = nil
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		return vfs.ErrHungup
+	}
 	c.attached = true
+	c.mu.Unlock()
 	return nil
 }
 
@@ -108,10 +125,11 @@ func (c *Conn) attach() error {
 // the other end of the fiber).
 func (c *Conn) Connect(addr string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return vfs.ErrHungup
 	}
+	c.mu.Unlock()
 	return c.attach()
 }
 
@@ -207,14 +225,17 @@ func (c *Conn) Status() string {
 	return "Closed"
 }
 
-// Close implements xport.Conn.
+// Close implements xport.Conn. c.mu is released before e.mu is taken:
+// Listen holds e.mu while polling isClosed (which needs c.mu), so
+// nesting them here deadlocks a concurrent Listen+Close.
 func (c *Conn) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	c.mu.Unlock()
 	e := c.end
 	e.mu.Lock()
 	e.init()

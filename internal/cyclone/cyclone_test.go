@@ -185,3 +185,44 @@ func TestEndName(t *testing.T) {
 		t.Errorf("device name %q", ea.Name())
 	}
 }
+
+// TestConcurrentListenClose is the regression test for the lock-order
+// inversion netvet caught: Close used to take e.mu while holding c.mu,
+// while Listen holds e.mu and polls isClosed (c.mu) — a deadlock when
+// a blocked listener and a closing conversation race. Hammer the pair
+// under a watchdog.
+func TestConcurrentListenClose(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			l := NewLink("cyc0", medium.Profile{})
+			ea, _ := l.Ends()
+			holder, _ := ea.NewConn()
+			holder.Connect("") // wire busy: Listen will park on the cond
+			lc, _ := ea.NewConn()
+			lc.Announce("")
+			listened := make(chan struct{})
+			go func() {
+				if nc, err := lc.Listen(); err == nil {
+					nc.Close()
+				}
+				close(listened)
+			}()
+			closed := make(chan struct{})
+			go func() {
+				lc.Close() // old code: e.mu under c.mu — deadlock window
+				close(closed)
+			}()
+			holder.Close() // frees the wire, broadcasts the cond
+			<-listened
+			<-closed
+			l.Close()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: concurrent Listen+Close never finished")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"path"
 	"strings"
 
+	"repro/internal/netmsg"
 	"repro/internal/ns"
 	"repro/internal/vfs"
 )
@@ -125,7 +126,7 @@ func connectOne(nsp *ns.Namespace, clone, addr string) (*Conn, error) {
 		return nil, fmt.Errorf("dial: reading clone: %v", err)
 	}
 	dir := path.Dir(ns.Clean(clone)) + "/" + strings.TrimSpace(string(buf[:n]))
-	if _, err := ctl.WriteString("connect " + addr); err != nil {
+	if _, err := ctl.WriteString(netmsg.Connect(addr)); err != nil {
 		ctl.Close()
 		return nil, err
 	}
@@ -195,7 +196,7 @@ func Announce(nsp *ns.Namespace, addr string) (*Listener, error) {
 			continue
 		}
 		dir := path.Dir(ns.Clean(clone)) + "/" + strings.TrimSpace(string(buf[:n]))
-		if _, err := ctl.WriteString("announce " + a); err != nil {
+		if _, err := ctl.WriteString(netmsg.Announce(a)); err != nil {
 			ctl.Close()
 			lastErr = err
 			continue
@@ -248,6 +249,6 @@ func (c *Call) Accept() (*Conn, error) {
 // Reject refuses the call. Some networks accept a reason; networks
 // such as IP ignore it (§5.2).
 func (c *Call) Reject(reason string) error {
-	c.ctl.WriteString("reject " + reason)
+	c.ctl.WriteString(netmsg.Reject(reason))
 	return c.ctl.Close()
 }

@@ -388,6 +388,7 @@ func (ifc *Interface) OpenConn() (*Conn, error) {
 			c = &Conn{ifc: ifc, id: id}
 			ifc.conns[id] = c
 		}
+		//netvet:ignore lock-across-send fixed hierarchy: interface before conversation, never reversed
 		c.mu.Lock()
 		free := c.inuse == 0
 		if free {

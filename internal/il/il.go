@@ -167,6 +167,33 @@ func New(stack *ip.Stack, cfg Config) *Proto {
 // Name implements xport.Proto.
 func (p *Proto) Name() string { return "il" }
 
+// Close tears the whole engine down at machine shutdown: every
+// conversation dies immediately — no close exchange, the machine is
+// going away — and every listener stops accepting, so per-connection
+// timers and blocked readers, writers, and accepts all wake and exit.
+func (p *Proto) Close() {
+	p.mu.Lock()
+	all := make([]*Conn, 0, len(p.conns)+len(p.listeners))
+	for _, c := range p.conns {
+		all = append(all, c)
+	}
+	for _, l := range p.listeners {
+		all = append(all, l)
+	}
+	p.conns = make(map[connKey]*Conn)
+	p.listeners = make(map[uint16]*Conn)
+	p.mu.Unlock()
+	for _, c := range all {
+		c.mu.Lock()
+		if c.state == Listening && !c.acceptClosed {
+			c.acceptClosed = true
+			close(c.accepted)
+		}
+		c.diedLocked(vfs.ErrHungup)
+		c.mu.Unlock()
+	}
+}
+
 // NewConn implements xport.Proto.
 func (p *Proto) NewConn() (xport.Conn, error) { return p.newConn(), nil }
 
@@ -393,6 +420,7 @@ func (c *Conn) Connect(addr string) error {
 	}
 	p := c.proto
 	p.mu.Lock()
+	//netvet:ignore lock-across-send fixed hierarchy: protocol before conversation, never reversed
 	c.mu.Lock()
 	if c.state != Closed {
 		c.mu.Unlock()
@@ -449,6 +477,7 @@ func (c *Conn) Announce(addr string) error {
 	p := c.proto
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	//netvet:ignore lock-across-send fixed hierarchy: protocol before conversation, never reversed
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.state != Closed {

@@ -29,7 +29,11 @@ func pair(t *testing.T, prof ether.Profile, cfg Config) (*Proto, *Proto, ip.Addr
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s1.Close(); s2.Close() })
-	return New(s1, cfg), New(s2, cfg), a1, a2
+	p1, p2 := New(s1, cfg), New(s2, cfg)
+	// Engine teardown kills straggling conversations so their timers
+	// don't outlive the test.
+	t.Cleanup(func() { p1.Close(); p2.Close() })
+	return p1, p2, a1, a2
 }
 
 // connect establishes a conversation from p1 to an announced port on p2.

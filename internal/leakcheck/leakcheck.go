@@ -1,0 +1,101 @@
+// Package leakcheck is the runtime half of the repo's goroutine-leak
+// discipline (netvet is the static half). A test that spins up stream
+// queues, protocol engines, or a whole paper-world must wind every
+// goroutine down when its machines close; a survivor either wedges a
+// later test or hides a real shutdown bug. Check diffs the live
+// goroutine set against the module's own code paths after the test
+// body returns, giving stragglers a grace period to finish parking
+// out of existence.
+//
+// Usage, one line per test:
+//
+//	defer leakcheck.Check(t)
+//
+// or one gate for a whole package:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxWait bounds how long a lingering goroutine is given to exit
+// before it is declared leaked. Shutdown in this module is
+// asynchronous (close-wakes propagate through queues and conds), so
+// the checker polls with backoff instead of failing on first sight.
+// A variable, not a constant, so the self-test can shorten it.
+var maxWait = 5 * time.Second
+
+// Check fails t if goroutines running module code are still alive
+// once the grace period lapses. Defer it first thing in the test so
+// it runs after the test's own cleanup (world Close, conn Close).
+func Check(t testing.TB) {
+	t.Helper()
+	if leaked := wait(); len(leaked) > 0 {
+		t.Errorf("leaked %d goroutine(s):\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// Main wraps m.Run for packages that prefer a single gate at process
+// exit over per-test checks.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := wait(); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: leaked %d goroutine(s):\n\n%s\n", len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// wait polls for the interesting set to drain, with exponential
+// backoff up to maxWait, and returns whatever is left.
+func wait() []string {
+	deadline := time.Now().Add(maxWait)
+	delay := time.Millisecond
+	for {
+		leaked := interesting()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// interesting snapshots every goroutine and keeps the ones running
+// (or created by) this module's code. The calling goroutine, other
+// tests' tRunner goroutines, and runtime/testing machinery are not
+// ours to account for.
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	records := strings.Split(string(buf[:n]), "\n\n")
+	var out []string
+	for i, rec := range records {
+		if i == 0 {
+			continue // the goroutine calling Check
+		}
+		if !strings.Contains(rec, "repro/internal/") && !strings.Contains(rec, "repro/cmd/") {
+			continue
+		}
+		if strings.Contains(rec, "testing.tRunner") {
+			continue // a (parallel) test body, joined by the framework
+		}
+		out = append(out, rec)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package leakcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records the failure Check reports instead of failing the
+// real test.
+type fakeTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	f := &fakeTB{}
+	Check(f)
+	if f.failed {
+		t.Fatalf("clean run flagged as leaking:\n%s", f.msg)
+	}
+}
+
+func leakyPump(stop chan struct{}) { <-stop }
+
+func TestCatchesLeakAndNamesIt(t *testing.T) {
+	old := maxWait
+	maxWait = 200 * time.Millisecond
+	defer func() { maxWait = old }()
+
+	stop := make(chan struct{})
+	go leakyPump(stop)
+	f := &fakeTB{}
+	Check(f)
+	close(stop)
+	if !f.failed {
+		t.Fatal("leaked goroutine not reported")
+	}
+	if !strings.Contains(f.msg, "leakyPump") {
+		t.Errorf("report does not name the leaking function:\n%s", f.msg)
+	}
+}
+
+func TestGracePeriodCoversLateExits(t *testing.T) {
+	stop := make(chan struct{})
+	go leakyPump(stop)
+	// The pump exits only after Check has started polling.
+	time.AfterFunc(50*time.Millisecond, func() { close(stop) })
+	f := &fakeTB{}
+	Check(f)
+	if f.failed {
+		t.Fatalf("goroutine that exits within the grace period flagged:\n%s", f.msg)
+	}
+}

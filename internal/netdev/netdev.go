@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/devtree"
+	"repro/internal/netmsg"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -81,6 +82,7 @@ func (d *Dev) alloc() (*conv, error) {
 			c = &conv{dev: d, id: id}
 			d.convs[id] = c
 		}
+		//netvet:ignore lock-across-send fixed hierarchy: device before conversation, never reversed
 		c.mu.Lock()
 		free := c.inuse == 0
 		if free {
@@ -111,6 +113,7 @@ func (d *Dev) adopt(conn xport.Conn) (*conv, error) {
 			c = &conv{dev: d, id: id}
 			d.convs[id] = c
 		}
+		//netvet:ignore lock-across-send fixed hierarchy: device before conversation, never reversed
 		c.mu.Lock()
 		free := c.inuse == 0
 		if free {
@@ -242,10 +245,9 @@ func (d *Dev) convCtl(c *conv, cmd string) error {
 	if conn == nil {
 		return vfs.ErrHungup
 	}
-	verb, arg, _ := strings.Cut(cmd, " ")
-	arg = strings.TrimSpace(arg)
+	verb, arg := netmsg.Parse(cmd)
 	switch verb {
-	case "connect":
+	case netmsg.VerbConnect:
 		if arg == "" {
 			return vfs.ErrBadCtl
 		}
@@ -254,14 +256,14 @@ func (d *Dev) convCtl(c *conv, cmd string) error {
 		// networks do not support it, §5.1).
 		addr, _, _ := strings.Cut(arg, " ")
 		return conn.Connect(addr)
-	case "announce":
+	case netmsg.VerbAnnounce:
 		if arg == "" {
 			return vfs.ErrBadCtl
 		}
 		return conn.Announce(arg)
-	case "hangup":
+	case netmsg.VerbHangup:
 		return conn.Close()
-	case "reject":
+	case netmsg.VerbReject:
 		// Datakit accepts a reason; IP networks ignore it (§5.2).
 		return conn.Close()
 	default:

@@ -31,9 +31,13 @@ func world(t *testing.T) (nsA, nsB *ns.Namespace, addrA, addrB ip.Addr) {
 			t.Fatal(err)
 		}
 		t.Cleanup(st.Close)
+		tp, ilp := tcp.New(st), il.New(st, il.Config{})
+		// Engine teardown wakes any goroutine still parked in a
+		// blocking listen open when the test ends.
+		t.Cleanup(func() { tp.Close(); ilp.Close() })
 		nsp := ns.New("bootes", ramfs.New("bootes").Root())
-		nsp.MountDevice(New(tcp.New(st), "bootes"), "", "/net/tcp", ns.MREPL)
-		nsp.MountDevice(New(il.New(st, il.Config{}), "bootes"), "", "/net/il", ns.MREPL)
+		nsp.MountDevice(New(tp, "bootes"), "", "/net/tcp", ns.MREPL)
+		nsp.MountDevice(New(ilp, "bootes"), "", "/net/il", ns.MREPL)
 		_ = mask
 		return nsp, st
 	}

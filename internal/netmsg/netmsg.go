@@ -1,0 +1,65 @@
+// Package netmsg is the single authority for the ASCII control
+// messages of the paper's protocol devices (§2.3, §5): "connect",
+// "announce", "reject", and the stream configuration verbs "push",
+// "pop", and "hangup". Every producer of a ctl message formats it
+// here; devices parse with Parse. Ad-hoc ctl literals elsewhere are
+// flagged by the naked-ctl-string check of cmd/netvet, so the wire
+// vocabulary cannot drift package by package.
+package netmsg
+
+import "strings"
+
+// Ctl verbs understood by the protocol devices and the stream system.
+const (
+	VerbConnect     = "connect"
+	VerbAnnounce    = "announce"
+	VerbReject      = "reject"
+	VerbHangup      = "hangup"
+	VerbPush        = "push"
+	VerbPop         = "pop"
+	VerbPromiscuous = "promiscuous"
+)
+
+// Connect formats the dial request written to a conversation's ctl
+// file: "connect 135.104.9.31!564" (§2.3).
+func Connect(addr string) string { return VerbConnect + " " + addr }
+
+// ConnectLocal formats a connect carrying a local-address suffix,
+// "connect addr local" — accepted and ignored by most networks (§5.1).
+func ConnectLocal(addr, local string) string {
+	return VerbConnect + " " + addr + " " + local
+}
+
+// Announce formats the request that prepares a conversation to
+// receive calls at a local address (§5.2).
+func Announce(addr string) string { return VerbAnnounce + " " + addr }
+
+// Reject formats the refusal of an incoming call. Some networks carry
+// the reason to the caller; IP networks ignore it (§5.2).
+func Reject(reason string) string {
+	if reason == "" {
+		return VerbReject
+	}
+	return VerbReject + " " + reason
+}
+
+// Hangup returns the ctl message that tears a conversation down.
+func Hangup() string { return VerbHangup }
+
+// Push formats the stream configuration request that pushes a named
+// processing module (§2.4.1).
+func Push(module string) string { return VerbPush + " " + module }
+
+// Pop returns the stream request that removes the top module (§2.4.1).
+func Pop() string { return VerbPop }
+
+// Promiscuous returns the Ethernet diagnostic request that makes a
+// conversation receive a copy of every frame on the wire (§2.2).
+func Promiscuous() string { return VerbPromiscuous }
+
+// Parse splits a ctl message into its verb and argument. The argument
+// is trimmed, so "connect  2048 " parses as ("connect", "2048").
+func Parse(cmd string) (verb, arg string) {
+	verb, arg, _ = strings.Cut(strings.TrimSpace(cmd), " ")
+	return verb, strings.TrimSpace(arg)
+}

@@ -1,0 +1,48 @@
+package netmsg
+
+import "testing"
+
+func TestFormat(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Connect("135.104.9.31!564"), "connect 135.104.9.31!564"},
+		{ConnectLocal("helix!9fs", "*!0"), "connect helix!9fs *!0"},
+		{Announce("*!echo"), "announce *!echo"},
+		{Reject("busy"), "reject busy"},
+		{Reject(""), "reject"},
+		{Hangup(), "hangup"},
+		{Push("frame"), "push frame"},
+		{Pop(), "pop"},
+		{Promiscuous(), "promiscuous"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct{ in, verb, arg string }{
+		{"connect 2048", "connect", "2048"},
+		{"connect  2048 ", "connect", "2048"},
+		{"announce *!564", "announce", "*!564"},
+		{"hangup", "hangup", ""},
+		{"connect addr local", "connect", "addr local"},
+		{"", "", ""},
+	}
+	for _, c := range cases {
+		verb, arg := Parse(c.in)
+		if verb != c.verb || arg != c.arg {
+			t.Errorf("Parse(%q) = %q, %q; want %q, %q", c.in, verb, arg, c.verb, c.arg)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, msg := range []string{Connect("a!b"), Announce("*!c"), Reject("no"), Push("trace")} {
+		verb, arg := Parse(msg)
+		if verb+" "+arg != msg {
+			t.Errorf("round trip %q -> %q %q", msg, verb, arg)
+		}
+	}
+}

@@ -338,6 +338,9 @@ func TestStreamConnFraming(t *testing.T) {
 
 func TestStreamConnRejectsBadSize(t *testing.T) {
 	pr, pw := io.Pipe()
+	// ReadMsg rejects after the 4-byte header; closing the read end
+	// unblocks the writer goroutine stuck on the unconsumed tail.
+	defer pr.Close()
 	sc := NewStreamConn(struct {
 		io.Reader
 		io.Writer

@@ -107,6 +107,36 @@ func New(stack *ip.Stack) *Proto {
 // Name implements xport.Proto.
 func (p *Proto) Name() string { return "tcp" }
 
+// Close tears the whole engine down at machine shutdown: every
+// conversation dies immediately — no FIN exchange, the machine is
+// going away — and every listener stops accepting, so per-connection
+// timers and blocked readers, writers, and accepts all wake and exit.
+func (p *Proto) Close() {
+	p.mu.Lock()
+	all := make([]*Conn, 0, len(p.conns)+len(p.listeners))
+	for _, c := range p.conns {
+		all = append(all, c)
+	}
+	for _, l := range p.listeners {
+		all = append(all, l)
+	}
+	p.conns = make(map[connKey]*Conn)
+	p.listeners = make(map[uint16]*Conn)
+	p.mu.Unlock()
+	for _, c := range all {
+		c.mu.Lock()
+		if c.state == Listen && !c.acceptClosed {
+			c.acceptClosed = true
+			close(c.accepted)
+		}
+		if c.err == nil {
+			c.err = vfs.ErrHungup
+		}
+		c.dieLocked()
+		c.mu.Unlock()
+	}
+}
+
 // NewConn implements xport.Proto.
 func (p *Proto) NewConn() (xport.Conn, error) { return p.newConn(), nil }
 
@@ -316,6 +346,7 @@ func (c *Conn) Connect(addr string) error {
 	}
 	p := c.proto
 	p.mu.Lock()
+	//netvet:ignore lock-across-send fixed hierarchy: protocol before conversation, never reversed
 	c.mu.Lock()
 	if c.state != Closed {
 		c.mu.Unlock()
@@ -367,6 +398,7 @@ func (c *Conn) Announce(addr string) error {
 	p := c.proto
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	//netvet:ignore lock-across-send fixed hierarchy: protocol before conversation, never reversed
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.state != Closed {
@@ -550,7 +582,8 @@ func (c *Conn) segment(h header, data []byte) {
 			if l := c.listener; l != nil {
 				c.listener = nil
 				ok := false
-				l.mu.Lock() // listener code never takes a conn's mu
+				//netvet:ignore lock-across-send listener code never takes a conn's mu, so conn-then-listener cannot invert
+				l.mu.Lock()
 				if !l.acceptClosed {
 					select {
 					case l.accepted <- c:

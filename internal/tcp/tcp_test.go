@@ -29,7 +29,11 @@ func pair(t *testing.T, prof ether.Profile) (*Proto, *Proto, ip.Addr, ip.Addr) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s1.Close(); s2.Close() })
-	return New(s1), New(s2), a1, a2
+	p1, p2 := New(s1), New(s2)
+	// Engine teardown kills straggling conversations (a lost FIN can
+	// strand a passive close) so their timers don't outlive the test.
+	t.Cleanup(func() { p1.Close(); p2.Close() })
+	return p1, p2, a1, a2
 }
 
 func connect(t *testing.T, p1, p2 *Proto, a2 ip.Addr, port string) (xport.Conn, xport.Conn) {

@@ -1,0 +1,30 @@
+#!/bin/sh
+# check.sh — the repo's tier-1 gate: formatting, vet, build, the full
+# test suite under the race detector, and netvet (the in-tree
+# concurrency and resource-lifecycle analyzer). Everything must pass
+# for a PR to land.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== netvet ./..."
+go run ./cmd/netvet ./...
+
+echo "check.sh: all gates passed"
