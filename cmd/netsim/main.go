@@ -5,6 +5,7 @@
 //	netsim -transcript run the §2.3 TCP transcript (cd /net/tcp/2; ls -l; cat local remote status)
 //	netsim -import     run the §6.1 import transcript (ls /net before/after)
 //	netsim -table1     measure Table 1 on calibrated media (see also bench_test.go)
+//	netsim -chaos      torture IL, TCP, URP, 9P and Cyclone across impaired media
 package main
 
 import (
@@ -28,11 +29,21 @@ func main() {
 	imp := flag.Bool("import", false, "run the §6.1 import transcript")
 	table := flag.Bool("table1", false, "reproduce Table 1 on calibrated media")
 	fast := flag.Bool("fast", false, "with -table1: ideal media (code-path cost only)")
+	chaos := flag.Bool("chaos", false, "torture every protocol across impaired media")
+	seed := flag.Int64("seed", 1, "with -chaos: impairment seed (failures replay exactly)")
+	msgs := flag.Int("msgs", 40, "with -chaos: messages per direction")
 	flag.Parse()
 
-	if !*figure1 && !*transcript && !*imp && !*table {
+	if !*figure1 && !*transcript && !*imp && !*table && !*chaos {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *chaos {
+		if failed := runChaos(*seed, *msgs); failed > 0 {
+			fmt.Fprintf(os.Stderr, "netsim: chaos: %d protocols failed\n", failed)
+			os.Exit(1)
+		}
+		return
 	}
 	if *table {
 		cfg := table1.DefaultConfig()

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/medium"
 	"repro/internal/urp"
@@ -115,11 +116,72 @@ type incomingCall struct {
 	service string
 }
 
-// duplexWire adapts a medium.Duplex to urp.Wire.
-type duplexWire struct{ d *medium.Duplex }
+// crcTable drives the CRC-16/CCITT the Datakit hardware framed cells
+// with; table-driven so the per-cell cost stays negligible.
+var crcTable [256]uint16
 
-func (w duplexWire) SendCell(p []byte) error   { return w.d.Send(p) }
-func (w duplexWire) RecvCell() ([]byte, error) { return w.d.Recv() }
+func init() {
+	for i := range crcTable {
+		crc := uint16(i) << 8
+		for range 8 {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		crcTable[i] = crc
+	}
+}
+
+func crc16(p []byte) uint16 {
+	var crc uint16
+	for _, b := range p {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// fcsLen is the per-cell frame check sequence the hardware appends.
+const fcsLen = 2
+
+// duplexWire adapts a medium.Duplex to urp.Wire, modeling the Datakit
+// hardware framing: every cell carries a CRC-16 FCS. A cell damaged
+// in flight fails the check and is discarded as if lost — URP never
+// sees corrupt data (its cells carry no checksum of their own; the
+// real hardware made the same promise), and it recovers the gap with
+// its REJ/ENQ machinery.
+type duplexWire struct {
+	d    *medium.Duplex
+	errs *atomic.Int64
+}
+
+func (w duplexWire) SendCell(p []byte) error {
+	cell := make([]byte, len(p)+fcsLen)
+	copy(cell, p)
+	fcs := crc16(p)
+	cell[len(p)] = byte(fcs >> 8)
+	cell[len(p)+1] = byte(fcs)
+	return w.d.Send(cell)
+}
+
+func (w duplexWire) RecvCell() ([]byte, error) {
+	for {
+		cell, err := w.d.Recv()
+		if err != nil {
+			return nil, err
+		}
+		n := len(cell) - fcsLen
+		if n < 0 || crc16(cell[:n]) != uint16(cell[n])<<8|uint16(cell[n+1]) {
+			if w.errs != nil {
+				w.errs.Add(1)
+			}
+			continue
+		}
+		return cell[:n], nil
+	}
+}
+
 func (w duplexWire) Close() error {
 	w.d.Close()
 	return nil
@@ -129,6 +191,8 @@ func (w duplexWire) Close() error {
 type Proto struct {
 	host  *Host
 	Stats urp.Stats
+	// FCSErrs counts cells the hardware discarded as damaged.
+	FCSErrs atomic.Int64
 }
 
 var _ xport.Proto = (*Proto)(nil)
@@ -174,7 +238,7 @@ func (c *Conn) Connect(addr string) error {
 	if err != nil {
 		return err
 	}
-	c.urp = urp.New(duplexWire{wire}, &c.proto.Stats)
+	c.urp = urp.New(duplexWire{wire, &c.proto.FCSErrs}, &c.proto.Stats)
 	c.local = c.proto.host.name
 	c.remote = addr
 	c.service = service
@@ -227,7 +291,7 @@ func (c *Conn) Listen() (xport.Conn, error) {
 	}
 	nc := &Conn{
 		proto:   c.proto,
-		urp:     urp.New(duplexWire{call.wire}, &c.proto.Stats),
+		urp:     urp.New(duplexWire{call.wire, &c.proto.FCSErrs}, &c.proto.Stats),
 		local:   c.proto.host.name + "!" + call.service,
 		remote:  call.remote,
 		service: call.service,

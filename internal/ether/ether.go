@@ -15,8 +15,9 @@
 package ether
 
 import (
+	"encoding/binary"
 	"fmt"
-	"math/rand"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,14 @@ import (
 
 // HdrLen is the Ethernet frame header: dst[6] src[6] type[2].
 const HdrLen = 14
+
+// fcsLen is the frame check sequence the transmitting hardware
+// appends: a CRC32, as on the real wire. Receiving interfaces verify
+// and strip it, dropping damaged frames and counting crc errs —
+// which is why bit corruption on an Ethernet shows up to protocols as
+// loss, and end-to-end checksums (IL, TCP) exist for corruption
+// introduced above the hardware CRC.
+const fcsLen = 4
 
 // MaxConns bounds the conversations per interface, like the fixed
 // conversation tables of the kernel driver.
@@ -64,8 +73,14 @@ type Profile struct {
 	MTU int
 	// Loss is the probability in [0,1) that a frame is dropped.
 	Loss float64
-	// Seed seeds the loss generator for reproducibility.
+	// Seed seeds the impairment generator for reproducibility.
 	Seed int64
+	// Impair extends Loss into the full fault model (duplication,
+	// reordering, corruption, jitter, bursty loss, partitions), all
+	// replayable from Seed. See medium.Impairment. Corrupted frames
+	// fail the FCS at every receiving interface, so corruption
+	// surfaces as loss plus a crc errs count — as on real hardware.
+	Impair medium.Impairment
 }
 
 func (p Profile) mtu() int {
@@ -80,10 +95,10 @@ func (p Profile) mtu() int {
 type Segment struct {
 	name    string
 	profile Profile
+	im      *medium.Impairer // nil on an unimpaired, lossless segment
 
 	mu     sync.Mutex
 	ifaces []*Interface
-	rng    *rand.Rand
 	closed bool
 
 	txq  chan txFrame
@@ -100,12 +115,32 @@ func NewSegment(name string, p Profile) *Segment {
 	seg := &Segment{
 		name:    name,
 		profile: p,
-		rng:     rand.New(rand.NewSource(p.Seed + 1)),
 		txq:     make(chan txFrame, 256),
 		done:    make(chan struct{}),
 	}
+	if p.Impair.Armed(p.Loss) {
+		seg.im = medium.NewImpairer(p.Seed+1, p.Loss, p.Impair)
+	}
 	go seg.transmitter()
 	return seg
+}
+
+// Schedule returns the segment's recorded impairment decisions
+// (requires Profile.Impair.Record); nil when unimpaired.
+func (seg *Segment) Schedule() []medium.Decision {
+	if seg.im == nil {
+		return nil
+	}
+	return seg.im.Schedule()
+}
+
+// ImpairCounts returns the segment's impairment counters; zero when
+// unimpaired.
+func (seg *Segment) ImpairCounts() medium.Counts {
+	if seg.im == nil {
+		return medium.Counts{}
+	}
+	return seg.im.Counts()
 }
 
 // Name returns the segment's name.
@@ -176,10 +211,19 @@ func (seg *Segment) transmitter() {
 				lineFree = lineFree.Add(d)
 				medium.SleepUntil(lineFree)
 			}
-			seg.mu.Lock()
-			drop := p.Loss > 0 && seg.rng.Float64() < p.Loss
-			seg.mu.Unlock()
-			if drop {
+			if seg.im != nil {
+				// The impairer decides drop/duplicate/corrupt/hold
+				// for this wire position; each resulting copy is
+				// scheduled at latency plus its jitter. The single
+				// transmitter goroutine defines wire-position order,
+				// so a fixed seed replays the identical schedule.
+				for _, e := range seg.im.Apply(tx.frame) {
+					select {
+					case sched <- timedFrame{tx: txFrame{from: tx.from, frame: e.Data}, at: time.Now().Add(p.Latency + e.Delay)}:
+					case <-seg.done:
+						return
+					}
+				}
 				continue
 			}
 			select {
@@ -191,12 +235,16 @@ func (seg *Segment) transmitter() {
 	}
 }
 
-// transmit queues a frame on the wire.
+// transmit queues a frame on the wire, appending the hardware FCS.
 func (seg *Segment) transmit(from *Interface, frame []byte) error {
 	if len(frame)-HdrLen > seg.profile.mtu() {
 		return fmt.Errorf("ether: packet exceeds MTU (%d > %d)", len(frame)-HdrLen, seg.profile.mtu())
 	}
-	fast := seg.profile.Bandwidth == 0 && seg.profile.Latency == 0 && seg.profile.Loss == 0
+	wire := make([]byte, len(frame)+fcsLen)
+	copy(wire, frame)
+	binary.BigEndian.PutUint32(wire[len(frame):], crc32.ChecksumIEEE(frame))
+	frame = wire
+	fast := seg.profile.Bandwidth == 0 && seg.profile.Latency == 0 && seg.im == nil
 	if fast {
 		// Synchronous fast path for an ideal medium: no pacing,
 		// no reordering possible.
@@ -244,8 +292,11 @@ type Interface struct {
 	inBytes    atomic.Int64
 	outBytes   atomic.Int64
 	overflows  atomic.Int64
-	crcErrs    atomic.Int64 // kept for stats-format fidelity; always 0
+	crcErrs    atomic.Int64 // frames that failed the FCS check
 }
+
+// CRCErrs reports how many damaged frames the interface discarded.
+func (ifc *Interface) CRCErrs() int64 { return ifc.crcErrs.Load() }
 
 // NewInterface attaches a new station to the segment. name is the
 // device name it will carry in a file tree ("ether0").
@@ -301,13 +352,22 @@ func (ifc *Interface) reader() {
 		case <-ifc.closed:
 			return
 		case frame := <-ifc.in:
-			if len(frame) < HdrLen {
+			// Verify and strip the FCS: a frame damaged on the wire
+			// never reaches the protocols — the hardware drops it and
+			// counts a crc error, and recovery is the transport's
+			// problem (loss, not corruption).
+			if len(frame) < HdrLen+fcsLen {
+				ifc.crcErrs.Add(1)
+				continue
+			}
+			body := frame[:len(frame)-fcsLen]
+			if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(frame[len(frame)-fcsLen:]) {
 				ifc.crcErrs.Add(1)
 				continue
 			}
 			ifc.inPackets.Add(1)
-			ifc.inBytes.Add(int64(len(frame)))
-			ifc.demux(frame)
+			ifc.inBytes.Add(int64(len(body)))
+			ifc.demux(body)
 		}
 	}
 }

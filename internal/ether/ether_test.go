@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/medium"
 	"repro/internal/ns"
 	"repro/internal/ramfs"
 	"repro/internal/vfs"
@@ -464,4 +465,108 @@ func TestUnreadConversationDoesNotWedgeInterface(t *testing.T) {
 		}
 	}
 	t.Error("marker frame never reached the live conversation")
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestImpairmentDuplicatesFrames(t *testing.T) {
+	seg := newSeg(t, Profile{Seed: 1, Impair: medium.Impairment{Duplicate: 1}})
+	i1 := seg.NewInterface("ether0")
+	i2 := seg.NewInterface("ether1")
+	c1, _ := i1.OpenConn()
+	c2, _ := i2.OpenConn()
+	defer c1.Close()
+	defer c2.Close()
+	c1.SetType(0x900)
+	c2.SetType(0x900)
+	if err := c1.Transmit(i2.Addr(), []byte("echoed")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	for copies := range 2 {
+		n := mustRead(t, c2, buf)
+		if string(buf[HdrLen:n]) != "echoed" {
+			t.Fatalf("copy %d: %q", copies, buf[:n])
+		}
+	}
+	if c := seg.ImpairCounts(); c.Duplicated != 1 || c.Emitted != 2 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestImpairmentReordersFrames(t *testing.T) {
+	seg := newSeg(t, Profile{Seed: 2, Impair: medium.Impairment{Reorder: 0.5, ReorderDepth: 3}})
+	i1 := seg.NewInterface("ether0")
+	i2 := seg.NewInterface("ether1")
+	c1, _ := i1.OpenConn()
+	c2, _ := i2.OpenConn()
+	defer c1.Close()
+	defer c2.Close()
+	c1.SetType(0x900)
+	c2.SetType(0x900)
+	const frames = 50
+	for i := range frames {
+		if err := c1.Transmit(i2.Addr(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "transmitter to drain", func() bool { return seg.ImpairCounts().Sent == frames })
+	counts := seg.ImpairCounts()
+	if counts.Held == 0 {
+		t.Fatal("reorder never held a frame")
+	}
+	buf := make([]byte, 256)
+	var order []int
+	for range counts.Emitted {
+		n := mustRead(t, c2, buf)
+		order = append(order, int(buf[n-1]))
+	}
+	misordered := false
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			misordered = true
+		}
+	}
+	if !misordered {
+		t.Errorf("delivery order %v never misordered", order)
+	}
+}
+
+// TestCorruptFramesFailFCS checks the hardware contract: a frame
+// damaged on the wire fails the interface FCS check and is counted,
+// never delivered — corruption on an Ethernet reaches protocols as
+// loss, exactly like the real LANCE.
+func TestCorruptFramesFailFCS(t *testing.T) {
+	seg := newSeg(t, Profile{Seed: 3, Impair: medium.Impairment{Corrupt: 1}})
+	i1 := seg.NewInterface("ether0")
+	i2 := seg.NewInterface("ether1")
+	c1, _ := i1.OpenConn()
+	c2, _ := i2.OpenConn()
+	defer c1.Close()
+	defer c2.Close()
+	c1.SetType(0x900)
+	c2.SetType(0x900)
+	const frames = 20
+	for i := range frames {
+		if err := c1.Transmit(i2.Addr(), []byte{byte(i), 0xaa, 0x55}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// CRC32 detects every single-bit error, so all 20 must bounce.
+	waitFor(t, "crc errors", func() bool { return i2.CRCErrs() == frames })
+	if q := c2.Stream().QueuedBytes(); q != 0 {
+		t.Errorf("%d bytes of corrupt frames reached the conversation", q)
+	}
+	if !strings.Contains(i2.Stats(), "crc errs: 20") {
+		t.Errorf("stats file does not report the crc errors:\n%s", i2.Stats())
+	}
 }

@@ -140,6 +140,7 @@ type Proto struct {
 	OutOfWindow  atomic.Int64
 	MsgsSent     atomic.Int64
 	MsgsRcvd     atomic.Int64
+	ChecksumErrs atomic.Int64
 }
 
 type connKey struct {
@@ -288,6 +289,10 @@ func unmarshal(p []byte) (header, []byte, bool) {
 func (p *Proto) recv(src, dst ip.Addr, payload []byte) {
 	h, data, ok := unmarshal(payload)
 	if !ok {
+		// The whole-packet checksum failed (or the packet was
+		// malformed): corruption that slipped past every lower-layer
+		// CRC ends here, detected, never delivered (§3).
+		p.ChecksumErrs.Add(1)
 		return
 	}
 	p.MsgsRcvd.Add(1)

@@ -9,7 +9,6 @@ package medium
 
 import (
 	"errors"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -44,6 +43,10 @@ type Profile struct {
 	MTU       int           // largest message; 0 = unlimited
 	Loss      float64       // drop probability in [0,1)
 	Seed      int64
+	// Impair extends Loss into the full fault model: duplication,
+	// reordering, corruption, jitter, bursty loss, and scheduled
+	// partitions, all replayable from Seed. See Impairment.
+	Impair Impairment
 }
 
 // Errors.
@@ -55,9 +58,9 @@ var (
 // Pipe is a unidirectional ordered message pipe with medium effects.
 type Pipe struct {
 	profile Profile
+	im      *Impairer // nil on an unimpaired, lossless link
 
 	mu     sync.Mutex
-	rng    *rand.Rand
 	queue  chan []byte
 	sched  chan timedMsg
 	closed chan struct{}
@@ -76,13 +79,15 @@ type timedMsg struct {
 func NewPipe(p Profile) *Pipe {
 	pipe := &Pipe{
 		profile: p,
-		rng:     rand.New(rand.NewSource(p.Seed + 1)),
 		queue:   make(chan []byte, 1024),
 		closed:  make(chan struct{}),
 	}
-	if p.Latency > 0 {
-		// An ordered deliverer: messages arrive exactly Latency
-		// after transmission, pipelined (many can be in flight).
+	if p.Impair.Armed(p.Loss) {
+		pipe.im = NewImpairer(p.Seed+1, p.Loss, p.Impair)
+	}
+	if p.Latency > 0 || p.Impair.Jitter > 0 {
+		// An ordered deliverer: messages arrive Latency (plus any
+		// jitter) after transmission, pipelined (many in flight).
 		pipe.sched = make(chan timedMsg, 1024)
 		go pipe.deliverer()
 	}
@@ -105,9 +110,19 @@ func (p *Pipe) deliverer() {
 	}
 }
 
-// Send queues one message, applying MTU, loss, bandwidth pacing, and
-// latency. Pacing sleeps the sender, modeling the transmitter staying
-// busy for size/bandwidth; propagation latency is applied by the
+// transmitTime is the serialization time of n bytes at bw bytes/s:
+// how long the transmitter stays busy before the line is free again.
+func transmitTime(n int, bw int64) time.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n) * int64(time.Second) / bw)
+}
+
+// Send queues one message, applying MTU, bandwidth pacing, the
+// impairment model, and latency. Pacing sleeps the sender, modeling
+// the transmitter staying busy for size/bandwidth (dropped messages
+// still occupy wire time); propagation latency is applied by the
 // deliverer without blocking the sender, so throughput pipelines.
 func (p *Pipe) Send(msg []byte) error {
 	prof := p.profile
@@ -120,7 +135,7 @@ func (p *Pipe) Send(msg []byte) error {
 	default:
 	}
 	if prof.Bandwidth > 0 {
-		d := time.Duration(int64(len(msg)) * int64(time.Second) / prof.Bandwidth)
+		d := transmitTime(len(msg), prof.Bandwidth)
 		p.mu.Lock()
 		now := time.Now()
 		if p.nextFree.Before(now) {
@@ -131,29 +146,54 @@ func (p *Pipe) Send(msg []byte) error {
 		p.mu.Unlock()
 		SleepUntil(free)
 	}
-	if prof.Loss > 0 {
-		p.mu.Lock()
-		drop := p.rng.Float64() < prof.Loss
-		p.mu.Unlock()
-		if drop {
-			return nil // vanished on the wire
-		}
-	}
-	cp := append([]byte(nil), msg...)
-	if prof.Latency > 0 {
-		select {
-		case p.sched <- timedMsg{msg: cp, at: time.Now().Add(prof.Latency)}:
-		case <-p.closed:
-			return ErrClosed
+	if p.im != nil {
+		for _, e := range p.im.Apply(msg) {
+			if err := p.emit(e.Data, e.Delay); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
+	return p.emit(append([]byte(nil), msg...), 0)
+}
+
+// emit puts one wire copy on the delivery path. All channel sends
+// select on p.closed and the closed channel itself is never sent on,
+// so Send after Close returns ErrClosed deterministically — even
+// mid-impairment — rather than panicking on a closed channel.
+func (p *Pipe) emit(msg []byte, extra time.Duration) error {
+	if p.sched != nil {
+		select {
+		case p.sched <- timedMsg{msg: msg, at: time.Now().Add(p.profile.Latency + extra)}:
+			return nil
+		case <-p.closed:
+			return ErrClosed
+		}
+	}
 	select {
-	case p.queue <- cp:
+	case p.queue <- msg:
+		return nil
 	case <-p.closed:
 		return ErrClosed
 	}
-	return nil
+}
+
+// Schedule returns the pipe's recorded impairment decisions (requires
+// Profile.Impair.Record); nil on an unimpaired pipe.
+func (p *Pipe) Schedule() []Decision {
+	if p.im == nil {
+		return nil
+	}
+	return p.im.Schedule()
+}
+
+// ImpairCounts returns the pipe's impairment counters; zero on an
+// unimpaired pipe.
+func (p *Pipe) ImpairCounts() Counts {
+	if p.im == nil {
+		return Counts{}
+	}
+	return p.im.Counts()
 }
 
 // Recv blocks for the next message.
@@ -213,3 +253,12 @@ func (d *Duplex) Close() {
 
 // MTU reports the link MTU (0 = unlimited).
 func (d *Duplex) MTU() int { return d.tx.profile.MTU }
+
+// ImpairCounts sums the impairment counters of both directions of the
+// link (tx and rx are the two pipes of the circuit, so either end
+// reports the whole link).
+func (d *Duplex) ImpairCounts() Counts {
+	c := d.tx.ImpairCounts()
+	c.Add(d.rx.ImpairCounts())
+	return c
+}

@@ -236,10 +236,15 @@ func (c *coder) gname(n int) string {
 	}
 	s := string(c.buf[c.off : c.off+n])
 	c.off += n
-	if i := strings.IndexByte(s, 0); i >= 0 {
-		s = s[:i]
+	i := strings.IndexByte(s, 0)
+	if i < 0 {
+		// A fixed-length string field with no NUL terminator is
+		// malformed: pname always leaves room for one, so accepting
+		// the field would parse messages that cannot round-trip.
+		c.err = ErrNameLen
+		return ""
 	}
-	return s
+	return s[:i]
 }
 
 func (c *coder) gqid() vfs.Qid {

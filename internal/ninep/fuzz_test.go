@@ -1,0 +1,46 @@
+package ninep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Fuzz9PMessage throws arbitrary bytes at the 9P message parser — the
+// bytes a file server reads straight off a network conversation, the
+// most exposed parser in the system. The contract: UnmarshalFcall
+// either rejects the input or produces an Fcall that marshals and
+// re-unmarshals to the identical message.
+func Fuzz9PMessage(f *testing.F) {
+	seed := func(fc *Fcall) {
+		p, err := MarshalFcall(fc)
+		if err != nil {
+			f.Fatalf("seed %s: %v", fc, err)
+		}
+		f.Add(p)
+	}
+	seed(&Fcall{Type: Tnop, Tag: 0xffff})
+	seed(&Fcall{Type: Tattach, Tag: 1, Fid: 0, Uname: "philw", Aname: ""})
+	seed(&Fcall{Type: Twalk, Tag: 2, Fid: 3, Name: "helix"})
+	seed(&Fcall{Type: Twrite, Tag: 3, Fid: 4, Offset: 1 << 20, Count: 5, Data: []byte("hello")})
+	seed(&Fcall{Type: Rerror, Tag: 4, Ename: "phase error"})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		fc, err := UnmarshalFcall(p)
+		if err != nil {
+			return
+		}
+		q, err := MarshalFcall(fc)
+		if err != nil {
+			t.Fatalf("accepted message does not marshal: %s: %v", fc, err)
+		}
+		fc2, err := UnmarshalFcall(q)
+		if err != nil {
+			t.Fatalf("re-marshaled message rejected: %s: %v", fc, err)
+		}
+		if !reflect.DeepEqual(fc, fc2) {
+			t.Fatalf("round trip changed the message:\n%+v\n%+v", fc, fc2)
+		}
+	})
+}

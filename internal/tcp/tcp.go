@@ -649,6 +649,13 @@ func (c *Conn) segment(h header, data []byte) {
 		c.sndWnd = h.win
 		c.pumpLocked()
 	}
+	// A retransmitted handshake segment (SYN set) this late means the
+	// peer never saw our final ack of it: re-ack, so a passive end
+	// stranded half-open by a lost third-handshake ack can complete
+	// its accept instead of retrying SYN|ACK until its death timer.
+	if h.flags&flagSYN != 0 {
+		c.sendSegLocked(0, c.sndNxt, nil)
+	}
 	// Data processing.
 	if len(data) > 0 {
 		c.dataLocked(h.seq, data)

@@ -1,0 +1,92 @@
+package torture
+
+import "repro/internal/medium"
+
+// Shrink cuts a failing scenario down to a minimal reproduction: it
+// halves the traffic knobs toward their floors, then steps them down
+// one at a time, then tries zeroing each impairment knob — keeping
+// every change under which the scenario still fails. fails must be a
+// pure predicate (Run + Failed for real scenarios; the torture model
+// makes it deterministic, so the same scenario always answers the
+// same). budget caps how many times fails may be invoked.
+//
+// The result is the smallest schedule the failure needs: replay it
+// from Scenario.Seed and the same packets die in the same places.
+func Shrink(s Scenario, fails func(Scenario) bool, budget int) (Scenario, int) {
+	runs := 0
+	try := func(cand Scenario) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		return fails(cand)
+	}
+
+	shrinkInt := func(get func(*Scenario) *int, floor int) {
+		// Halve toward the floor, then step the last stretch.
+		for {
+			cand := s
+			p := get(&cand)
+			if *p <= floor {
+				return
+			}
+			*p = floor + (*p-floor)/2
+			if !try(cand) {
+				break
+			}
+			s = cand
+		}
+		for {
+			cand := s
+			p := get(&cand)
+			if *p <= floor {
+				return
+			}
+			*p--
+			if !try(cand) {
+				return
+			}
+			s = cand
+		}
+	}
+
+	// Traffic first: a shorter conversation shrinks everything the
+	// knobs below touch.
+	shrinkInt(func(c *Scenario) *int { return &c.Msgs }, 1)
+	shrinkInt(func(c *Scenario) *int { return &c.Back }, 0)
+	shrinkInt(func(c *Scenario) *int { return &c.MaxMsg }, 1)
+
+	// Then discard every fault the failure does not need.
+	zero := []func(*Scenario){
+		func(c *Scenario) { c.Loss = 0 },
+		func(c *Scenario) { c.Impair.Duplicate = 0 },
+		func(c *Scenario) { c.Impair.Reorder = 0; c.Impair.ReorderDepth = 0 },
+		func(c *Scenario) { c.Impair.Corrupt = 0; c.Impair.CorruptBits = 0 },
+		func(c *Scenario) { c.Impair.Jitter = 0 },
+		func(c *Scenario) { c.Impair.BurstP = 0; c.Impair.BurstR = 0; c.Impair.BurstLoss = 0 },
+		func(c *Scenario) { c.Impair.Partitions = nil },
+		func(c *Scenario) { c.Latency = 0 },
+		func(c *Scenario) { c.Bandwidth = 0 },
+	}
+	for _, z := range zero {
+		cand := s
+		z(&cand)
+		if try(cand) {
+			s = cand
+		}
+	}
+
+	// A partition schedule that survived zeroing may still shed
+	// individual windows.
+	for i := 0; i < len(s.Impair.Partitions); {
+		cand := s
+		cand.Impair.Partitions = append([]medium.Window(nil), s.Impair.Partitions...)
+		cand.Impair.Partitions = append(cand.Impair.Partitions[:i], cand.Impair.Partitions[i+1:]...)
+		if try(cand) {
+			s = cand
+			continue
+		}
+		i++
+	}
+	return s, runs
+}

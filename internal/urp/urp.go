@@ -84,10 +84,20 @@ type Conn struct {
 	unacked  []sentBlock // parallel to seq range
 	lastSend time.Time
 	enqSent  bool
+	// retransNeeded asks the timer goroutine to resend the window.
+	// The reader never retransmits inline: a go-back-N burst can
+	// block on a paced wire, and a reader that stops draining while
+	// its peer does the same deadlocks the circuit.
+	retransNeeded bool
 
 	// Receiver.
 	rcvNext    int
 	reassembly []byte
+	// rejSent damps the REJ flood: one REJ per gap, cleared when
+	// in-sequence delivery resumes. (A lost REJ is recovered by the
+	// sender's enquiry.) Without this, every duplicate cell of a
+	// go-back-N burst provokes another REJ, each REJ another burst.
+	rejSent bool
 
 	rstream *streams.Stream
 	closed  bool
@@ -198,11 +208,18 @@ func (c *Conn) reader() {
 		case cellData:
 			c.recvData(seq, flags, data)
 		case cellAck:
-			c.recvAck(seq)
+			if c.recvAck(seq) {
+				// The ack answered our enquiry but freed nothing:
+				// the receiver never saw the head of the window, and
+				// with no out-of-order arrival to provoke a REJ it
+				// never will. Retransmit, or the circuit livelocks
+				// trading ENQ for no-progress ACKs.
+				c.scheduleRetransmit()
+			}
 		case cellRej:
 			c.stats.Rejects.Add(1)
 			c.recvAck(seq) // everything before seq arrived
-			c.retransmit()
+			c.scheduleRetransmit()
 		case cellEnq:
 			// Answer with the receiver's state: an ACK of what
 			// we expect next.
@@ -223,13 +240,21 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 	c.mu.Lock()
 	c.lastProgress = time.Now()
 	if seq != c.rcvNext {
-		// Out of order: REJ asks for retransmission from the
-		// block we expect.
+		// Out of order: REJ asks for retransmission from the block
+		// we expect — once per gap, or every duplicate cell of the
+		// resulting go-back-N burst would provoke a fresh REJ and
+		// the circuit would melt down trading bursts for REJs.
+		if c.rejSent {
+			c.mu.Unlock()
+			return
+		}
+		c.rejSent = true
 		next := c.rcvNext
 		c.mu.Unlock()
 		c.sendCell(cellRej, next, 0, nil)
 		return
 	}
+	c.rejSent = false
 	c.rcvNext = (c.rcvNext + 1) % SeqMod
 	c.reassembly = append(c.reassembly, data...)
 	var msg []byte
@@ -246,25 +271,43 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 }
 
 // recvAck drops acknowledged blocks: ack(seq) says the receiver now
-// expects seq, i.e. everything before it arrived.
-func (c *Conn) recvAck(seq int) {
+// expects seq, i.e. everything before it arrived. It reports whether
+// the ack answered an enquiry without freeing anything while blocks
+// are still outstanding — the sender's cue that the window head was
+// lost on the wire and only a retransmission can restart the circuit.
+func (c *Conn) recvAck(seq int) (stalled bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lastProgress = time.Now()
+	wasEnq := c.enqSent
 	c.enqSent = false
+	freed := false
 	for len(c.unacked) > 0 {
 		if c.unacked[0].seq == seq {
 			break // not yet acknowledged
 		}
 		c.unacked = c.unacked[1:]
 		c.sndUna = (c.sndUna + 1) % SeqMod
+		freed = true
 	}
 	c.cond.Broadcast()
+	return wasEnq && !freed && len(c.unacked) > 0
+}
+
+// scheduleRetransmit marks the window for resending on the next
+// timer tick. Deferring to the timer keeps the reader draining the
+// wire while the (possibly paced, possibly blocking) burst goes out,
+// and coalesces a volley of REJs into one go-back-N pass.
+func (c *Conn) scheduleRetransmit() {
+	c.mu.Lock()
+	c.retransNeeded = true
+	c.mu.Unlock()
 }
 
 // retransmit resends the whole window (go-back-N).
 func (c *Conn) retransmit() {
 	c.mu.Lock()
+	c.retransNeeded = false
 	blocks := append([]sentBlock(nil), c.unacked...)
 	c.lastSend = time.Now()
 	c.mu.Unlock()
@@ -286,6 +329,7 @@ func (c *Conn) timer() {
 			c.mu.Unlock()
 			return
 		}
+		needResend := c.retransNeeded && len(c.unacked) > 0
 		stalled := len(c.unacked) > 0 && time.Since(c.lastSend) > enqTimeout
 		dead := len(c.unacked) > 0 && time.Since(c.lastProgress) > deathTime
 		if dead {
@@ -293,8 +337,14 @@ func (c *Conn) timer() {
 			c.hangup()
 			return
 		}
+		if needResend {
+			c.mu.Unlock()
+			c.retransmit()
+			continue
+		}
 		if stalled {
 			c.lastSend = time.Now()
+			c.enqSent = true
 			c.stats.Enquiries.Add(1)
 			c.mu.Unlock()
 			c.sendCell(cellEnq, 0, 0, nil)

@@ -1,8 +1,9 @@
 #!/bin/sh
 # check.sh — the repo's tier-1 gate: formatting, vet, build, the full
-# test suite under the race detector, and netvet (the in-tree
-# concurrency and resource-lifecycle analyzer). Everything must pass
-# for a PR to land.
+# test suite under the race detector, netvet (the in-tree concurrency
+# and resource-lifecycle analyzer), a fixed-seed chaos pass of the
+# protocol torture harness, and short fuzz smokes over the wire-facing
+# parsers. Everything must pass for a PR to land.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,5 +27,12 @@ go test -race ./...
 
 echo "== netvet ./..."
 go run ./cmd/netvet ./...
+
+echo "== chaos: deterministic torture pass (fixed seed)"
+go run ./cmd/netsim -chaos -seed 1 -msgs 40
+
+echo "== fuzz smoke (10s per parser)"
+go test -run '^$' -fuzz '^FuzzParseHeader$' -fuzztime 10s ./internal/il
+go test -run '^$' -fuzz '^Fuzz9PMessage$' -fuzztime 10s ./internal/ninep
 
 echo "check.sh: all gates passed"
