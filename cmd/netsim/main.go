@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/dialer"
 	"repro/internal/netmsg"
@@ -51,6 +52,7 @@ func main() {
 			cfg = table1.FastConfig()
 		}
 		fmt.Print(table1.Run(cfg).Format())
+		fmt.Printf("\nblock pool: %s\n", block.Snapshot())
 		return
 	}
 

@@ -14,6 +14,8 @@
 //	                    Close/Free/Unmount and without escaping
 //	naked-ctl-string    an ad-hoc ctl message literal bypassing the
 //	                    canonical netmsg formatting helpers
+//	block-aliasing      a buffer view (b.Bytes()/b.Buf) used after the
+//	                    block was freed or handed down the put chain
 //
 // A finding is suppressed by a directive comment on its line or the
 // line above:
@@ -57,6 +59,7 @@ func Checks() []*Check {
 		unjoinedGoroutineCheck,
 		unclosedResourceCheck,
 		nakedCtlStringCheck,
+		blockAliasingCheck,
 	}
 }
 

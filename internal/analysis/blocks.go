@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// blockAliasingCheck enforces the block discipline's aliasing rule: a
+// buffer view obtained with a := b.Bytes() or a := b.Buf dies with the
+// block. Once b is released — b.Free(), or b handed on via Put /
+// PutNext / PutBytes — the pool may recycle the backing array into a
+// fresh block, so any later use of the view reads (or scribbles on)
+// somebody else's in-flight data. The check is positional within one
+// function: alias bindings, release points, and later uses.
+var blockAliasingCheck = &Check{
+	Name: "block-aliasing",
+	Doc:  "buffer view (Bytes()/.Buf) used after its block was freed or handed on",
+	Run:  runBlockAliasing,
+}
+
+// releaseNames are callees that end the caller's ownership of a block
+// passed to (or invoked on) them.
+var releaseNames = map[string]bool{
+	"Free":     true,
+	"Put":      true,
+	"PutNext":  true,
+	"PutBytes": true,
+}
+
+// blockAlias is one tracked view: the alias variable and the block
+// object it borrows from.
+type blockAlias struct {
+	obj   types.Object // the alias variable
+	src   types.Object // the block it aliases
+	ident *ast.Ident
+}
+
+func runBlockAliasing(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncBlockAliasing(p, fd.Body)
+		}
+	}
+}
+
+func checkFuncBlockAliasing(p *Pass, body *ast.BlockStmt) {
+	var aliases []*blockAlias
+	byObj := map[types.Object]*blockAlias{}
+
+	// Pass 1: alias bindings. Only freeable sources count, so a
+	// bytes.Buffer's Bytes() or an unrelated Buf field stays silent.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		src := aliasSource(p, as.Rhs[0])
+		if src == nil || !hasMethod(src.Type(), "Free") {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := p.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Uses[id] // plain = rebind of an existing var
+		}
+		if obj == nil {
+			return true
+		}
+		a := &blockAlias{obj: obj, src: src, ident: id}
+		aliases = append(aliases, a)
+		byObj[obj] = a
+		return true
+	})
+	if len(aliases) == 0 {
+		return
+	}
+
+	// Pass 2: release points of each source block. A release inside a
+	// branch (an error-path Free that continues or returns) only rules
+	// the rest of that branch, so each point carries the end of its
+	// innermost enclosing statement list.
+	released := map[types.Object][]release{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !releaseNames[calleeName(call)] {
+			return true
+		}
+		// b.Free(): the receiver is released. PutNext(b)/q.Put(b)/
+		// PutBytes(b): the argument is.
+		var ids []*ast.Ident
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && calleeName(call) == "Free" {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			released[obj] = append(released[obj], release{pos: call.Pos(), scope: scopeEnd(body, call.Pos())})
+		}
+		return true
+	})
+	if len(released) == 0 {
+		return
+	}
+
+	// Pass 3: any use of an alias after its source's release. Writes
+	// that rebind the alias wholesale (a = ...) are fine; reads and
+	// element writes are not.
+	rebinds := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					rebinds[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || rebinds[id] {
+			return true
+		}
+		a := byObj[p.Pkg.Info.Uses[id]]
+		if a == nil {
+			return true
+		}
+		for _, rel := range released[a.src] {
+			if id.Pos() > rel.pos && id.Pos() < rel.scope {
+				p.Reportf(id.Pos(), "%s aliases %s's buffer and is used after %s is released (the pool may have recycled it)",
+					id.Name, a.src.Name(), a.src.Name())
+				break
+			}
+		}
+		return true
+	})
+}
+
+// release is one point where a block's ownership left the function,
+// valid until the end of its innermost enclosing statement list.
+type release struct {
+	pos   token.Pos
+	scope token.Pos
+}
+
+// scopeEnd returns the end of the innermost block, case clause or
+// select clause enclosing pos.
+func scopeEnd(body *ast.BlockStmt, pos token.Pos) token.Pos {
+	best, end := body.Pos(), body.End()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			if n.Pos() <= pos && pos < n.End() && n.Pos() >= best {
+				best, end = n.Pos(), n.End()
+			}
+		}
+		return true
+	})
+	return end
+}
+
+// aliasSource returns the block object an expression borrows from:
+// x.Bytes() or x.Buf, else nil.
+func aliasSource(p *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Bytes" || len(e.Args) != 0 {
+			return nil
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return p.Pkg.Info.Uses[id]
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "Buf" {
+			return nil
+		}
+		if id, ok := e.X.(*ast.Ident); ok {
+			return p.Pkg.Info.Uses[id]
+		}
+	}
+	return nil
+}

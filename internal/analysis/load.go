@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -183,6 +185,9 @@ func parseDir(fset *token.FileSet, dir string, includeTests bool) ([]*rawPkg, er
 		if err != nil {
 			return nil, err
 		}
+		if buildExcluded(f) {
+			continue
+		}
 		pkgName := f.Name.Name
 		rp := byName[pkgName]
 		if rp == nil {
@@ -198,6 +203,31 @@ func parseDir(fset *token.FileSet, dir string, includeTests bool) ([]*rawPkg, er
 		out = append(out, byName[n])
 	}
 	return out, nil
+}
+
+// buildExcluded reports whether a //go:build line above the package
+// clause rules the file out of the default (tagless) build — e.g. a
+// `//go:build race` variant whose !race twin is the one we analyze.
+// Only GOOS, GOARCH and go1.x release tags evaluate true.
+func buildExcluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false
+			}
+			return !expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return false
 }
 
 // topoSort orders packages so every local import precedes its users.

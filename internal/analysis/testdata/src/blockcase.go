@@ -1,0 +1,73 @@
+// Corpus for the block-aliasing check.
+package blockcase
+
+type blk struct{ Buf []byte }
+
+func (b *blk) Bytes() []byte { return b.Buf }
+func (b *blk) Free()         {}
+
+type queue struct{}
+
+func (q *queue) PutNext(b *blk) {}
+
+func sink(p []byte) {}
+
+func useAfterFree(b *blk) {
+	p := b.Bytes()
+	b.Free()
+	sink(p) // want block-aliasing "used after b is released"
+}
+
+func indexAfterFree(b *blk) byte {
+	p := b.Buf
+	b.Free()
+	return p[0] // want block-aliasing "used after b is released"
+}
+
+func writeAfterPutNext(q *queue, b *blk) {
+	hdr := b.Bytes()
+	q.PutNext(b)
+	hdr[0] = 1 // want block-aliasing "used after b is released"
+}
+
+// The rest must stay silent.
+
+func useBeforeFree(b *blk) {
+	p := b.Bytes()
+	sink(p)
+	b.Free()
+}
+
+func neverReleased(b *blk) {
+	p := b.Bytes()
+	sink(p)
+	sink(p)
+}
+
+func rebindAfterFree(b, c *blk) {
+	p := b.Bytes()
+	sink(p)
+	b.Free()
+	p = c.Bytes() // wholesale rebind: p no longer views b
+	sink(p)
+}
+
+func freeInErrorBranch(b *blk) {
+	p := b.Bytes()
+	if len(p) == 0 {
+		b.Free()
+		return
+	}
+	sink(p) // the free is branch-local: this path still owns b
+	b.Free()
+}
+
+type buffer struct{ Buf []byte }
+
+func (bu *buffer) Bytes() []byte { return bu.Buf }
+
+func notABlock(bu *buffer, q *queue, b *blk) {
+	p := bu.Bytes() // no Free method: not a pooled block, untracked
+	q.PutNext(b)
+	sink(p)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package block
+
+// RaceEnabled reports whether the race detector is compiled in; alloc
+// gates skip under it because its instrumentation allocates.
+const RaceEnabled = true

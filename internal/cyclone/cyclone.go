@@ -15,6 +15,7 @@ package cyclone
 import (
 	"sync"
 
+	"repro/internal/block"
 	"repro/internal/medium"
 	"repro/internal/vfs"
 	"repro/internal/xport"
@@ -189,7 +190,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 	if err != nil {
 		return 0, vfs.ErrHungup
 	}
-	return copy(p, msg), nil
+	// The wire hands over the buffer (the impairer copies per
+	// delivery), so after the copy out it goes back to the pool.
+	n := copy(p, msg)
+	block.PutBytes(msg)
+	return n, nil
 }
 
 // Write implements xport.Conn: the boards copy straight to the fiber.
@@ -200,7 +205,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if !ok {
 		return 0, xport.ErrNotConnected
 	}
-	if err := c.end.wire.Send(p); err != nil {
+	// One copy — system memory to fiber, as the VME boards do — into a
+	// pool-backed buffer the medium takes ownership of.
+	msg := block.GetBytes(len(p))
+	copy(msg, p)
+	if err := c.end.wire.SendOwned(msg); err != nil {
 		return 0, vfs.ErrHungup
 	}
 	return len(p), nil

@@ -156,13 +156,13 @@ type duplexWire struct {
 	errs *atomic.Int64
 }
 
+// SendCell frames the cell in place: URP hands over a pool-backed cell
+// with capacity slack, so appending the FCS reuses the same buffer and
+// the framed cell goes to the medium with no wire copy.
 func (w duplexWire) SendCell(p []byte) error {
-	cell := make([]byte, len(p)+fcsLen)
-	copy(cell, p)
 	fcs := crc16(p)
-	cell[len(p)] = byte(fcs >> 8)
-	cell[len(p)+1] = byte(fcs)
-	return w.d.Send(cell)
+	cell := append(p, byte(fcs>>8), byte(fcs))
+	return w.d.SendOwned(cell)
 }
 
 func (w duplexWire) RecvCell() ([]byte, error) {

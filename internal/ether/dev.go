@@ -177,7 +177,12 @@ func (h *dataHandle) Read(p []byte, off int64) (int, error) {
 
 // Write implements vfs.Handle.
 func (h *dataHandle) Write(p []byte, off int64) (int, error) {
-	h.c.transmit(p)
+	if len(p) < 6 {
+		return len(p), nil
+	}
+	var dst Addr
+	copy(dst[:], p[:6])
+	h.c.Transmit(dst, p[6:])
 	return len(p), nil
 }
 

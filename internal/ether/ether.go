@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/medium"
 	"repro/internal/streams"
 	"repro/internal/vfs"
@@ -189,7 +190,9 @@ func (seg *Segment) transmitter() {
 				seg.mu.Unlock()
 				for _, ifc := range ifaces {
 					if ifc != tf.tx.from {
-						ifc.deliver(tf.tx.frame)
+						// Each receiver gets its own wrapper over the
+						// shared (read-only) detached frame.
+						ifc.deliver(block.FromBytes(tf.tx.frame))
 					}
 				}
 			}
@@ -235,33 +238,56 @@ func (seg *Segment) transmitter() {
 	}
 }
 
-// transmit queues a frame on the wire, appending the hardware FCS.
-func (seg *Segment) transmit(from *Interface, frame []byte) error {
-	if len(frame)-HdrLen > seg.profile.mtu() {
-		return fmt.Errorf("ether: packet exceeds MTU (%d > %d)", len(frame)-HdrLen, seg.profile.mtu())
+// transmitBlock queues a frame on the wire, appending the hardware FCS
+// into the block's tailroom in place. Ownership of b transfers to the
+// segment.
+func (seg *Segment) transmitBlock(from *Interface, b *block.Block) error {
+	if b.Len()-HdrLen > seg.profile.mtu() {
+		n := b.Len() - HdrLen
+		b.Free()
+		return fmt.Errorf("ether: packet exceeds MTU (%d > %d)", n, seg.profile.mtu())
 	}
-	wire := make([]byte, len(frame)+fcsLen)
-	copy(wire, frame)
-	binary.BigEndian.PutUint32(wire[len(frame):], crc32.ChecksumIEEE(frame))
-	frame = wire
+	crc := crc32.ChecksumIEEE(b.Bytes())
+	binary.BigEndian.PutUint32(b.Extend(fcsLen), crc)
 	fast := seg.profile.Bandwidth == 0 && seg.profile.Latency == 0 && seg.im == nil
 	if fast {
-		// Synchronous fast path for an ideal medium: no pacing,
-		// no reordering possible.
+		// Synchronous fast path for an ideal medium: no pacing, no
+		// reordering possible. The one block fans out to every
+		// receiver by reference count — each interface reads it and
+		// releases its own reference; nobody copies, nobody mutates.
 		seg.mu.Lock()
 		if seg.closed {
 			seg.mu.Unlock()
+			b.Free()
 			return vfs.ErrShutdown
 		}
 		ifaces := append([]*Interface(nil), seg.ifaces...)
 		seg.mu.Unlock()
+		n := 0
 		for _, ifc := range ifaces {
 			if ifc != from {
-				ifc.deliver(frame)
+				n++
+			}
+		}
+		if n == 0 {
+			b.Free()
+			return nil
+		}
+		for i := 1; i < n; i++ {
+			b.Ref()
+		}
+		for _, ifc := range ifaces {
+			if ifc != from {
+				ifc.deliver(b)
 			}
 		}
 		return nil
 	}
+	// Paced or impaired medium: the frame leaves the block economy
+	// here. The impairer must copy to corrupt (and to duplicate), and
+	// the latency scheduler fans the same bytes out to every station,
+	// so a detached plain slice is the honest representation.
+	frame := b.Detach()
 	select {
 	case seg.txq <- txFrame{from: from, frame: frame}:
 		return nil
@@ -283,7 +309,7 @@ type Interface struct {
 	mu    sync.Mutex
 	conns [MaxConns + 1]*Conn // index 1..MaxConns, as in the file tree
 
-	in     chan []byte
+	in     chan *block.Block
 	closed chan struct{}
 	once   sync.Once
 
@@ -306,7 +332,7 @@ func (seg *Segment) NewInterface(name string) *Interface {
 		seg:    seg,
 		name:   name,
 		addr:   Addr{0x08, 0x00, 0x69, byte(n >> 16), byte(n >> 8), byte(n)},
-		in:     make(chan []byte, 512),
+		in:     make(chan *block.Block, 512),
 		closed: make(chan struct{}),
 	}
 	go ifc.reader()
@@ -334,12 +360,14 @@ func (ifc *Interface) close() {
 
 // deliver is called by the medium with a received frame (the interrupt
 // routine analogue): it may not block, so a full input ring drops the
-// frame and counts an overflow.
-func (ifc *Interface) deliver(frame []byte) {
+// frame and counts an overflow. The interface takes ownership of (its
+// reference to) the block.
+func (ifc *Interface) deliver(b *block.Block) {
 	select {
-	case ifc.in <- frame:
+	case ifc.in <- b:
 	default:
 		ifc.overflows.Add(1)
+		b.Free()
 	}
 }
 
@@ -351,23 +379,30 @@ func (ifc *Interface) reader() {
 		select {
 		case <-ifc.closed:
 			return
-		case frame := <-ifc.in:
+		case b := <-ifc.in:
 			// Verify and strip the FCS: a frame damaged on the wire
 			// never reaches the protocols — the hardware drops it and
 			// counts a crc error, and recovery is the transport's
-			// problem (loss, not corruption).
+			// problem (loss, not corruption). The block may be shared
+			// with other stations (broadcast fan-out), so it is read,
+			// never written, and this reference is released when
+			// demultiplexing returns.
+			frame := b.Bytes()
 			if len(frame) < HdrLen+fcsLen {
 				ifc.crcErrs.Add(1)
+				b.Free()
 				continue
 			}
 			body := frame[:len(frame)-fcsLen]
 			if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(frame[len(frame)-fcsLen:]) {
 				ifc.crcErrs.Add(1)
+				b.Free()
 				continue
 			}
 			ifc.inPackets.Add(1)
 			ifc.inBytes.Add(int64(len(body)))
 			ifc.demux(body)
+			b.Free()
 		}
 	}
 }
@@ -398,10 +433,12 @@ func (ifc *Interface) demux(frame []byte) {
 		if !match {
 			continue
 		}
-		cp := append([]byte(nil), frame...)
 		if deliver != nil {
+			// Kernel hooks borrow the frame for the duration of the
+			// call; the IP stack slices it in place and copies only
+			// what it retains.
 			c.inPackets.Add(1)
-			deliver(cp)
+			deliver(frame)
 			continue
 		}
 		if s == nil {
@@ -415,8 +452,10 @@ func (ifc *Interface) demux(frame []byte) {
 			ifc.overflows.Add(1)
 			continue
 		}
+		// Stream conversations get their own copy — "each receives a
+		// copy of the incoming packets" — into a pooled block.
 		c.inPackets.Add(1)
-		s.DeviceUpData(cp)
+		s.DeviceUpOwned(block.Copy(frame, 0))
 	}
 }
 
@@ -471,9 +510,10 @@ func (ifc *Interface) OpenConn() (*Conn, error) {
 func (c *Conn) newStreamLocked() *streams.Stream {
 	return streams.New(0, func(b *streams.Block) {
 		if b.Type != streams.BlockData {
+			b.Free()
 			return
 		}
-		c.transmit(b.Buf)
+		c.transmit(b)
 	})
 }
 
@@ -503,41 +543,53 @@ func (c *Conn) SetPromiscuous(on bool) {
 
 // SetDeliver installs a kernel delivery hook: received frames go to fn
 // instead of the conversation stream. The IP stack uses this to avoid
-// a queue it would immediately drain.
+// a queue it would immediately drain. The frame is borrowed — it
+// aliases a receive buffer recycled after fn returns — so the hook
+// must copy anything it keeps.
 func (c *Conn) SetDeliver(fn func(frame []byte)) {
 	c.mu.Lock()
 	c.deliver = fn
 	c.mu.Unlock()
 }
 
-// transmit sends payload p to dst with the conversation's packet type,
+// Transmit sends payload p to dst with the conversation's packet type,
 // "appending a packet header containing the source address and packet
-// type" (§2.2).
+// type" (§2.2). The payload is borrowed and copied into a pooled
+// frame; callers that already own a block use TransmitBlock.
 func (c *Conn) Transmit(dst Addr, payload []byte) error {
-	frame := make([]byte, HdrLen+len(payload))
-	copy(frame[0:6], dst[:])
-	copy(frame[6:12], c.ifc.addr[:])
+	return c.TransmitBlock(dst, block.Copy(payload, HdrLen))
+}
+
+// TransmitBlock sends an owned payload block, pushing the frame header
+// into its headroom in place. Ownership transfers to the driver.
+func (c *Conn) TransmitBlock(dst Addr, payload *block.Block) error {
+	hdr := payload.Prepend(HdrLen)
+	copy(hdr[0:6], dst[:])
+	copy(hdr[6:12], c.ifc.addr[:])
 	c.mu.Lock()
 	etype := c.etype
 	c.mu.Unlock()
-	frame[12] = byte(etype >> 8)
-	frame[13] = byte(etype)
-	copy(frame[HdrLen:], payload)
+	hdr[12] = byte(etype >> 8)
+	hdr[13] = byte(etype)
 	c.outPackets.Add(1)
 	c.ifc.outPackets.Add(1)
-	c.ifc.outBytes.Add(int64(len(frame)))
-	return c.ifc.seg.transmit(c.ifc, frame)
+	c.ifc.outBytes.Add(int64(payload.Len()))
+	return c.ifc.seg.transmitBlock(c.ifc, payload)
 }
 
 // transmit handles a raw write from the data file: the first 6 bytes
-// are the destination address, the rest the payload.
-func (c *Conn) transmit(w []byte) {
-	if len(w) < 6 {
+// are the destination address, the rest the payload. It consumes the
+// stream block, carrying its buffer through to the wire.
+func (c *Conn) transmit(w *streams.Block) {
+	if len(w.Buf) < 6 {
+		w.Free()
 		return
 	}
 	var dst Addr
-	copy(dst[:], w[:6])
-	c.Transmit(dst, w[6:])
+	copy(dst[:], w.Buf[:6])
+	payload := w.TakeInner()
+	payload.Consume(6)
+	c.TransmitBlock(dst, payload)
 }
 
 // Read returns the next received frame (header included), via the

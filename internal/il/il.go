@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/ip"
 	"repro/internal/streams"
 	"repro/internal/vfs"
@@ -132,6 +133,14 @@ type Proto struct {
 	nextEphem uint16
 	rng       *rand.Rand
 
+	// txq feeds the transmitter kernel process: one long-lived
+	// goroutine with a warm stack walks packets down the IP stack,
+	// instead of a fresh goroutine per segment growing its stack
+	// through the ether path every time.
+	txq    chan txPkt
+	txstop chan struct{}
+	txonce sync.Once
+
 	// Counters for the ablation experiments and status files.
 	Retransmits  atomic.Int64
 	QueriesSent  atomic.Int64
@@ -149,6 +158,12 @@ type connKey struct {
 	lport uint16
 }
 
+// txPkt is one packet queued for the transmitter kernel process.
+type txPkt struct {
+	src, dst ip.Addr
+	pkt      *block.Block
+}
+
 var _ xport.Proto = (*Proto)(nil)
 
 // New creates the IL device on a stack and registers its demux.
@@ -160,9 +175,45 @@ func New(stack *ip.Stack, cfg Config) *Proto {
 		listeners: make(map[uint16]*Conn),
 		nextEphem: 2000,
 		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		txq:       make(chan txPkt, 256),
+		txstop:    make(chan struct{}),
 	}
 	stack.Register(ip.ProtoIL, p.recv)
+	go p.transmitter()
 	return p
+}
+
+// transmitter is the output kernel process: it owns every queued
+// packet and walks it down the stack. It exits at Close, freeing
+// whatever is still queued.
+func (p *Proto) transmitter() {
+	for {
+		select {
+		case <-p.txstop:
+			for {
+				select {
+				case t := <-p.txq:
+					t.pkt.Free()
+				default:
+					return
+				}
+			}
+		case t := <-p.txq:
+			p.MsgsSent.Add(1)
+			p.stack.SendBlock(ip.ProtoIL, t.src, t.dst, t.pkt)
+		}
+	}
+}
+
+// enqueue hands a packet to the transmitter without blocking (it is
+// called under connection locks). A full ring drops the packet, which
+// the retransmission machinery treats as wire loss.
+func (p *Proto) enqueue(src, dst ip.Addr, pkt *block.Block) {
+	select {
+	case p.txq <- txPkt{src: src, dst: dst, pkt: pkt}:
+	default:
+		pkt.Free()
+	}
 }
 
 // Name implements xport.Proto.
@@ -173,6 +224,7 @@ func (p *Proto) Name() string { return "il" }
 // going away — and every listener stops accepting, so per-connection
 // timers and blocked readers, writers, and accepts all wake and exit.
 func (p *Proto) Close() {
+	p.txonce.Do(func() { close(p.txstop) })
 	p.mu.Lock()
 	all := make([]*Conn, 0, len(p.conns)+len(p.listeners))
 	for _, c := range p.conns {
@@ -238,9 +290,14 @@ type header struct {
 	ack  uint32
 }
 
-func marshal(h header, data []byte) []byte {
-	p := make([]byte, HdrLen+len(data))
+// fillHeader writes the IL header and whole-packet checksum over p,
+// whose tail beyond HdrLen must already hold the payload.
+func fillHeader(p []byte, h header) {
 	n := len(p)
+	// The checksum field must be zero while summing: recycled pool
+	// buffers arrive with stale contents, unlike a fresh make.
+	p[0] = 0
+	p[1] = 0
 	p[2] = byte(n >> 8)
 	p[3] = byte(n)
 	p[4] = h.typ
@@ -257,11 +314,26 @@ func marshal(h header, data []byte) []byte {
 	p[15] = byte(h.ack >> 16)
 	p[16] = byte(h.ack >> 8)
 	p[17] = byte(h.ack)
-	copy(p[HdrLen:], data)
 	ck := ip.Checksum(p)
 	p[0] = byte(ck >> 8)
 	p[1] = byte(ck)
+}
+
+func marshal(h header, data []byte) []byte {
+	p := make([]byte, HdrLen+len(data))
+	copy(p[HdrLen:], data)
+	fillHeader(p, h)
 	return p
+}
+
+// marshalBlock is marshal into a pooled block with headroom for the IP
+// and Ethernet headers below, so no lower layer copies or reallocates.
+func marshalBlock(h header, data []byte) *block.Block {
+	b := block.Alloc(HdrLen+len(data), block.DefaultHeadroom)
+	p := b.Bytes()
+	copy(p[HdrLen:], data)
+	fillHeader(p, h)
+	return b
 }
 
 func unmarshal(p []byte) (header, []byte, bool) {
@@ -315,8 +387,8 @@ func (p *Proto) recv(src, dst ip.Addr, payload []byte) {
 		// A close for a vanished connection needs no answer; data
 		// gets a close so the peer learns quickly.
 		if h.typ != msgClose {
-			reply := marshal(header{typ: msgClose, src: h.dst, dst: h.src}, nil)
-			p.stack.Send(ip.ProtoIL, dst, src, reply)
+			reply := marshalBlock(header{typ: msgClose, src: h.dst, dst: h.src}, nil)
+			p.enqueue(dst, src, reply)
 		}
 		return
 	}
@@ -522,20 +594,19 @@ func (c *Conn) sendSync() {
 	}
 	src, dst := c.localAddr, c.remoteAddr
 	c.mu.Unlock()
-	c.proto.MsgsSent.Add(1)
-	c.proto.stack.Send(ip.ProtoIL, src, dst, marshal(h, nil))
+	c.proto.enqueue(src, dst, marshalBlock(h, nil))
 }
 
 // send transmits a control or data packet with current ack state.
 func (c *Conn) sendLocked(typ, spec byte, id uint32, data []byte) {
 	h := header{typ: typ, spec: spec, src: c.localPort, dst: c.remotePort,
 		id: id, ack: c.rcvNext - 1}
-	pkt := marshal(h, data)
-	src, dst := c.localAddr, c.remoteAddr
-	go func() { // do not hold c.mu across the stack (ARP may queue)
-		c.proto.MsgsSent.Add(1)
-		c.proto.stack.Send(ip.ProtoIL, src, dst, pkt)
-	}()
+	// One copy of the payload into a pooled block with headroom; every
+	// layer below prepends into it in place.
+	pkt := marshalBlock(h, data)
+	// The enqueue is non-blocking, so holding c.mu here is safe even
+	// when the stack below would stall (ARP may queue).
+	c.proto.enqueue(c.localAddr, c.remoteAddr, pkt)
 }
 
 // Write implements xport.Conn: one reliable sequenced message per
@@ -788,11 +859,19 @@ func (c *Conn) dataLocked(h header, data []byte) {
 // messages and delivering complete ones (delimited) upstream.
 func (c *Conn) acceptLocked(spec byte, data []byte) {
 	c.rcvNext++
+	if len(c.reassembly) == 0 && spec&specEOM != 0 {
+		// Whole message in one packet (the common case): one copy of
+		// the borrowed receive bytes into a pooled block, delivered
+		// without re-materializing.
+		c.rstream.DeviceUpOwned(block.Copy(data, 0))
+		return
+	}
 	c.reassembly = append(c.reassembly, data...)
 	if spec&specEOM != 0 {
 		msg := c.reassembly
 		c.reassembly = nil
-		c.rstream.DeviceUpData(msg)
+		// msg is an owned fresh slice; hand it up without copying.
+		c.rstream.DeviceUpOwned(block.FromBytes(msg))
 	}
 }
 

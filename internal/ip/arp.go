@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/ether"
 )
 
@@ -26,29 +27,32 @@ type arpCache struct {
 
 	mu      sync.Mutex
 	entries map[Addr]ether.Addr
-	pending map[Addr][][]byte
+	pending map[Addr][]*block.Block
 }
 
 func newArpCache(ifc *Ifc) *arpCache {
 	return &arpCache{
 		ifc:     ifc,
 		entries: make(map[Addr]ether.Addr),
-		pending: make(map[Addr][][]byte),
+		pending: make(map[Addr][]*block.Block),
 	}
 }
 
 // send transmits an IP packet to nexthop, resolving its hardware
-// address first if necessary.
-func (a *arpCache) send(nexthop Addr, pkt []byte) error {
+// address first if necessary. Ownership of pkt transfers: the cache
+// either hands it to the wire, queues it for the reply, or frees it.
+func (a *arpCache) send(nexthop Addr, pkt *block.Block) error {
 	a.mu.Lock()
 	hw, ok := a.entries[nexthop]
 	if ok {
 		a.mu.Unlock()
-		return a.ifc.conn.Transmit(hw, pkt)
+		return a.ifc.conn.TransmitBlock(hw, pkt)
 	}
 	q := a.pending[nexthop]
 	if len(q) < arpHold {
 		a.pending[nexthop] = append(q, pkt)
+	} else {
+		pkt.Free() // hold queue full: dropped like real ARP
 	}
 	first := len(q) == 0
 	a.mu.Unlock()
@@ -69,8 +73,12 @@ func (a *arpCache) send(nexthop Addr, pkt []byte) error {
 				a.request(nexthop)
 			}
 			a.mu.Lock()
+			abandoned := a.pending[nexthop]
 			delete(a.pending, nexthop)
 			a.mu.Unlock()
+			for _, b := range abandoned {
+				b.Free()
+			}
 		}()
 	}
 	return nil
@@ -115,7 +123,7 @@ func (a *arpCache) recvARP(frame []byte) {
 	delete(a.pending, senderIP)
 	a.mu.Unlock()
 	for _, pkt := range queued {
-		a.ifc.conn.Transmit(senderHW, pkt)
+		a.ifc.conn.TransmitBlock(senderHW, pkt)
 	}
 
 	if op == arpRequest && targetIP == a.ifc.addr {

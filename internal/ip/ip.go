@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/block"
 )
 
 // Addr is an IPv4 address.
@@ -145,6 +147,31 @@ func (h *Header) Marshal(payload []byte) []byte {
 	pkt[11] = byte(ck)
 	copy(pkt[HdrLen:], payload)
 	return pkt
+}
+
+// PrependTo pushes the header into b's headroom in place — the block
+// discipline's alternative to Marshal's allocate-and-copy. b's window
+// must hold the payload; afterwards it holds the whole packet.
+func (h *Header) PrependTo(b *block.Block) {
+	total := uint16(HdrLen + b.Len())
+	pkt := b.Prepend(HdrLen)
+	pkt[0] = 0x45 // version 4, ihl 5
+	pkt[1] = 0
+	pkt[2] = byte(total >> 8)
+	pkt[3] = byte(total)
+	pkt[4] = byte(h.ID >> 8)
+	pkt[5] = byte(h.ID)
+	pkt[6] = 0
+	pkt[7] = 0
+	pkt[8] = h.TTL
+	pkt[9] = h.Proto
+	pkt[10] = 0
+	pkt[11] = 0
+	copy(pkt[12:16], h.Src[:])
+	copy(pkt[16:20], h.Dst[:])
+	ck := Checksum(pkt[:HdrLen])
+	pkt[10] = byte(ck >> 8)
+	pkt[11] = byte(ck)
 }
 
 // Unmarshal validates a packet and returns its header and payload.

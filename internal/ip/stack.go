@@ -5,11 +5,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/block"
 	"repro/internal/ether"
 	"repro/internal/vfs"
 )
 
-// Handler receives a demultiplexed transport payload.
+// Handler receives a demultiplexed transport payload. The payload is
+// borrowed — it aliases a receive buffer that is recycled when the
+// handler returns — so a handler that retains bytes must copy them.
 type Handler func(src, dst Addr, payload []byte)
 
 // Stack is one machine's IP layer: bound interfaces, a routing table,
@@ -237,23 +240,50 @@ func (st *Stack) MTUFor(dst Addr) int {
 
 // Send transmits payload to dst as protocol proto. A zero src is
 // filled from the chosen interface. Local destinations loop back
-// without touching the wire.
+// without touching the wire. The payload is borrowed: the stack is
+// done with it when Send returns.
 func (st *Stack) Send(proto uint8, src, dst Addr, payload []byte) error {
 	if st.IsLocal(dst) {
 		if src.IsZero() {
 			src = dst
 		}
 		st.OutPackets.Add(1)
-		st.deliverLocal(proto, src, dst, append([]byte(nil), payload...))
+		st.deliverLocal(proto, src, dst, payload)
 		return nil
 	}
+	return st.sendRemote(proto, src, dst, block.Copy(payload, block.DefaultHeadroom))
+}
+
+// SendBlock is Send for a payload the caller already owns as a pooled
+// block with header headroom; ownership transfers to the stack, which
+// prepends the IP header in place instead of re-marshaling.
+func (st *Stack) SendBlock(proto uint8, src, dst Addr, b *block.Block) error {
+	if st.IsLocal(dst) {
+		if src.IsZero() {
+			src = dst
+		}
+		st.OutPackets.Add(1)
+		st.deliverLocal(proto, src, dst, b.Bytes())
+		b.Free()
+		return nil
+	}
+	return st.sendRemote(proto, src, dst, b)
+}
+
+func (st *Stack) sendRemote(proto uint8, src, dst Addr, b *block.Block) error {
 	ifc, nexthop, err := st.route(dst)
 	if err != nil {
 		st.NoRoute.Add(1)
+		b.Free()
 		return err
 	}
 	if src.IsZero() {
 		src = ifc.addr
+	}
+	if HdrLen+b.Len() > ifc.ifc.MTU() {
+		n := HdrLen + b.Len()
+		b.Free()
+		return fmt.Errorf("ip: packet too large for interface (%d > %d)", n, ifc.ifc.MTU())
 	}
 	h := Header{
 		ID:    uint16(st.ipID.Add(1)),
@@ -262,12 +292,9 @@ func (st *Stack) Send(proto uint8, src, dst Addr, payload []byte) error {
 		Src:   src,
 		Dst:   dst,
 	}
-	pkt := h.Marshal(payload)
-	if len(pkt) > ifc.ifc.MTU() {
-		return fmt.Errorf("ip: packet too large for interface (%d > %d)", len(pkt), ifc.ifc.MTU())
-	}
+	h.PrependTo(b)
 	st.OutPackets.Add(1)
-	return ifc.arp.send(nexthop, pkt)
+	return ifc.arp.send(nexthop, b)
 }
 
 // deliverLocal hands a payload to the registered transport.
@@ -315,7 +342,11 @@ func (ifc *Ifc) recvIP(frame []byte) {
 	}
 	h.TTL--
 	st.Forwarded.Add(1)
-	out.arp.send(nexthop, h.Marshal(payload))
+	// The forwarded copy is mandatory: payload aliases the inbound
+	// receive buffer, which dies when this handler returns.
+	relay := block.Copy(payload, block.DefaultHeadroom)
+	h.PrependTo(relay)
+	out.arp.send(nexthop, relay)
 }
 
 // Stats formats the stack counters in the ASCII style of /net/ipifc

@@ -124,7 +124,14 @@ func transmitTime(n int, bw int64) time.Duration {
 // the transmitter staying busy for size/bandwidth (dropped messages
 // still occupy wire time); propagation latency is applied by the
 // deliverer without blocking the sender, so throughput pipelines.
-func (p *Pipe) Send(msg []byte) error {
+func (p *Pipe) Send(msg []byte) error { return p.send(msg, false) }
+
+// SendOwned is Send for a buffer whose ownership the caller hands
+// over: the unimpaired path queues msg itself, skipping the defensive
+// wire copy. The caller must not touch msg afterwards.
+func (p *Pipe) SendOwned(msg []byte) error { return p.send(msg, true) }
+
+func (p *Pipe) send(msg []byte, owned bool) error {
 	prof := p.profile
 	if prof.MTU > 0 && len(msg) > prof.MTU {
 		return ErrTooLong
@@ -147,6 +154,9 @@ func (p *Pipe) Send(msg []byte) error {
 		SleepUntil(free)
 	}
 	if p.im != nil {
+		// The impairment path must copy even an owned buffer: the
+		// impairer duplicates and corrupts wire copies independently,
+		// so each delivery needs bytes of its own.
 		for _, e := range p.im.Apply(msg) {
 			if err := p.emit(e.Data, e.Delay); err != nil {
 				return err
@@ -154,7 +164,10 @@ func (p *Pipe) Send(msg []byte) error {
 		}
 		return nil
 	}
-	return p.emit(append([]byte(nil), msg...), 0)
+	if !owned {
+		msg = append([]byte(nil), msg...)
+	}
+	return p.emit(msg, 0)
 }
 
 // emit puts one wire copy on the delivery path. All channel sends
@@ -241,6 +254,9 @@ func AssembleDuplex(tx, rx *Pipe) *Duplex { return &Duplex{tx: tx, rx: rx} }
 
 // Send transmits toward the peer end.
 func (d *Duplex) Send(msg []byte) error { return d.tx.Send(msg) }
+
+// SendOwned transmits a buffer whose ownership the caller hands over.
+func (d *Duplex) SendOwned(msg []byte) error { return d.tx.SendOwned(msg) }
 
 // Recv receives from the peer end.
 func (d *Duplex) Recv() ([]byte, error) { return d.rx.Recv() }

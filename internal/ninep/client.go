@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/block"
 	"repro/internal/vfs"
 )
 
@@ -49,6 +50,9 @@ func (cl *Client) demux() {
 			return
 		}
 		f, err := UnmarshalFcall(msg)
+		// UnmarshalFcall copies everything it keeps, so the wire
+		// buffer goes back to the pool either way.
+		block.PutBytes(msg)
 		if err != nil {
 			cl.fail(err)
 			return

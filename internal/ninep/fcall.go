@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/block"
 	"repro/internal/vfs"
 )
 
@@ -257,9 +258,11 @@ func (c *coder) fail() {
 	}
 }
 
-// MarshalFcall encodes f into wire form (convS2M).
+// MarshalFcall encodes f into wire form (convS2M). The returned buffer
+// is pool-backed; a MsgConn WriteMsg takes ownership of it and recycles
+// it once it is on the wire.
 func MarshalFcall(f *Fcall) ([]byte, error) {
-	c := &coder{buf: make([]byte, 0, 64+len(f.Data))}
+	c := &coder{buf: block.GetBytes(128 + len(f.Data))[:0]}
 	c.pu32(0) // size, patched below
 	c.pu8(f.Type)
 	c.pu16(f.Tag)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/block"
 	"repro/internal/vfs"
 )
 
@@ -56,6 +57,9 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 			return err
 		}
 		f, err := UnmarshalFcall(msg)
+		// UnmarshalFcall copies everything it keeps, so the wire
+		// buffer goes back to the pool either way.
+		block.PutBytes(msg)
 		if err != nil {
 			return err
 		}

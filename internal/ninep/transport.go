@@ -5,16 +5,23 @@ import (
 	"errors"
 	"io"
 	"sync"
+
+	"repro/internal/block"
 )
 
 // MsgConn is a duplex transport that preserves message delimiters, the
 // property 9P requires of its transport (§2.1). IL conversations and
 // in-machine pipes provide it natively; byte streams such as TCP are
 // adapted with NewStreamConn.
+//
+// Buffer discipline: WriteMsg takes ownership of p — the caller never
+// touches it afterwards — and ReadMsg hands ownership of the returned
+// buffer to the caller, who releases it with block.PutBytes once the
+// message is decoded (UnmarshalFcall copies what it keeps).
 type MsgConn interface {
-	// ReadMsg returns the next whole message.
+	// ReadMsg returns the next whole message; the caller owns it.
 	ReadMsg() ([]byte, error)
-	// WriteMsg sends p as one message.
+	// WriteMsg sends p as one message, taking ownership of p.
 	WriteMsg(p []byte) error
 	// Close tears the transport down; pending readers fail.
 	Close() error
@@ -34,7 +41,9 @@ type pipe struct {
 }
 
 // NewPipe returns two connected MsgConns. Messages written to one are
-// read from the other, in order, with delimiters preserved.
+// read from the other, in order, with delimiters preserved. The buffer
+// itself crosses the pipe: WriteMsg transfers ownership of its argument
+// to the reading side, with no copy in between.
 func NewPipe() (MsgConn, MsgConn) {
 	ab := make(chan []byte, 32)
 	ba := make(chan []byte, 32)
@@ -72,9 +81,8 @@ func (p *pipe) ReadMsg() ([]byte, error) {
 	}
 }
 
-// WriteMsg implements MsgConn.
+// WriteMsg implements MsgConn: m itself is handed to the reader.
 func (p *pipe) WriteMsg(m []byte) error {
-	cp := append([]byte(nil), m...)
 	select { // closed ends win over a ready buffer
 	case <-p.closed:
 		return ErrConnClosed
@@ -87,7 +95,7 @@ func (p *pipe) WriteMsg(m []byte) error {
 		return ErrConnClosed
 	case <-p.peer.closed:
 		return ErrConnClosed
-	case p.out <- cp:
+	case p.out <- m:
 		return nil
 	}
 }
@@ -127,19 +135,22 @@ func (s *streamConn) ReadMsg() ([]byte, error) {
 	if size < 7 || size > MaxMsg {
 		return nil, ErrBadMsg
 	}
-	msg := make([]byte, size)
+	msg := block.GetBytes(int(size))
 	copy(msg, hdr[:])
 	if _, err := io.ReadFull(s.rwc, msg[4:]); err != nil {
+		block.PutBytes(msg)
 		return nil, err
 	}
 	return msg, nil
 }
 
-// WriteMsg implements MsgConn.
+// WriteMsg implements MsgConn. The underlying stream copies into its
+// send buffer before returning, so the owned message is recycled here.
 func (s *streamConn) WriteMsg(p []byte) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	_, err := s.rwc.Write(p)
+	block.PutBytes(p)
 	return err
 }
 
@@ -153,33 +164,37 @@ type delimConn struct {
 	rwc io.ReadWriteCloser
 	rmu sync.Mutex
 	wmu sync.Mutex
-	buf []byte
 }
 
 // NewDelimConn wraps a delimiter-preserving connection as a MsgConn.
 func NewDelimConn(rwc io.ReadWriteCloser) MsgConn {
-	return &delimConn{rwc: rwc, buf: make([]byte, MaxMsg)}
+	return &delimConn{rwc: rwc}
 }
 
-// ReadMsg implements MsgConn.
+// ReadMsg implements MsgConn: the message is read straight into a
+// pooled buffer that the caller owns — no staging buffer, no copy.
 func (d *delimConn) ReadMsg() ([]byte, error) {
 	d.rmu.Lock()
 	defer d.rmu.Unlock()
-	n, err := d.rwc.Read(d.buf)
+	buf := block.GetBytes(MaxMsg)
+	n, err := d.rwc.Read(buf)
 	if n == 0 {
+		block.PutBytes(buf)
 		if err == nil {
 			err = io.EOF
 		}
 		return nil, err
 	}
-	return append([]byte(nil), d.buf[:n]...), nil
+	return buf[:n], nil
 }
 
-// WriteMsg implements MsgConn.
+// WriteMsg implements MsgConn. The transport copies into its send
+// queue before returning, so the owned message is recycled here.
 func (d *delimConn) WriteMsg(p []byte) error {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
 	_, err := d.rwc.Write(p)
+	block.PutBytes(p)
 	return err
 }
 

@@ -1,0 +1,56 @@
+package streams
+
+import (
+	"testing"
+
+	"repro/internal/block"
+)
+
+// The block-discipline regression gate for the pipes path: a 16K write
+// through a stream to a device that frees its blocks must cost at most
+// two allocations — the pooled buffer's wrapper structs — because the
+// payload bytes travel in a recycled pool block. Before pooling this
+// path cost one fresh 16K buffer per write.
+func TestAllocsWrite16K(t *testing.T) {
+	if block.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	var sink int
+	s := New(1<<30, func(blk *Block) { sink += len(blk.Buf); blk.Free() })
+	defer s.Close()
+	payload := make([]byte, 16*1024)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Write(16K) allocates %.1f objects/op, want <= 2 (pool bypassed?)", allocs)
+	}
+	_ = sink
+}
+
+// The round-trip gate: write then read 1K through a looped-back
+// stream. The read side consumes the same pooled block the write
+// produced, so the whole trip stays within the same budget.
+func TestAllocsRoundTrip(t *testing.T) {
+	if block.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	var s *Stream
+	s = New(1<<30, func(blk *Block) { s.DeviceUp(blk) })
+	defer s.Close()
+	payload := make([]byte, 1024)
+	buf := make([]byte, 2048)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 3 {
+		t.Fatalf("round trip allocates %.1f objects/op, want <= 3", allocs)
+	}
+}

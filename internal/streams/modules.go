@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/block"
 )
 
 // This file provides the reusable processing modules that ship with the
@@ -46,17 +48,33 @@ func frameOput(q *Queue, b *Block) {
 	}
 	st := q.Other().Aux.(*frameState)
 	st.mu.Lock()
+	if len(st.pending) == 0 && b.Delim {
+		// Whole write in one block: push the length prefix into the
+		// block's headroom in place instead of re-materializing it.
+		st.mu.Unlock()
+		bb := b.TakeInner()
+		binary.BigEndian.PutUint32(bb.Prepend(4), uint32(bb.Len()-4))
+		out := NewBlockOwned(bb)
+		out.Delim = true
+		q.PutNext(out)
+		return
+	}
 	st.pending = append(st.pending, b.Buf...)
-	if !b.Delim {
+	delim := b.Delim
+	b.Free()
+	if !delim {
 		st.mu.Unlock()
 		return
 	}
 	msg := st.pending
 	st.pending = nil
 	st.mu.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
-	out := &Block{Type: BlockData, Buf: append(hdr[:], msg...), Delim: true}
+	bb := block.Alloc(4+len(msg), block.DefaultHeadroom)
+	w := bb.Bytes()
+	binary.BigEndian.PutUint32(w[:4], uint32(len(msg)))
+	copy(w[4:], msg)
+	out := NewBlockOwned(bb)
+	out.Delim = true
 	q.PutNext(out)
 }
 
@@ -67,20 +85,35 @@ func frameIput(q *Queue, b *Block) {
 	}
 	st := q.Aux.(*frameState)
 	st.mu.Lock()
+	if len(st.partial) == 0 && len(b.Buf) >= 4 {
+		if n := int(binary.BigEndian.Uint32(b.Buf)); len(b.Buf) == 4+n {
+			// Exactly one whole frame: peel the prefix in place and
+			// forward the payload without copying.
+			st.mu.Unlock()
+			bb := b.TakeInner()
+			bb.Consume(4)
+			out := NewBlockOwned(bb)
+			out.Delim = true
+			q.PutNext(out)
+			return
+		}
+	}
 	st.partial = append(st.partial, b.Buf...)
-	var msgs [][]byte
+	b.Free()
+	var msgs []*Block
 	for len(st.partial) >= 4 {
 		n := int(binary.BigEndian.Uint32(st.partial))
 		if len(st.partial) < 4+n {
 			break
 		}
-		msgs = append(msgs, append([]byte(nil), st.partial[4:4+n]...))
+		nb := NewBlockOwned(block.Copy(st.partial[4:4+n], 0))
+		nb.Delim = true
+		msgs = append(msgs, nb)
 		st.partial = st.partial[4+n:]
 	}
 	st.mu.Unlock()
 	for _, m := range msgs {
-		nb := &Block{Type: BlockData, Buf: m, Delim: true}
-		q.PutNext(nb)
+		q.PutNext(m)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"repro/internal/block"
 )
 
 // Stream is a bidirectional channel between a device and user
@@ -50,7 +52,9 @@ func New(limit int, dev DeviceFunc) *Stream {
 	s.devUp = newQueue(s, nil, true, PassPut)
 	s.devWrite = newQueue(s, nil, false, func(q *Queue, b *Block) {
 		if dev != nil {
-			dev(b)
+			dev(b) // ownership passes to the device
+		} else {
+			b.Free()
 		}
 	})
 	// Initially no modules: writes go straight to the device, device
@@ -232,6 +236,7 @@ func (s *Stream) Read(p []byte) (int, error) {
 			return 0, err
 		}
 		if b.Type == BlockCtl {
+			b.Free()
 			continue // control information is not data
 		}
 		n := copy(p[total:], b.Buf)
@@ -241,7 +246,9 @@ func (s *Stream) Read(p []byte) (int, error) {
 			s.topRead.putback(b)
 			return total, nil
 		}
-		if b.Delim {
+		delim := b.Delim
+		b.Free()
+		if delim {
 			return total, nil
 		}
 		if total == len(p) {
@@ -266,9 +273,19 @@ func (s *Stream) DeviceUp(b *Block) {
 	entry.Put(b)
 }
 
-// DeviceUpData is DeviceUp for a delimited data payload.
+// DeviceUpData is DeviceUp for a delimited data payload. The payload
+// is copied (into a pooled block): this is the retain boundary for
+// devices that only borrow their receive buffer.
 func (s *Stream) DeviceUpData(p []byte) {
 	b := NewBlock(p)
+	b.Delim = true
+	s.DeviceUp(b)
+}
+
+// DeviceUpOwned is DeviceUp for a delimited payload the device already
+// owns as a pooled block; ownership transfers without copying.
+func (s *Stream) DeviceUpOwned(bb *block.Block) {
+	b := NewBlockOwned(bb)
 	b.Delim = true
 	s.DeviceUp(b)
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/block"
 	"repro/internal/vfs"
 )
 
@@ -46,21 +47,68 @@ const (
 
 // Block is the unit of information in a stream (§2.4): a type, state
 // flags, and a buffer holding data or control information.
+//
+// A data block is usually a thin wrapper over a pooled block.Block:
+// Buf is the readable window and the wrapper owns one reference to the
+// underlying buffer. Whoever consumes a block — the read path, a
+// module that absorbs it, a queue discarding it — calls Free to
+// recycle the buffer. Blocks built around plain slices (control
+// blocks, foreign buffers) work identically; Free just leaves them to
+// the garbage collector.
 type Block struct {
 	next  *Block
 	Type  int
 	Delim bool
 	Buf   []byte
+	inner *block.Block
 }
 
-// NewBlock returns a data block holding a copy of p.
+// NewBlock returns a data block holding a copy of p, drawn from the
+// block pool with header headroom. This is the mandatory copy at the
+// user-write boundary: the caller keeps p, the stream owns the block.
 func NewBlock(p []byte) *Block {
-	return &Block{Type: BlockData, Buf: append([]byte(nil), p...)}
+	bb := block.Copy(p, block.DefaultHeadroom)
+	return &Block{Type: BlockData, Buf: bb.Bytes(), inner: bb}
+}
+
+// NewBlockOwned wraps an already-owned pooled block as a stream data
+// block without copying; ownership of bb transfers to the stream.
+func NewBlockOwned(bb *block.Block) *Block {
+	return &Block{Type: BlockData, Buf: bb.Bytes(), inner: bb}
 }
 
 // NewCtlBlock returns a control block carrying an ASCII command.
 func NewCtlBlock(cmd string) *Block {
 	return &Block{Type: BlockCtl, Buf: []byte(cmd), Delim: true}
+}
+
+// Free releases the block's buffer back to the pool. The caller must
+// be the block's sole owner and must not touch b or b.Buf afterwards.
+// Blocks not backed by the pool are simply dropped.
+func (b *Block) Free() {
+	bb := b.inner
+	b.inner = nil
+	b.Buf = nil
+	if bb != nil {
+		bb.Free()
+	}
+}
+
+// TakeInner strips the wrapper and returns the underlying pooled
+// block, aligned to the wrapper's current window, for device ends that
+// hand the payload onward in block form. A plain-slice block is
+// wrapped without copying. b is dead afterwards.
+func (b *Block) TakeInner() *block.Block {
+	bb := b.inner
+	if bb == nil {
+		return block.FromBytes(b.Buf)
+	}
+	b.inner = nil
+	// Readers consume only from the front, so Buf is a suffix of the
+	// inner window; realign rather than trust stale offsets.
+	bb.Consume(bb.Len() - len(b.Buf))
+	b.Buf = nil
+	return bb
 }
 
 // PutFunc is a module's put routine for one direction. It runs on the
@@ -177,7 +225,8 @@ func (q *Queue) Enqueue(b *Block) {
 		q.wwait.Wait()
 	}
 	if q.closed {
-		return // data discarded on a dying stream
+		b.Free() // data discarded on a dying stream
+		return
 	}
 	b.next = nil
 	if q.last == nil {
@@ -232,6 +281,9 @@ func (q *Queue) dequeueLocked() *Block {
 }
 
 // putback returns a partially-consumed block to the head of the queue.
+// It must wake waiting readers just as Enqueue does: the block it
+// re-heads is readable data, and a second reader parked in Get would
+// otherwise sleep through it until unrelated traffic arrived.
 func (q *Queue) putback(b *Block) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -241,6 +293,7 @@ func (q *Queue) putback(b *Block) {
 		q.last = b
 	}
 	q.nbytes += len(b.Buf)
+	q.rwait.Broadcast()
 }
 
 // Len returns the number of bytes queued locally.

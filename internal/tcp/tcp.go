@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/ip"
 	"repro/internal/streams"
 	"repro/internal/vfs"
@@ -179,6 +180,26 @@ type header struct {
 
 func marshal(h header, data []byte) []byte {
 	p := make([]byte, HdrLen+len(data))
+	copy(p[HdrLen:], data)
+	fillHeader(p, h)
+	return p
+}
+
+// marshalBlock builds the segment in a pooled block with headroom for
+// the IP and Ethernet headers, so lower layers prepend in place.
+func marshalBlock(h header, data []byte) *block.Block {
+	b := block.Alloc(HdrLen+len(data), block.DefaultHeadroom)
+	p := b.Bytes()
+	copy(p[HdrLen:], data)
+	fillHeader(p, h)
+	return b
+}
+
+// fillHeader writes the header into p[:HdrLen] and checksums the whole
+// packet. Every header byte is written explicitly — including the
+// reserved one and the checksum field before summing — because pooled
+// buffers arrive with stale contents, unlike a fresh make.
+func fillHeader(p []byte, h header) {
 	p[0] = byte(h.src >> 8)
 	p[1] = byte(h.src)
 	p[2] = byte(h.dst >> 8)
@@ -192,13 +213,13 @@ func marshal(h header, data []byte) []byte {
 	p[10] = byte(h.ack >> 8)
 	p[11] = byte(h.ack)
 	p[12] = h.flags
+	p[13] = 0
 	p[14] = byte(h.win >> 8)
 	p[15] = byte(h.win)
-	copy(p[HdrLen:], data)
+	p[16], p[17] = 0, 0
 	ck := ip.Checksum(p)
 	p[16] = byte(ck >> 8)
 	p[17] = byte(ck)
-	return p
 }
 
 func unmarshal(p []byte) (header, []byte, bool) {
@@ -245,9 +266,9 @@ func (p *Proto) recv(src, dst ip.Addr, payload []byte) {
 	p.mu.Unlock()
 	if c == nil {
 		if h.flags&flagRST == 0 {
-			rst := marshal(header{src: h.dst, dst: h.src, seq: h.ack,
+			rst := marshalBlock(header{src: h.dst, dst: h.src, seq: h.ack,
 				ack: h.seq + 1, flags: flagRST | flagACK}, nil)
-			p.stack.Send(ip.ProtoTCP, dst, src, rst)
+			p.stack.SendBlock(ip.ProtoTCP, dst, src, rst)
 		}
 		return
 	}
@@ -449,11 +470,13 @@ func (c *Conn) sendSegLocked(flags byte, seq uint32, data []byte) {
 	if c.state == SynSent {
 		h.flags = flags // no ACK before we have rcvNxt
 	}
-	pkt := marshal(h, data)
+	// The copy into the pooled block happens here, synchronously, so
+	// data (which may alias sndBuf) is not touched by the goroutine.
+	pkt := marshalBlock(h, data)
 	src, dst := c.localAddr, c.remoteAddr
 	go func() {
 		c.proto.SegsSent.Add(1)
-		c.proto.stack.Send(ip.ProtoTCP, src, dst, pkt)
+		c.proto.stack.SendBlock(ip.ProtoTCP, src, dst, pkt)
 	}()
 }
 

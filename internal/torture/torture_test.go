@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/medium"
 	"repro/internal/xport"
 )
@@ -92,6 +93,26 @@ func Test9PSurvivesImpairment(t *testing.T) {
 	checkSurvives(t, rep)
 	if rep.Forward.SentBytes != rep.Forward.RecvBytes {
 		t.Fatalf("9p read back %d bytes of %d:\n%s", rep.Forward.RecvBytes, rep.Forward.SentBytes, rep)
+	}
+}
+
+// TestPoolingArmedDuringTorture pins the block-discipline claim: the
+// impairment runs above exercise the pooled, ownership-passing data
+// path, not a copy-everything fallback. One full cocktail run must
+// leave sha256-identical streams while the global block pool counters
+// show both allocation and recycling traffic.
+func TestPoolingArmedDuringTorture(t *testing.T) {
+	before := block.Snapshot()
+	s := nasty(47)
+	s.Proto = ProtoIL
+	rep := Run(s)
+	checkSurvives(t, rep)
+	after := block.Snapshot()
+	if after.Allocs == before.Allocs {
+		t.Fatalf("block allocator untouched during torture run: %+v", after)
+	}
+	if after.PoolHits == before.PoolHits {
+		t.Fatalf("no pool recycling during torture run (every block fresh):\nbefore %+v\nafter  %+v", before, after)
 	}
 }
 

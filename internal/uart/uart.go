@@ -98,9 +98,11 @@ func (e *End) Baud() int { return int(e.baud.Load()) }
 // wires have no record boundaries.
 func (e *End) transmit(b *streams.Block) {
 	if b.Type != streams.BlockData || len(b.Buf) == 0 {
+		b.Free()
 		return
 	}
-	bits := int64(len(b.Buf)) * 10
+	n := len(b.Buf)
+	bits := int64(n) * 10
 	d := time.Duration(bits * int64(time.Second) / e.baud.Load())
 	e.mu.Lock()
 	now := time.Now()
@@ -112,21 +114,24 @@ func (e *End) transmit(b *streams.Block) {
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
+		b.Free()
 		return
 	}
 	medium.SleepUntil(free)
-	e.outBytes.Add(int64(len(b.Buf)))
+	e.outBytes.Add(int64(n))
 	peer := e.peer
 	peer.mu.Lock()
 	s := peer.stream
 	closed = peer.closed
 	peer.mu.Unlock()
 	if closed {
+		b.Free()
 		return
 	}
-	peer.inBytes.Add(int64(len(b.Buf)))
-	nb := streams.NewBlock(b.Buf) // undelimited: just bytes
-	s.DeviceUp(nb)
+	peer.inBytes.Add(int64(n))
+	// The block itself crosses the wire — no copy. It arrives as an
+	// undelimited byte arrival: serial wires have no record boundaries.
+	s.DeviceUp(streams.NewBlockOwned(b.TakeInner()))
 }
 
 func (e *End) close() {

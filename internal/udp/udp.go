@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/block"
 	"repro/internal/ip"
 	"repro/internal/streams"
 	"repro/internal/xport"
@@ -227,7 +228,10 @@ func (c *Conn) Write(p []byte) (int, error) {
 	default:
 		return 0, xport.ErrNotConnected
 	}
-	dgram := make([]byte, HdrLen+len(data))
+	// One copy, user data into a pooled block with IP/ether headroom;
+	// the stack prepends its header in place and takes ownership.
+	b := block.Alloc(HdrLen+len(data), block.DefaultHeadroom)
+	dgram := b.Bytes()
 	dgram[0] = byte(srcPort >> 8)
 	dgram[1] = byte(srcPort)
 	dgram[2] = byte(dstPort >> 8)
@@ -235,8 +239,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 	n := len(dgram)
 	dgram[4] = byte(n >> 8)
 	dgram[5] = byte(n)
+	dgram[6], dgram[7] = 0, 0 // checksum unused in the simulation
 	copy(dgram[HdrLen:], data)
-	if err := c.proto.stack.Send(ip.ProtoUDP, src, dst, dgram); err != nil {
+	if err := c.proto.stack.SendBlock(ip.ProtoUDP, src, dst, b); err != nil {
 		return 0, err
 	}
 	return len(p), nil

@@ -16,12 +16,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/streams"
 	"repro/internal/vfs"
 )
 
 // Wire is a cell transport: ordered, possibly lossy delivery of small
-// cells.
+// cells. SendCell takes ownership of p — the caller never touches the
+// cell again — and the transport may extend it in place within its
+// capacity with link framing such as an FCS; URP builds cells with
+// tail slack for exactly that.
 type Wire interface {
 	SendCell(p []byte) error
 	RecvCell() ([]byte, error)
@@ -133,7 +137,10 @@ func New(wire Wire, stats *Stats) *Conn {
 func (c *Conn) Stream() *streams.Stream { return c.rstream }
 
 func (c *Conn) sendCell(typ, seq int, flags byte, data []byte) error {
-	cell := make([]byte, hdrLen+len(data))
+	// Pool-backed, with size-class capacity slack behind len so the
+	// link layer can append its FCS without reallocating; ownership
+	// transfers to the wire.
+	cell := block.GetBytes(hdrLen + len(data))
 	cell[0] = byte(typ)
 	cell[1] = byte(seq)
 	cell[2] = flags
@@ -193,7 +200,11 @@ func (c *Conn) reader() {
 			c.hangup()
 			return
 		}
+		// The wire hands over the cell buffer (each delivery has bytes
+		// of its own); recvData copies at both of its boundaries, so
+		// the cell recycles as soon as the switch returns.
 		if len(cell) < hdrLen {
+			block.PutBytes(cell)
 			continue
 		}
 		typ := int(cell[0])
@@ -201,6 +212,7 @@ func (c *Conn) reader() {
 		flags := cell[2]
 		n := int(cell[3])<<8 | int(cell[4])
 		if n > len(cell)-hdrLen {
+			block.PutBytes(cell)
 			continue
 		}
 		data := cell[hdrLen : hdrLen+n]
@@ -231,6 +243,7 @@ func (c *Conn) reader() {
 			c.hangup()
 			return
 		}
+		block.PutBytes(cell)
 	}
 }
 
@@ -256,16 +269,25 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 	}
 	c.rejSent = false
 	c.rcvNext = (c.rcvNext + 1) % SeqMod
-	c.reassembly = append(c.reassembly, data...)
+	whole := flags&flagEOM != 0 && len(c.reassembly) == 0
 	var msg []byte
-	if flags&flagEOM != 0 {
-		msg = c.reassembly
-		c.reassembly = nil
+	if !whole {
+		c.reassembly = append(c.reassembly, data...)
+		if flags&flagEOM != 0 {
+			msg = c.reassembly
+			c.reassembly = nil
+		}
 	}
 	next := c.rcvNext
 	c.mu.Unlock()
-	if msg != nil {
-		c.rstream.DeviceUpData(msg)
+	if whole {
+		// Single-cell message: skip the reassembly buffer. The stream
+		// copies at this boundary (the cell is the wire's buffer), so
+		// this is the path's one copy.
+		c.rstream.DeviceUpData(data)
+	} else if msg != nil {
+		// msg is ours alone — hand it up without another copy.
+		c.rstream.DeviceUpOwned(block.FromBytes(msg))
 	}
 	c.sendCell(cellAck, next, 0, nil)
 }

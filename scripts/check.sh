@@ -28,6 +28,12 @@ go test -race ./...
 echo "== netvet ./..."
 go run ./cmd/netvet ./...
 
+echo "== block discipline: AllocsPerRun gates (race off)"
+# The race detector's instrumentation allocates, so these self-skip
+# under -race above and run here without it: a copy or pool bypass
+# creeping back into the hot paths fails the gate.
+go test -run '^TestAllocs' -count=1 ./internal/streams ./internal/ninep
+
 echo "== chaos: deterministic torture pass (fixed seed)"
 go run ./cmd/netsim -chaos -seed 1 -msgs 40
 
