@@ -25,8 +25,11 @@ import (
 	"repro/internal/ether"
 	"repro/internal/il"
 	"repro/internal/ip"
+	"repro/internal/mnt"
+	"repro/internal/ninep"
 	"repro/internal/ns"
 	"repro/internal/table1"
+	"repro/internal/vfs"
 )
 
 // buildPaths boots the measurement world once per benchmark.
@@ -343,28 +346,77 @@ func BenchmarkILWindow1(b *testing.B)  { benchILWindow(b, 1) }
 func BenchmarkILWindow4(b *testing.B)  { benchILWindow(b, 4) }
 func BenchmarkILWindow20(b *testing.B) { benchILWindow(b, 20) }
 
-// --- 9P mounts: IL's native delimiters vs TCP's marshaling (§2.1) ---
+// --- 9P mounts: IL's native delimiters vs TCP's marshaling (§2.1),
+// and the pipelined mount driver's sliding window ---
 
-func bench9PMount(b *testing.B, dest string) {
-	w, err := core.PaperWorld(core.FastProfiles())
+// mount9PBench boots a world, writes a payload-sized file on bootes,
+// imports bootes on helix with the given mount-driver window (0 =
+// default, 1 = the serial RPC-per-fragment driver), and returns an
+// open fd for the file.
+func mount9PBench(b *testing.B, dest string, profiles core.PaperProfiles, size, window int) *ns.FD {
+	b.Helper()
+	w, err := core.PaperWorld(profiles)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer w.Close()
+	b.Cleanup(w.Close)
 	bootes := w.Machine("bootes")
 	helix := w.Machine("helix")
-	payload := make([]byte, 4096)
+	payload := make([]byte, size)
 	bootes.Root.WriteFile("lib/bench", payload, 0664)
-	if _, err := helix.Import(dest, "/", "/n/b", ns.MREPL); err != nil {
+	cfg := mnt.Config{Client: ninep.ClientConfig{Window: window}}
+	if _, err := helix.ImportConfig(dest, "/", "/n/b", ns.MREPL, cfg); err != nil {
 		b.Fatal(err)
 	}
-	fd, err := helix.NS.Open("/n/b/lib/bench", 0)
+	fd, err := helix.NS.Open("/n/b/lib/bench", vfs.ORDWR)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer fd.Close()
-	buf := make([]byte, len(payload))
-	b.SetBytes(int64(len(payload)))
+	b.Cleanup(func() { fd.Close() })
+	return fd
+}
+
+// bench9PRead reads a 64K file in one ReadAt per iteration: eight
+// MaxFData fragments, which the pipelined driver keeps in flight
+// concurrently and the serial driver round-trips one at a time.
+func bench9PRead(b *testing.B, dest string, profiles core.PaperProfiles, window int) {
+	const size = 64 * 1024
+	fd := mount9PBench(b, dest, profiles, size, window)
+	buf := make([]byte, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for b.Loop() {
+		if n, err := fd.ReadAt(buf, 0); err != nil || n != size {
+			b.Fatalf("read %d, %v", n, err)
+		}
+	}
+}
+
+func Benchmark9PReadOverIL(b *testing.B) { bench9PRead(b, "il!bootes!9fs", core.FastProfiles(), 0) }
+func Benchmark9PReadOverILSerial(b *testing.B) {
+	bench9PRead(b, "il!bootes!9fs", core.FastProfiles(), 1)
+}
+func Benchmark9PReadOverTCP(b *testing.B) { bench9PRead(b, "tcp!bootes!9fs", core.FastProfiles(), 0) }
+func Benchmark9PReadOverTCPSerial(b *testing.B) {
+	bench9PRead(b, "tcp!bootes!9fs", core.FastProfiles(), 1)
+}
+
+// The WAN profile is where the window matters most: every fragment
+// round trip costs ~10 ms, so the serial driver pays 8 RTTs per 64K
+// read and the windowed driver roughly one.
+func Benchmark9PReadOverILWAN(b *testing.B) { bench9PRead(b, "il!bootes!9fs", core.WANProfiles(), 0) }
+func Benchmark9PReadOverILWANSerial(b *testing.B) {
+	bench9PRead(b, "il!bootes!9fs", core.WANProfiles(), 1)
+}
+
+// Benchmark9PReadSmall pins the single-RPC invariant's cost: a 4K read
+// is at most MaxFData, must map to exactly one Tread, and must not
+// regress against the serial driver (it takes the identical path).
+func Benchmark9PReadSmallOverIL(b *testing.B) {
+	const size = 4096
+	fd := mount9PBench(b, "il!bootes!9fs", core.FastProfiles(), size, 0)
+	buf := make([]byte, size)
+	b.SetBytes(size)
 	b.ResetTimer()
 	for b.Loop() {
 		if _, err := fd.ReadAt(buf, 0); err != nil {
@@ -373,14 +425,31 @@ func bench9PMount(b *testing.B, dest string) {
 	}
 }
 
-func Benchmark9PReadOverIL(b *testing.B)  { bench9PMount(b, "il!bootes!9fs") }
-func Benchmark9PReadOverTCP(b *testing.B) { bench9PMount(b, "tcp!bootes!9fs") }
+// bench9PWrite writes 64K in one WriteAt per iteration: eight Twrite
+// fragments, windowed versus serial.
+func bench9PWrite(b *testing.B, window int) {
+	const size = 64 * 1024
+	fd := mount9PBench(b, "il!bootes!9fs", core.FastProfiles(), size, window)
+	payload := make([]byte, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for b.Loop() {
+		if n, err := fd.WriteAt(payload, 0); err != nil || n != size {
+			b.Fatalf("write %d, %v", n, err)
+		}
+	}
+}
+
+func Benchmark9PWriteOverIL(b *testing.B)       { bench9PWrite(b, 0) }
+func Benchmark9PWriteOverILSerial(b *testing.B) { bench9PWrite(b, 1) }
 
 // Benchmark9PRelayThroughGateway measures the §6.1 relay: the
 // Datakit-only terminal reads a file on bootes through helix — the
 // mount crosses the import (dk, 9P hop 1), helix's kernel relays to
-// its own mount of bootes (il, 9P hop 2).
-func Benchmark9PRelayThroughGateway(b *testing.B) {
+// its own mount of bootes (il, 9P hop 2). With the pipelined mount
+// driver on both imports, a 64K read keeps a window of Treads in
+// flight across both hops at once.
+func bench9PRelay(b *testing.B, window int) {
 	w, err := core.PaperWorld(core.FastProfiles())
 	if err != nil {
 		b.Fatal(err)
@@ -389,14 +458,16 @@ func Benchmark9PRelayThroughGateway(b *testing.B) {
 	bootes := w.Machine("bootes")
 	helix := w.Machine("helix")
 	gnot := w.Machine("philw-gnot")
-	payload := make([]byte, 4096)
+	const size = 64 * 1024
+	payload := make([]byte, size)
 	bootes.Root.WriteFile("lib/bench", payload, 0664)
 	// helix mounts bootes; gnot imports helix's whole tree (which
 	// includes that mount) over the Datakit.
-	if _, err := helix.Import("il!bootes!9fs", "/", "/n/bootes", ns.MREPL); err != nil {
+	cfg := mnt.Config{Client: ninep.ClientConfig{Window: window}}
+	if _, err := helix.ImportConfig("il!bootes!9fs", "/", "/n/bootes", ns.MREPL, cfg); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := gnot.Import("dk!nj/astro/helix!exportfs", "/", "/n/helix", ns.MREPL); err != nil {
+	if _, err := gnot.ImportConfig("dk!nj/astro/helix!exportfs", "/", "/n/helix", ns.MREPL, cfg); err != nil {
 		b.Fatal(err)
 	}
 	fd, err := gnot.NS.Open("/n/helix/n/bootes/lib/bench", 0)
@@ -404,15 +475,18 @@ func Benchmark9PRelayThroughGateway(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer fd.Close()
-	buf := make([]byte, len(payload))
-	b.SetBytes(int64(len(payload)))
+	buf := make([]byte, size)
+	b.SetBytes(size)
 	b.ResetTimer()
 	for b.Loop() {
-		if _, err := fd.ReadAt(buf, 0); err != nil {
-			b.Fatal(err)
+		if n, err := fd.ReadAt(buf, 0); err != nil || n != size {
+			b.Fatalf("read %d, %v", n, err)
 		}
 	}
 }
+
+func Benchmark9PRelayThroughGateway(b *testing.B)       { bench9PRelay(b, 0) }
+func Benchmark9PRelayThroughGatewaySerial(b *testing.B) { bench9PRelay(b, 1) }
 
 // --- csquery and dial costs (the §4–§5 machinery) ---
 

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -33,16 +35,59 @@ func main() {
 	chaos := flag.Bool("chaos", false, "torture every protocol across impaired media")
 	seed := flag.Int64("seed", 1, "with -chaos: impairment seed (failures replay exactly)")
 	msgs := flag.Int("msgs", 40, "with -chaos: messages per direction")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Parse()
 
 	if !*figure1 && !*transcript && !*imp && !*table && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	// The profile writers run on every exit path below, so the run
+	// modes defer through this instead of calling os.Exit directly.
+	exitCode := 0
+	defer func() {
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err == nil {
+				runtime.GC()
+				pprof.Lookup("heap").WriteTo(f, 0)
+				f.Close()
+			}
+		}
+		if *blockprofile != "" {
+			f, err := os.Create(*blockprofile)
+			if err == nil {
+				pprof.Lookup("block").WriteTo(f, 0)
+				f.Close()
+			}
+		}
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 	if *chaos {
 		if failed := runChaos(*seed, *msgs); failed > 0 {
 			fmt.Fprintf(os.Stderr, "netsim: chaos: %d protocols failed\n", failed)
-			os.Exit(1)
+			exitCode = 1
 		}
 		return
 	}
@@ -59,7 +104,8 @@ func main() {
 	w, err := core.PaperWorld(core.FastProfiles())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
-		os.Exit(1)
+		exitCode = 1
+		return
 	}
 	defer w.Close()
 

@@ -10,16 +10,23 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dialer"
+	"repro/internal/mnt"
+	"repro/internal/ninep"
 	"repro/internal/ns"
 )
 
 func main() {
+	window := flag.Int("window", ninep.DefaultWindow,
+		"9P fragment window for the import (1 = serial RPCs, the pre-pipelining mount driver)")
+	flag.Parse()
+
 	world, err := core.PaperWorld(core.FastProfiles())
 	if err != nil {
 		log.Fatal(err)
@@ -46,8 +53,12 @@ func main() {
 
 	// import -a helix /net — over the Datakit, since that is all the
 	// terminal has. The union places remote entries after local ones.
-	fmt.Println("philw-gnot$ import -a helix /net")
-	if _, err := gnot.Import("dk!nj/astro/helix!exportfs", "/net", "/net", ns.MAFTER); err != nil {
+	// The explicit config sets the mount driver's RPC window: large
+	// transfers through the import fan into up to that many concurrent
+	// fragment RPCs, pipelined across both hops of the relay.
+	fmt.Printf("philw-gnot$ import -a helix /net  # window %d\n", *window)
+	cfg := mnt.Config{Client: ninep.ClientConfig{Window: *window}}
+	if _, err := gnot.ImportConfig("dk!nj/astro/helix!exportfs", "/net", "/net", ns.MAFTER, cfg); err != nil {
 		log.Fatal(err)
 	}
 

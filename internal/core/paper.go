@@ -113,6 +113,29 @@ func FastProfiles() PaperProfiles {
 	return PaperProfiles{}
 }
 
+// WANProfiles stretches the office topology across a wide-area link:
+// plenty of bandwidth, but every medium carries multi-millisecond
+// latency. This is where a serial RPC-per-fragment mount driver is
+// purely latency-bound and the sliding window pays off most (see
+// EXPERIMENTS.md).
+func WANProfiles() PaperProfiles {
+	return PaperProfiles{
+		Ether: ether.Profile{
+			Bandwidth: 100_000_000 / 8, // 100 Mb/s
+			Latency:   5 * time.Millisecond,
+		},
+		Datakit: medium.Profile{
+			Bandwidth: 10_000_000 / 8,
+			Latency:   10 * time.Millisecond,
+			MTU:       2048,
+		},
+		Cyclone: medium.Profile{
+			Bandwidth: 100_000_000 / 8,
+			Latency:   5 * time.Millisecond,
+		},
+	}
+}
+
 // PaperWorld builds the paper's topology:
 //
 //   - an office Ethernet carrying bootes (the file server), helix and

@@ -104,14 +104,23 @@ func (m *Machine) ServeExportfs(addr string) (func(), error) {
 
 // Import dials the exportfs service on a remote machine and mounts
 // its subtree at old with the given bind flag: the import command of
-// §6.1. dest is a dial string such as "net!helix!exportfs".
+// §6.1. dest is a dial string such as "net!helix!exportfs". The mount
+// pipelines large transfers; readahead and write-behind stay off
+// because imports usually carry live device trees (see ImportConfig).
 func (m *Machine) Import(dest, remotePath, old string, flag int) (*ninep.Client, error) {
+	return m.ImportConfig(dest, remotePath, old, flag, mnt.Config{})
+}
+
+// ImportConfig is Import with an explicit mount-driver configuration —
+// mnt.FileConfig() for a plain file tree, or a Client window of 1 to
+// fall back to the serial RPC-per-fragment driver.
+func (m *Machine) ImportConfig(dest, remotePath, old string, flag int, cfg mnt.Config) (*ninep.Client, error) {
 	conn, err := dialer.Dial(m.NS, dest)
 	if err != nil {
 		return nil, err
 	}
 	remotePath = strings.TrimPrefix(ns.Clean(remotePath), "/")
-	cl, err := exportfs.Import(m.NS, msgConnFor(conn), remotePath, old, flag)
+	cl, err := exportfs.ImportConfig(m.NS, msgConnFor(conn), remotePath, old, flag, cfg)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -123,11 +132,17 @@ func (m *Machine) Import(dest, remotePath, old string, flag int) (*ninep.Client,
 // MountRemote dials dest and mounts the 9P tree served there (e.g. a
 // file server speaking 9P directly on a Cyclone link).
 func (m *Machine) MountRemote(dest, aname, old string, flag int) (*ninep.Client, error) {
+	return m.MountRemoteConfig(dest, aname, old, flag, mnt.Config{})
+}
+
+// MountRemoteConfig is MountRemote with an explicit mount-driver
+// configuration.
+func (m *Machine) MountRemoteConfig(dest, aname, old string, flag int, cfg mnt.Config) (*ninep.Client, error) {
 	conn, err := dialer.Dial(m.NS, dest)
 	if err != nil {
 		return nil, err
 	}
-	root, cl, err := mnt.Mount(msgConnFor(conn), m.NS.User(), aname)
+	root, cl, err := mnt.MountConfig(msgConnFor(conn), m.NS.User(), aname, cfg)
 	if err != nil {
 		conn.Close()
 		return nil, err

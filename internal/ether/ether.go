@@ -97,6 +97,7 @@ type Segment struct {
 	name    string
 	profile Profile
 	im      *medium.Impairer // nil on an unimpaired, lossless segment
+	ideal   bool             // ideal medium: no pacing, no impairment, FCS elided
 
 	mu     sync.Mutex
 	ifaces []*Interface
@@ -122,6 +123,12 @@ func NewSegment(name string, p Profile) *Segment {
 	if p.Impair.Armed(p.Loss) {
 		seg.im = medium.NewImpairer(p.Seed+1, p.Loss, p.Impair)
 	}
+	// On an ideal medium a frame cannot be damaged in transit, so the
+	// simulation elides the FCS entirely: the transmitter appends none
+	// and the receivers skip the check. Both sides consult this one
+	// flag, fixed for the segment's lifetime, so they always agree on
+	// the frame layout.
+	seg.ideal = p.Bandwidth == 0 && p.Latency == 0 && seg.im == nil
 	go seg.transmitter()
 	return seg
 }
@@ -239,22 +246,20 @@ func (seg *Segment) transmitter() {
 }
 
 // transmitBlock queues a frame on the wire, appending the hardware FCS
-// into the block's tailroom in place. Ownership of b transfers to the
-// segment.
+// into the block's tailroom in place (elided on an ideal medium).
+// Ownership of b transfers to the segment.
 func (seg *Segment) transmitBlock(from *Interface, b *block.Block) error {
 	if b.Len()-HdrLen > seg.profile.mtu() {
 		n := b.Len() - HdrLen
 		b.Free()
 		return fmt.Errorf("ether: packet exceeds MTU (%d > %d)", n, seg.profile.mtu())
 	}
-	crc := crc32.ChecksumIEEE(b.Bytes())
-	binary.BigEndian.PutUint32(b.Extend(fcsLen), crc)
-	fast := seg.profile.Bandwidth == 0 && seg.profile.Latency == 0 && seg.im == nil
-	if fast {
+	if seg.ideal {
 		// Synchronous fast path for an ideal medium: no pacing, no
-		// reordering possible. The one block fans out to every
-		// receiver by reference count — each interface reads it and
-		// releases its own reference; nobody copies, nobody mutates.
+		// reordering possible, no FCS (nothing can damage the frame).
+		// The one block fans out to every receiver by reference
+		// count — each interface reads it and releases its own
+		// reference; nobody copies, nobody mutates.
 		seg.mu.Lock()
 		if seg.closed {
 			seg.mu.Unlock()
@@ -283,10 +288,13 @@ func (seg *Segment) transmitBlock(from *Interface, b *block.Block) error {
 		}
 		return nil
 	}
-	// Paced or impaired medium: the frame leaves the block economy
-	// here. The impairer must copy to corrupt (and to duplicate), and
-	// the latency scheduler fans the same bytes out to every station,
-	// so a detached plain slice is the honest representation.
+	// Paced or impaired medium: the FCS goes on the wire so damage is
+	// detectable, and the frame leaves the block economy here. The
+	// impairer must copy to corrupt (and to duplicate), and the
+	// latency scheduler fans the same bytes out to every station, so a
+	// detached plain slice is the honest representation.
+	crc := crc32.ChecksumIEEE(b.Bytes())
+	binary.BigEndian.PutUint32(b.Extend(fcsLen), crc)
 	frame := b.Detach()
 	select {
 	case seg.txq <- txFrame{from: from, frame: frame}:
@@ -306,8 +314,9 @@ type Interface struct {
 	addr Addr
 	name string
 
-	mu    sync.Mutex
-	conns [MaxConns + 1]*Conn // index 1..MaxConns, as in the file tree
+	mu     sync.Mutex
+	conns  [MaxConns + 1]*Conn     // index 1..MaxConns, as in the file tree
+	active atomic.Pointer[[]*Conn] // snapshot of allocated conns, for the lock-free demux
 
 	in     chan *block.Block
 	closed chan struct{}
@@ -388,16 +397,26 @@ func (ifc *Interface) reader() {
 			// never written, and this reference is released when
 			// demultiplexing returns.
 			frame := b.Bytes()
-			if len(frame) < HdrLen+fcsLen {
-				ifc.crcErrs.Add(1)
-				b.Free()
-				continue
-			}
-			body := frame[:len(frame)-fcsLen]
-			if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(frame[len(frame)-fcsLen:]) {
-				ifc.crcErrs.Add(1)
-				b.Free()
-				continue
+			body := frame
+			if ifc.seg.ideal {
+				// An ideal medium carries no FCS (nothing to check).
+				if len(frame) < HdrLen {
+					ifc.crcErrs.Add(1)
+					b.Free()
+					continue
+				}
+			} else {
+				if len(frame) < HdrLen+fcsLen {
+					ifc.crcErrs.Add(1)
+					b.Free()
+					continue
+				}
+				body = frame[:len(frame)-fcsLen]
+				if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(frame[len(frame)-fcsLen:]) {
+					ifc.crcErrs.Add(1)
+					b.Free()
+					continue
+				}
 			}
 			ifc.inPackets.Add(1)
 			ifc.inBytes.Add(int64(len(body)))
@@ -416,20 +435,22 @@ func (ifc *Interface) demux(frame []byte) {
 	copy(dst[:], frame[0:6])
 	etype := int(frame[12])<<8 | int(frame[13])
 	toMe := dst == ifc.addr || dst == Broadcast
-	ifc.mu.Lock()
-	conns := ifc.conns
-	ifc.mu.Unlock()
-	for _, c := range conns[1:] {
-		if c == nil {
+	conns := ifc.active.Load()
+	if conns == nil {
+		return
+	}
+	for _, c := range *conns {
+		// One atomic load per conversation per frame: the match state
+		// is a read-mostly snapshot rebuilt on the rare configuration
+		// changes, so the per-frame demultiplex loop takes no locks.
+		st := c.rx.Load()
+		if st == nil || !st.inuse {
 			continue
 		}
-		c.mu.Lock()
-		match := c.inuse > 0 &&
-			((c.prom) ||
-				(toMe && (c.etype == TypeAll || c.etype == etype)))
-		deliver := c.deliver
-		s := c.stream
-		c.mu.Unlock()
+		match := st.prom ||
+			(toMe && (st.etype == TypeAll || st.etype == etype))
+		deliver := st.deliver
+		s := st.stream
 		if !match {
 			continue
 		}
@@ -472,8 +493,35 @@ type Conn struct {
 	stream  *streams.Stream
 	deliver func(frame []byte) // kernel hook bypassing the stream
 
+	// rx is the demultiplexer's view of the fields above: an immutable
+	// snapshot republished under mu whenever they change, so the
+	// per-frame receive path reads one atomic pointer instead of taking
+	// the conversation lock. Configuration changes are rare; frames are
+	// not.
+	rx atomic.Pointer[rxState]
+
 	inPackets  atomic.Int64
 	outPackets atomic.Int64
+}
+
+// rxState is a Conn's frozen match state as the demultiplexer sees it.
+type rxState struct {
+	inuse   bool
+	prom    bool
+	etype   int
+	stream  *streams.Stream
+	deliver func(frame []byte)
+}
+
+// refreshRx republishes the demux snapshot. Callers hold c.mu.
+func (c *Conn) refreshRx() {
+	c.rx.Store(&rxState{
+		inuse:   c.inuse > 0,
+		prom:    c.prom,
+		etype:   c.etype,
+		stream:  c.stream,
+		deliver: c.deliver,
+	})
 }
 
 // OpenConn reserves a conversation programmatically (the kernel path
@@ -486,6 +534,16 @@ func (ifc *Interface) OpenConn() (*Conn, error) {
 		if c == nil {
 			c = &Conn{ifc: ifc, id: id}
 			ifc.conns[id] = c
+			// Republish the demux's conversation list. Conn slots are
+			// allocated once and reused forever after, so the list only
+			// grows, and growing it is the only time it changes.
+			var lst []*Conn
+			for _, cc := range ifc.conns[1:] {
+				if cc != nil {
+					lst = append(lst, cc)
+				}
+			}
+			ifc.active.Store(&lst)
 		}
 		//netvet:ignore lock-across-send fixed hierarchy: interface before conversation, never reversed
 		c.mu.Lock()
@@ -496,6 +554,7 @@ func (ifc *Interface) OpenConn() (*Conn, error) {
 			c.prom = false
 			c.deliver = nil
 			c.stream = c.newStreamLocked()
+			c.refreshRx()
 		}
 		c.mu.Unlock()
 		if free {
@@ -524,6 +583,7 @@ func (c *Conn) ID() int { return c.id }
 func (c *Conn) SetType(etype int) {
 	c.mu.Lock()
 	c.etype = etype
+	c.refreshRx()
 	c.mu.Unlock()
 }
 
@@ -538,6 +598,7 @@ func (c *Conn) Type() int {
 func (c *Conn) SetPromiscuous(on bool) {
 	c.mu.Lock()
 	c.prom = on
+	c.refreshRx()
 	c.mu.Unlock()
 }
 
@@ -549,6 +610,7 @@ func (c *Conn) SetPromiscuous(on bool) {
 func (c *Conn) SetDeliver(fn func(frame []byte)) {
 	c.mu.Lock()
 	c.deliver = fn
+	c.refreshRx()
 	c.mu.Unlock()
 }
 
@@ -566,9 +628,10 @@ func (c *Conn) TransmitBlock(dst Addr, payload *block.Block) error {
 	hdr := payload.Prepend(HdrLen)
 	copy(hdr[0:6], dst[:])
 	copy(hdr[6:12], c.ifc.addr[:])
-	c.mu.Lock()
-	etype := c.etype
-	c.mu.Unlock()
+	etype := 0
+	if st := c.rx.Load(); st != nil {
+		etype = st.etype
+	}
 	hdr[12] = byte(etype >> 8)
 	hdr[13] = byte(etype)
 	c.outPackets.Add(1)
@@ -615,6 +678,7 @@ func (c *Conn) Stream() *streams.Stream {
 func (c *Conn) incref() {
 	c.mu.Lock()
 	c.inuse++
+	c.refreshRx()
 	c.mu.Unlock()
 }
 
@@ -633,6 +697,7 @@ func (c *Conn) Close() error {
 	c.etype = 0
 	c.prom = false
 	c.deliver = nil
+	c.refreshRx()
 	c.mu.Unlock()
 	if s != nil {
 		s.Close()

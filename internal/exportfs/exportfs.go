@@ -42,8 +42,18 @@ func Serve(conn ninep.MsgConn, nsp *ns.Namespace, root string) error {
 // with bind flags (ns.MREPL, ns.MAFTER, ...): the import command of
 // §6.1. It returns the 9P client so the caller can Close it to
 // unmount.
+//
+// Import pipelines large transfers (the mount driver's RPC window) but
+// performs no readahead or write-behind: an import typically carries
+// live device files — /net of a gateway — where speculative I/O is
+// unsafe. Use ImportConfig to opt a file-tree import into more.
 func Import(nsp *ns.Namespace, conn ninep.MsgConn, aname, old string, flag int) (*ninep.Client, error) {
-	root, cl, err := mnt.Mount(conn, nsp.User(), aname)
+	return ImportConfig(nsp, conn, aname, old, flag, mnt.Config{})
+}
+
+// ImportConfig is Import with an explicit mount-driver configuration.
+func ImportConfig(nsp *ns.Namespace, conn ninep.MsgConn, aname, old string, flag int, cfg mnt.Config) (*ninep.Client, error) {
+	root, cl, err := mnt.MountConfig(conn, nsp.User(), aname, cfg)
 	if err != nil {
 		return nil, err
 	}

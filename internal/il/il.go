@@ -650,7 +650,10 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		id := c.sndNext
 		c.sndNext++
-		data := append([]byte(nil), p[total:total+n]...)
+		// The retransmit copy lives in a pooled buffer, released
+		// when the ack drops it from the window.
+		data := block.GetBytes(n)
+		copy(data, p[total:total+n])
 		m := unackedMsg{id: id, spec: spec, data: data, sent: time.Now()}
 		if !c.timing {
 			c.timing = true
@@ -805,7 +808,16 @@ func (c *Conn) ackLocked(ack uint32) {
 		i++
 	}
 	if i > 0 {
-		c.unacked = append([]unackedMsg(nil), c.unacked[i:]...)
+		// Release the acked retransmit copies and compact the
+		// window in place — no per-ack reallocation.
+		for j := 0; j < i; j++ {
+			block.PutBytes(c.unacked[j].data)
+		}
+		n := copy(c.unacked, c.unacked[i:])
+		for j := n; j < len(c.unacked); j++ {
+			c.unacked[j] = unackedMsg{}
+		}
+		c.unacked = c.unacked[:n]
 	}
 	c.sndUna = ack + 1
 	if c.sndUna > c.sndNext {
@@ -868,10 +880,11 @@ func (c *Conn) acceptLocked(spec byte, data []byte) {
 	}
 	c.reassembly = append(c.reassembly, data...)
 	if spec&specEOM != 0 {
-		msg := c.reassembly
-		c.reassembly = nil
-		// msg is an owned fresh slice; hand it up without copying.
-		c.rstream.DeviceUpOwned(block.FromBytes(msg))
+		// Hand up a pooled copy and keep the scratch for the next
+		// message: the reassembly buffer grows to the message size
+		// once per conversation instead of once per message.
+		c.rstream.DeviceUpOwned(block.Copy(c.reassembly, 0))
+		c.reassembly = c.reassembly[:0]
 	}
 }
 

@@ -9,13 +9,64 @@ import (
 	"repro/internal/vfs"
 )
 
+// Pipelining defaults. The window is how many fragment RPCs a large
+// Fid.Read or Fid.Write keeps in flight at once — the mount driver's
+// sliding window. MaxInFlight bounds the tags outstanding on the whole
+// client; when it is reached, new RPCs block until a reply frees a tag
+// (tag-exhaustion backpressure) rather than spinning over the tag
+// space.
+const (
+	DefaultWindow      = 8
+	DefaultMaxInFlight = 64
+
+	// maxTags is the number of usable tags: 1..NoTag-1. Tag 0 is
+	// avoided by convention and NoTag is reserved.
+	maxTags = int(NoTag) - 1
+)
+
+// ClientConfig tunes the mount driver's RPC engine. The zero value
+// selects the package defaults; Window 1 disables transfer pipelining
+// (every fragment waits for the previous reply, the pre-window
+// behavior).
+type ClientConfig struct {
+	// Window is the number of concurrent fragment RPCs a large
+	// read or write fans into. 0 means DefaultWindow.
+	Window int
+	// MaxInFlight caps outstanding tags on the client across all
+	// processes. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.MaxInFlight > maxTags {
+		c.MaxInFlight = maxTags
+	}
+	if c.Window > c.MaxInFlight {
+		c.Window = c.MaxInFlight
+	}
+	return c
+}
+
 // Client is the RPC engine of the mount driver (§2.1): it packs
 // procedural operations into 9P messages, demultiplexes responses among
 // the processes using the file server, and manages fids and tags.
 type Client struct {
 	conn MsgConn
+	cfg  ClientConfig
 
 	mu      sync.Mutex
+	tagFree *sync.Cond // signaled whenever a tag is released
+	// tags holds one entry per outstanding tag. A non-nil channel
+	// is a process waiting for the reply; a nil value is a tag
+	// abandoned by Tflush but still reserved until the flush
+	// completes, so the server's late reply (if any) is dropped on
+	// the floor instead of reaching a recycled tag's new owner.
 	tags    map[uint16]chan *Fcall
 	nextTag uint16
 	nextFid uint32
@@ -26,17 +77,36 @@ type Client struct {
 // NewClient starts a 9P client on conn and performs the session
 // handshake. The caller then Attaches to obtain a root fid.
 func NewClient(conn MsgConn) (*Client, error) {
+	return NewClientConfig(conn, ClientConfig{})
+}
+
+// NewClientConfig is NewClient with an explicit pipelining
+// configuration.
+func NewClientConfig(conn MsgConn, cfg ClientConfig) (*Client, error) {
 	cl := &Client{
 		conn: conn,
+		cfg:  cfg.withDefaults(),
 		tags: make(map[uint16]chan *Fcall),
 		done: make(chan struct{}),
 	}
+	cl.tagFree = sync.NewCond(&cl.mu)
 	go cl.demux()
 	if _, err := cl.RPC(&Fcall{Type: Tsession, Chal: "repro"}); err != nil {
 		cl.Close()
 		return nil, err
 	}
 	return cl, nil
+}
+
+// Window reports the configured fragment window.
+func (cl *Client) Window() int { return cl.cfg.Window }
+
+// Dead reports whether the client has failed or been closed; RPCs on a
+// dead client fail immediately without blocking.
+func (cl *Client) Dead() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err != nil
 }
 
 // demux reads responses and hands each to the waiting process, "the
@@ -58,9 +128,14 @@ func (cl *Client) demux() {
 			return
 		}
 		cl.mu.Lock()
-		ch := cl.tags[f.Tag]
-		delete(cl.tags, f.Tag)
+		ch, ok := cl.tags[f.Tag]
+		if ok {
+			delete(cl.tags, f.Tag)
+			cl.tagFree.Broadcast()
+		}
 		cl.mu.Unlock()
+		// ch == nil: the tag was flushed; the reply raced the
+		// Tflush and is discarded.
 		if ch != nil {
 			ch <- f
 		}
@@ -75,9 +150,12 @@ func (cl *Client) fail(err error) {
 	}
 	pending := cl.tags
 	cl.tags = make(map[uint16]chan *Fcall)
+	cl.tagFree.Broadcast()
 	cl.mu.Unlock()
 	for _, ch := range pending {
-		close(ch)
+		if ch != nil {
+			close(ch)
+		}
 	}
 }
 
@@ -88,49 +166,90 @@ func (cl *Client) Close() error {
 	return err
 }
 
-// RPC performs one request/response exchange. On an Rerror response it
-// returns the error string as an error.
-func (cl *Client) RPC(t *Fcall) (*Fcall, error) {
-	ch := make(chan *Fcall, 1)
+// allocTag reserves a free tag for ch, blocking while the in-flight
+// window is full or the tag space is exhausted. Tflush is exempt from
+// the in-flight cap (flushExempt): a flush must be able to proceed
+// even when the cap is saturated by the very requests it abandons.
+func (cl *Client) allocTag(ch chan *Fcall, flushExempt bool) (uint16, error) {
 	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	limit := cl.cfg.MaxInFlight
+	if flushExempt {
+		limit = maxTags
+	}
+	for cl.err == nil && len(cl.tags) >= limit {
+		cl.tagFree.Wait()
+	}
 	if cl.err != nil {
-		err := cl.err
-		cl.mu.Unlock()
-		return nil, err
+		return 0, cl.err
 	}
-	cl.nextTag++
-	if cl.nextTag == NoTag {
-		cl.nextTag = 1
-	}
-	tag := cl.nextTag
-	for cl.tags[tag] != nil { // skip tags still in flight
-		tag++
-		if tag == NoTag {
-			tag = 1
+	// len(tags) < maxTags here, so a free tag exists and the scan
+	// terminates.
+	for {
+		cl.nextTag++
+		if cl.nextTag == NoTag {
+			cl.nextTag = 1
+		}
+		if _, inUse := cl.tags[cl.nextTag]; !inUse {
+			cl.tags[cl.nextTag] = ch
+			return cl.nextTag, nil
 		}
 	}
-	cl.tags[tag] = ch
-	cl.mu.Unlock()
+}
 
+// freeTag releases a tag reserved by allocTag but never answered (a
+// marshal or transport error, or a completed flush).
+func (cl *Client) freeTag(tag uint16) {
+	cl.mu.Lock()
+	delete(cl.tags, tag)
+	cl.tagFree.Broadcast()
+	cl.mu.Unlock()
+}
+
+// Pending is an RPC in flight: the asynchronous half of the mount
+// driver. Exactly one of Wait or Flush must be called, once.
+type Pending struct {
+	cl  *Client
+	tag uint16
+	req uint8
+	ch  chan *Fcall
+}
+
+// RPCAsync sends t now and returns a Pending whose Wait delivers the
+// reply. Replies to distinct Pendings may arrive in any order; the
+// request hits the wire before RPCAsync returns, so two RPCAsyncs from
+// one goroutine reach the server in call order.
+func (cl *Client) RPCAsync(t *Fcall) (*Pending, error) {
+	return cl.sendAsync(t, false)
+}
+
+func (cl *Client) sendAsync(t *Fcall, flushExempt bool) (*Pending, error) {
+	ch := make(chan *Fcall, 1)
+	tag, err := cl.allocTag(ch, flushExempt)
+	if err != nil {
+		return nil, err
+	}
 	t.Tag = tag
 	msg, err := MarshalFcall(t)
 	if err != nil {
-		cl.mu.Lock()
-		delete(cl.tags, tag)
-		cl.mu.Unlock()
+		cl.freeTag(tag)
 		return nil, err
 	}
 	if err := cl.conn.WriteMsg(msg); err != nil {
-		cl.mu.Lock()
-		delete(cl.tags, tag)
-		cl.mu.Unlock()
+		cl.freeTag(tag)
 		return nil, err
 	}
-	r, ok := <-ch
+	return &Pending{cl: cl, tag: tag, req: t.Type, ch: ch}, nil
+}
+
+// Wait blocks for the reply. On an Rerror response it returns the
+// error string as an error.
+func (p *Pending) Wait() (*Fcall, error) {
+	r, ok := <-p.ch
 	if !ok {
-		cl.mu.Lock()
-		err := cl.err
-		cl.mu.Unlock()
+		p.cl.mu.Lock()
+		err := p.cl.err
+		p.cl.mu.Unlock()
 		if err == nil {
 			err = ErrConnClosed
 		}
@@ -139,10 +258,82 @@ func (cl *Client) RPC(t *Fcall) (*Fcall, error) {
 	if r.Type == Rerror {
 		return nil, errors.New(r.Ename)
 	}
-	if r.Type != t.Type+1 {
-		return nil, fmt.Errorf("9P: got %s in response to %s", TypeName(r.Type), TypeName(t.Type))
+	if r.Type != p.req+1 {
+		return nil, fmt.Errorf("9P: got %s in response to %s", TypeName(r.Type), TypeName(p.req))
 	}
 	return r, nil
+}
+
+// abandon marks the pending's tag as flushed (nil in the tag table) so
+// demux drops a late reply. It reports whether the reply was still
+// outstanding; if false the reply has already been delivered (or the
+// client failed) and no Tflush is needed.
+func (p *Pending) abandon() bool {
+	p.cl.mu.Lock()
+	defer p.cl.mu.Unlock()
+	if ch, ok := p.cl.tags[p.tag]; ok && ch == p.ch {
+		p.cl.tags[p.tag] = nil
+		return true
+	}
+	return false
+}
+
+// Flush abandons the RPC: any reply is discarded, and a Tflush tells
+// the server to forget the request (§2.1's "flush an I/O transaction
+// when an interrupt is received"). It blocks until the Rflush arrives
+// so the tag is quiet before reuse.
+func (p *Pending) Flush() {
+	p.cl.flushMany([]*Pending{p})
+}
+
+// flushMany abandons a batch of in-flight RPCs, pipelining the
+// Tflushes so a truncated windowed transfer pays one round trip, not
+// one per speculative fragment. Tflush allocation bypasses the
+// in-flight cap; it only needs a free tag in the 16-bit space.
+func (cl *Client) flushMany(ps []*Pending) {
+	flushes := make([]*Pending, 0, len(ps))
+	flushed := make([]*Pending, 0, len(ps))
+	for _, p := range ps {
+		if p == nil || !p.abandon() {
+			continue
+		}
+		fp, err := cl.sendAsync(&Fcall{Type: Tflush, Oldtag: p.tag}, true)
+		if err != nil {
+			// Transport dead: fail() has already emptied the
+			// tag table; nothing left to release.
+			continue
+		}
+		flushes = append(flushes, fp)
+		flushed = append(flushed, p)
+	}
+	for i, fp := range flushes {
+		fp.Wait()
+		// The flush is answered: release the abandoned tag's
+		// reservation (demux may already have dropped a raced
+		// reply and freed it).
+		flushed[i].release()
+	}
+}
+
+// release frees the tag of an abandoned pending once its flush has
+// completed, if demux hasn't already consumed a raced reply.
+func (p *Pending) release() {
+	p.cl.mu.Lock()
+	if ch, ok := p.cl.tags[p.tag]; ok && ch == nil {
+		delete(p.cl.tags, p.tag)
+		p.cl.tagFree.Broadcast()
+	}
+	p.cl.mu.Unlock()
+}
+
+// RPC performs one request/response exchange. On an Rerror response it
+// returns the error string as an error.
+func (cl *Client) RPC(t *Fcall) (*Fcall, error) {
+	p, err := cl.RPCAsync(t)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
 }
 
 func (cl *Client) newFid() uint32 {
@@ -169,6 +360,9 @@ func (cl *Client) Attach(uname, aname string) (*Fid, error) {
 	}
 	return &Fid{cl: cl, fid: fid, qid: r.Qid}, nil
 }
+
+// Client returns the client the fid lives on.
+func (f *Fid) Client() *Client { return f.cl }
 
 // Qid returns the qid most recently reported for the fid.
 func (f *Fid) Qid() vfs.Qid { return f.qid }
@@ -223,12 +417,24 @@ func (f *Fid) Create(name string, perm uint32, mode int) error {
 	return nil
 }
 
-// Read reads up to len(p) bytes at offset off, splitting into MaxFData
-// RPCs as the mount driver does. As in the kernel's mnt driver, a
-// short response ends the read (EOF or a message boundary on a
-// delimited device); reads of at most MaxFData map to exactly one RPC,
-// which is how delimiters survive the mount driver.
+// Read reads up to len(p) bytes at offset off. Reads of at most
+// MaxFData map to exactly one RPC, which is how message delimiters
+// survive the mount driver; so do directory reads, whose record
+// boundaries the serial loop preserves. Larger reads on plain files
+// fan into up to Window concurrent Treads reassembled strictly in
+// offset order: a short reply truncates the result there and the
+// speculative fragments beyond it are flushed, so EOF and
+// delimited-device semantics are identical to the serial driver's.
 func (f *Fid) Read(p []byte, off int64) (int, error) {
+	if len(p) <= MaxFData || f.qid.IsDir() || f.cl.cfg.Window <= 1 {
+		return f.readSerial(p, off)
+	}
+	return f.readWindowed(p, off)
+}
+
+// readSerial is the pre-window mount driver: one MaxFData RPC at a
+// time, a short response ending the read.
+func (f *Fid) readSerial(p []byte, off int64) (int, error) {
 	total := 0
 	for total < len(p) {
 		n := len(p) - total
@@ -248,12 +454,70 @@ func (f *Fid) Read(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
-// Write writes p at offset off, splitting into MaxFData RPCs.
+// readWindowed keeps up to Window fragment Treads in flight and
+// reassembles replies in offset order.
+func (f *Fid) readWindowed(p []byte, off int64) (int, error) {
+	win := f.cl.cfg.Window
+	nfrag := (len(p) + MaxFData - 1) / MaxFData
+	pend := make([]*Pending, nfrag)
+	issued := 0
+	var issueErr error
+	total := 0
+	for seq := 0; seq < nfrag; seq++ {
+		for issued < nfrag && issued < seq+win && issueErr == nil {
+			n := min(len(p)-issued*MaxFData, MaxFData)
+			pr, err := f.cl.RPCAsync(&Fcall{
+				Type: Tread, Fid: f.fid,
+				Offset: off + int64(issued)*MaxFData,
+				Count:  uint16(n),
+			})
+			if err != nil {
+				issueErr = err
+				break
+			}
+			pend[issued] = pr
+			issued++
+		}
+		if seq >= issued {
+			return total, issueErr
+		}
+		asked := min(len(p)-seq*MaxFData, MaxFData)
+		r, err := pend[seq].Wait()
+		pend[seq] = nil
+		if err != nil {
+			f.cl.flushMany(pend[seq+1 : issued])
+			return total, err
+		}
+		copy(p[seq*MaxFData:], r.Data)
+		total += len(r.Data)
+		if len(r.Data) < asked {
+			// Short reply: EOF or a message boundary. The
+			// fragments beyond it were speculative; flush them
+			// so their data (if any) is discarded, exactly as
+			// if they were never issued.
+			f.cl.flushMany(pend[seq+1 : issued])
+			return total, nil
+		}
+	}
+	return total, issueErr
+}
+
+// Write writes p at offset off. Writes of at most MaxFData are one
+// RPC; larger writes fan into up to Window concurrent Twrites,
+// acknowledged strictly in offset order, a short Rwrite count
+// truncating the total.
 func (f *Fid) Write(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		_, err := f.cl.RPC(&Fcall{Type: Twrite, Fid: f.fid, Offset: off})
 		return 0, err
 	}
+	if len(p) <= MaxFData || f.cl.cfg.Window <= 1 {
+		return f.writeSerial(p, off)
+	}
+	return f.writeWindowed(p, off)
+}
+
+func (f *Fid) writeSerial(p []byte, off int64) (int, error) {
 	total := 0
 	for total < len(p) {
 		n := len(p) - total
@@ -271,6 +535,76 @@ func (f *Fid) Write(p []byte, off int64) (int, error) {
 	}
 	return total, nil
 }
+
+// writeWindowed keeps up to Window fragment Twrites in flight.
+// MarshalFcall copies the data into the wire buffer inside RPCAsync,
+// so p is not retained after issue. Fragments are independent RPCs: if
+// one fails or comes up short, later fragments may already have been
+// applied by the server even though the returned total excludes them
+// (the same is true of any interrupted multi-fragment write).
+func (f *Fid) writeWindowed(p []byte, off int64) (int, error) {
+	win := f.cl.cfg.Window
+	nfrag := (len(p) + MaxFData - 1) / MaxFData
+	pend := make([]*Pending, nfrag)
+	issued := 0
+	var issueErr error
+	total := 0
+	for seq := 0; seq < nfrag; seq++ {
+		for issued < nfrag && issued < seq+win && issueErr == nil {
+			lo := issued * MaxFData
+			hi := min(lo+MaxFData, len(p))
+			pr, err := f.cl.RPCAsync(&Fcall{
+				Type: Twrite, Fid: f.fid,
+				Offset: off + int64(lo),
+				Data:   p[lo:hi],
+			})
+			if err != nil {
+				issueErr = err
+				break
+			}
+			pend[issued] = pr
+			issued++
+		}
+		if seq >= issued {
+			return total, issueErr
+		}
+		asked := min(len(p)-seq*MaxFData, MaxFData)
+		r, err := pend[seq].Wait()
+		pend[seq] = nil
+		if err != nil {
+			f.cl.flushMany(pend[seq+1 : issued])
+			return total, err
+		}
+		total += int(r.Count)
+		if int(r.Count) < asked {
+			f.cl.flushMany(pend[seq+1 : issued])
+			return total, nil
+		}
+	}
+	return total, issueErr
+}
+
+// ReadAsync issues a single-fragment Tread without waiting: the mount
+// driver's readahead hook. count must be at most MaxFData.
+func (f *Fid) ReadAsync(off int64, count int) (*Pending, error) {
+	if count > MaxFData {
+		count = MaxFData
+	}
+	return f.cl.RPCAsync(&Fcall{Type: Tread, Fid: f.fid, Offset: off, Count: uint16(count)})
+}
+
+// WriteAsync issues a single-fragment Twrite without waiting: the
+// mount driver's write-behind hook. len(p) must be at most MaxFData;
+// p is copied before WriteAsync returns.
+func (f *Fid) WriteAsync(p []byte, off int64) (*Pending, error) {
+	if len(p) > MaxFData {
+		return nil, ErrDataLen
+	}
+	return f.cl.RPCAsync(&Fcall{Type: Twrite, Fid: f.fid, Offset: off, Data: p})
+}
+
+// FlushAll abandons a batch of pending RPCs, pipelining the Tflushes.
+func (cl *Client) FlushAll(ps []*Pending) { cl.flushMany(ps) }
 
 // Stat returns the file's directory entry (Tstat).
 func (f *Fid) Stat() (vfs.Dir, error) {

@@ -131,6 +131,12 @@ type Fcall struct {
 	Qid    vfs.Qid
 	Stat   vfs.Dir // stat response, wstat request
 	Ename  string  // error response
+
+	// recycle, when non-nil, is a pooled buffer backing Data that the
+	// final consumer of the Fcall returns with block.PutBytes (the
+	// server does so after marshaling a response). It never crosses
+	// the wire.
+	recycle []byte
 }
 
 func (f *Fcall) String() string {

@@ -37,6 +37,53 @@ type srvFid struct {
 	h    vfs.Handle
 	open bool
 	mode int
+
+	// With a pipelining client, several Treads (or Twrites) for one
+	// fid can be in their goroutines at once; on a delimited or
+	// stream device the order they reach the handle is the order the
+	// data comes off (or goes onto) the stream. Each direction gets
+	// a ticket queue: tickets are taken in the Serve loop, in wire
+	// arrival order, and each request waits its turn before touching
+	// the handle. Reads and writes queue independently so a read
+	// blocked on an idle stream never holds up the writes that would
+	// unblock it.
+	rq, wq ticketQ
+}
+
+// ticketQ serializes requests in ticket order: take in arrival order,
+// wait your turn, done when finished.
+type ticketQ struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	next, turn uint64
+}
+
+func (q *ticketQ) take() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.next
+	q.next++
+	return t
+}
+
+func (q *ticketQ) wait(t uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.turn != t {
+		if q.cond == nil {
+			q.cond = sync.NewCond(&q.mu)
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *ticketQ) done() {
+	q.mu.Lock()
+	q.turn++
+	if q.cond != nil {
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
 }
 
 // Serve runs a 9P server on conn until the transport fails or the
@@ -70,11 +117,39 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 			// flushes.
 			s.respond(f.Tag, s.process(f))
 		default:
+			// I/O requests take a per-fid, per-direction ticket
+			// here, in wire arrival order, so their goroutines
+			// reach the handle in the order the client issued
+			// them even when a windowed transfer has several in
+			// flight.
+			var tq *ticketQ
+			var ticket uint64
+			if f.Type == Tread || f.Type == Twrite {
+				s.mu.Lock()
+				if sf := s.fids[f.Fid]; sf != nil {
+					if f.Type == Tread {
+						tq = &sf.rq
+					} else {
+						tq = &sf.wq
+					}
+				}
+				s.mu.Unlock()
+				if tq != nil {
+					ticket = tq.take()
+				}
+			}
 			s.mu.Lock()
 			s.inUse[f.Tag] = true
 			s.mu.Unlock()
 			go func(f *Fcall) {
-				r := s.process(f)
+				var r *Fcall
+				if tq != nil {
+					tq.wait(ticket)
+					r = s.process(f)
+					tq.done()
+				} else {
+					r = s.process(f)
+				}
 				s.mu.Lock()
 				delete(s.inUse, f.Tag)
 				skip := s.flushed[f.Tag]
@@ -82,6 +157,12 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 				s.mu.Unlock()
 				if !skip {
 					s.respond(f.Tag, r)
+				} else if r.recycle != nil {
+					// The reply of a flushed request is
+					// dropped; its pooled read buffer is
+					// not.
+					block.PutBytes(r.recycle)
+					r.recycle, r.Data = nil, nil
 				}
 			}(f)
 		}
@@ -107,6 +188,12 @@ func (s *Server) respond(tag uint16, r *Fcall) {
 	msg, err := MarshalFcall(r)
 	if err != nil {
 		msg, _ = MarshalFcall(&Fcall{Type: Rerror, Tag: tag, Ename: err.Error()})
+	}
+	if r.recycle != nil {
+		// MarshalFcall copied Data into msg; the pooled read
+		// buffer behind it goes back now.
+		block.PutBytes(r.recycle)
+		r.recycle, r.Data = nil, nil
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
@@ -291,12 +378,13 @@ func (s *Server) process(t *Fcall) *Fcall {
 		if t.Count > MaxFData {
 			return rerror(ErrDataLen)
 		}
-		buf := make([]byte, t.Count)
+		buf := block.GetBytes(int(t.Count))
 		n, err := h.Read(buf, t.Offset)
 		if err != nil {
+			block.PutBytes(buf)
 			return rerror(err)
 		}
-		return &Fcall{Type: Rread, Fid: t.Fid, Data: buf[:n]}
+		return &Fcall{Type: Rread, Fid: t.Fid, Data: buf[:n], recycle: buf}
 	case Twrite:
 		sf, e := s.getFid(t.Fid)
 		if e != nil {

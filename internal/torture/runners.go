@@ -500,6 +500,31 @@ func torture9P(s Scenario, rep *Report, dc xport.Conn, blockMax int) {
 	}
 	rep.Forward.RecvBytes = rsum.n
 	rep.Forward.RecvSum = rsum.sum()
+	// Windowed pass: one transfer larger than MaxFData fans into the
+	// mount driver's sliding window of concurrent fragment RPCs.
+	// Under impairment the fragments ride reordered, retransmitted IL
+	// messages, so byte identity here tortures the strict offset-order
+	// reassembly discipline, not just the serial path above.
+	big := make([]byte, 3*ninep.MaxFData+1234)
+	for i := range big {
+		big[i] = byte(mix64(uint64(s.Seed) + uint64(i)>>3))
+	}
+	n, err := fid.Write(big, off)
+	if err != nil || n != len(big) {
+		rep.violate("9p", "windowed write: n=%d err=%v", n, err)
+		return
+	}
+	rbuf := make([]byte, len(big)+ninep.MaxFData) // oversized: EOF truncates
+	rn, err := fid.Read(rbuf, off)
+	if err != nil {
+		rep.violate("9p", "windowed read: %v", err)
+		return
+	}
+	if rn != len(big) || !bytes.Equal(rbuf[:rn], big) {
+		rep.violate("9p", "windowed read returned %d bytes, want %d (content %v)", rn, len(big), bytes.Equal(rbuf[:min(rn, len(big))], big[:min(rn, len(big))]))
+		return
+	}
+	off += int64(n)
 	d, err := fid.Stat()
 	if err != nil {
 		rep.violate("9p", "stat: %v", err)

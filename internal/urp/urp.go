@@ -39,9 +39,11 @@ const (
 	BlockSize = 1024
 	// SeqMod is the sequence space: 3 bits.
 	SeqMod = 8
-	// Window is the outstanding-block limit (< SeqMod for mod-8
-	// arithmetic to stay unambiguous).
-	Window = 4
+	// Window is the outstanding-block limit: at most seven blocks in
+	// flight, the maximum the mod-8 sequence space distinguishes
+	// unambiguously under go-back-N (a full window of eight would make
+	// "all acked" and "none acked" the same number).
+	Window = 7
 )
 
 // Cell types.
@@ -136,10 +138,10 @@ func New(wire Wire, stats *Stats) *Conn {
 // Stream exposes the receive stream (for pushing diagnostic modules).
 func (c *Conn) Stream() *streams.Stream { return c.rstream }
 
-func (c *Conn) sendCell(typ, seq int, flags byte, data []byte) error {
-	// Pool-backed, with size-class capacity slack behind len so the
-	// link layer can append its FCS without reallocating; ownership
-	// transfers to the wire.
+// makeCell frames one cell. Pool-backed, with size-class capacity
+// slack behind len so the link layer can append its FCS without
+// reallocating; ownership transfers to the wire on send.
+func makeCell(typ, seq int, flags byte, data []byte) []byte {
 	cell := block.GetBytes(hdrLen + len(data))
 	cell[0] = byte(typ)
 	cell[1] = byte(seq)
@@ -147,7 +149,11 @@ func (c *Conn) sendCell(typ, seq int, flags byte, data []byte) error {
 	cell[3] = byte(len(data) >> 8)
 	cell[4] = byte(len(data))
 	copy(cell[hdrLen:], data)
-	return c.wire.SendCell(cell)
+	return cell
+}
+
+func (c *Conn) sendCell(typ, seq int, flags byte, data []byte) error {
+	return c.wire.SendCell(makeCell(typ, seq, flags, data))
 }
 
 // Write sends one delimited message as a sequence of blocks, blocking
@@ -173,12 +179,20 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		seq := c.sndNxt
 		c.sndNxt = (c.sndNxt + 1) % SeqMod
-		data := append([]byte(nil), p[total:total+n]...)
+		// The retransmit copy lives in a pooled buffer, released when
+		// the ack drops it from the window. The framed cell is built
+		// here too, so after this point b.data is only ever touched
+		// under c.mu (retransmit re-frames under the lock) and the
+		// (possibly paced, possibly blocking) wire send happens with
+		// the lock released.
+		data := block.GetBytes(n)
+		copy(data, p[total:total+n])
 		c.unacked = append(c.unacked, sentBlock{seq: seq, flags: flags, data: data})
+		cell := makeCell(cellData, seq, flags, data)
 		c.lastSend = time.Now()
 		c.stats.Blocks.Add(1)
 		c.mu.Unlock()
-		c.sendCell(cellData, seq, flags, data)
+		c.wire.SendCell(cell)
 		total += n
 		if total == len(p) {
 			return total, nil
@@ -270,12 +284,15 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 	c.rejSent = false
 	c.rcvNext = (c.rcvNext + 1) % SeqMod
 	whole := flags&flagEOM != 0 && len(c.reassembly) == 0
-	var msg []byte
+	var msg *block.Block
 	if !whole {
 		c.reassembly = append(c.reassembly, data...)
 		if flags&flagEOM != 0 {
-			msg = c.reassembly
-			c.reassembly = nil
+			// Hand up a pooled copy and keep the scratch for the next
+			// message: the reassembly buffer grows to the message size
+			// once per circuit instead of once per message.
+			msg = block.Copy(c.reassembly, 0)
+			c.reassembly = c.reassembly[:0]
 		}
 	}
 	next := c.rcvNext
@@ -286,8 +303,7 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 		// this is the path's one copy.
 		c.rstream.DeviceUpData(data)
 	} else if msg != nil {
-		// msg is ours alone — hand it up without another copy.
-		c.rstream.DeviceUpOwned(block.FromBytes(msg))
+		c.rstream.DeviceUpOwned(msg)
 	}
 	c.sendCell(cellAck, next, 0, nil)
 }
@@ -308,6 +324,8 @@ func (c *Conn) recvAck(seq int) (stalled bool) {
 		if c.unacked[0].seq == seq {
 			break // not yet acknowledged
 		}
+		block.PutBytes(c.unacked[0].data)
+		c.unacked[0] = sentBlock{}
 		c.unacked = c.unacked[1:]
 		c.sndUna = (c.sndUna + 1) % SeqMod
 		freed = true
@@ -326,16 +344,22 @@ func (c *Conn) scheduleRetransmit() {
 	c.mu.Unlock()
 }
 
-// retransmit resends the whole window (go-back-N).
+// retransmit resends the whole window (go-back-N). The cells are
+// framed under the lock — the pooled block data must not be read once
+// the lock drops, or an ack racing the burst could recycle it — and
+// pushed onto the (possibly pacing) wire without it.
 func (c *Conn) retransmit() {
 	c.mu.Lock()
 	c.retransNeeded = false
-	blocks := append([]sentBlock(nil), c.unacked...)
+	cells := make([][]byte, 0, len(c.unacked))
+	for _, b := range c.unacked {
+		cells = append(cells, makeCell(cellData, b.seq, b.flags, b.data))
+	}
 	c.lastSend = time.Now()
 	c.mu.Unlock()
-	for _, b := range blocks {
+	for _, cell := range cells {
 		c.stats.Retransmits.Add(1)
-		c.sendCell(cellData, b.seq, b.flags, b.data)
+		c.wire.SendCell(cell)
 	}
 }
 

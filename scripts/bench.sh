@@ -1,0 +1,82 @@
+#!/bin/sh
+# bench.sh — run the repo's headline benchmarks and record them as
+# BENCH_PR4.json: one object per benchmark with name, ns/op, B/op and
+# allocs/op, so a future PR can diff performance against this one
+# mechanically. Usage:
+#
+#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR4.json
+#   scripts/bench.sh -smoke       # quick pass (benchtime 100ms), writes nothing,
+#                                 # fails only if a benchmark fails to run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime=2s
+out=BENCH_PR4.json
+smoke=0
+if [ "${1:-}" = "-smoke" ]; then
+    benchtime=100ms
+    out=""
+    smoke=1
+fi
+
+benches='
+BenchmarkTable1LatencyILEther
+BenchmarkTable1LatencyURPDatakit
+BenchmarkTable1ThroughputURPDatakit
+Benchmark9PReadOverIL
+Benchmark9PReadOverILSerial
+Benchmark9PReadOverILWAN
+Benchmark9PReadOverILWANSerial
+Benchmark9PReadSmallOverIL
+Benchmark9PWriteOverIL
+Benchmark9PRelayThroughGateway
+'
+
+if [ "$smoke" = 1 ]; then
+    # One process is fine for the smoke pass: it only checks that every
+    # benchmark still runs.
+    pattern=$(echo $benches | tr ' ' '\n' | sed 's/$/$/' | paste -sd'|' -)
+    go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem .
+    echo "bench.sh: smoke pass ok"
+    exit 0
+fi
+
+# For the recorded run, each benchmark gets a fresh process: a long
+# shared process lets earlier benchmarks perturb later ones (warm
+# pools, accumulated GC state), which showed up as ~15% swings on the
+# later entries. Build the test binary once, then run them one at a
+# time.
+go test -c -o /tmp/bench_repro.test .
+trap 'rm -f /tmp/bench_repro.test' EXIT
+raw=""
+for name in $benches; do
+    line=$(/tmp/bench_repro.test -test.run '^$' -test.bench "${name}\$" \
+        -test.benchtime "$benchtime" -test.benchmem | grep '^Benchmark')
+    echo "$line"
+    raw="$raw$line
+"
+done
+
+# go test -bench lines look like:
+#   BenchmarkName-8   123  4567 ns/op  89 B/op  10 allocs/op
+# (the MB/s column, when present, sits between ns/op and B/op).
+echo "$raw" | awk '
+BEGIN { printf "[\n"; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs
+}
+END { printf "\n]\n" }
+' > "$out"
+
+echo "bench.sh: wrote $out"

@@ -37,6 +37,9 @@ go test -run '^TestAllocs' -count=1 ./internal/streams ./internal/ninep
 echo "== chaos: deterministic torture pass (fixed seed)"
 go run ./cmd/netsim -chaos -seed 1 -msgs 40
 
+echo "== bench smoke (benchmarks still run)"
+sh scripts/bench.sh -smoke
+
 echo "== fuzz smoke (10s per parser)"
 go test -run '^$' -fuzz '^FuzzParseHeader$' -fuzztime 10s ./internal/il
 go test -run '^$' -fuzz '^Fuzz9PMessage$' -fuzztime 10s ./internal/ninep
