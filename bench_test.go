@@ -350,9 +350,9 @@ func BenchmarkILWindow20(b *testing.B) { benchILWindow(b, 20) }
 // and the pipelined mount driver's sliding window ---
 
 // mount9PBench boots a world, writes a payload-sized file on bootes,
-// imports bootes on helix with the given mount-driver window (0 =
-// default, 1 = the serial RPC-per-fragment driver), and returns an
-// open fd for the file.
+// imports bootes on helix with windowed transfers opted in (a plain
+// file tree) at the given window (0 = default, 1 = the serial
+// RPC-per-fragment driver), and returns an open fd for the file.
 func mount9PBench(b *testing.B, dest string, profiles core.PaperProfiles, size, window int) *ns.FD {
 	b.Helper()
 	w, err := core.PaperWorld(profiles)
@@ -364,7 +364,7 @@ func mount9PBench(b *testing.B, dest string, profiles core.PaperProfiles, size, 
 	helix := w.Machine("helix")
 	payload := make([]byte, size)
 	bootes.Root.WriteFile("lib/bench", payload, 0664)
-	cfg := mnt.Config{Client: ninep.ClientConfig{Window: window}}
+	cfg := mnt.Config{Client: ninep.ClientConfig{WindowedTransfers: true, Window: window}}
 	if _, err := helix.ImportConfig(dest, "/", "/n/b", ns.MREPL, cfg); err != nil {
 		b.Fatal(err)
 	}
@@ -463,7 +463,7 @@ func bench9PRelay(b *testing.B, window int) {
 	bootes.Root.WriteFile("lib/bench", payload, 0664)
 	// helix mounts bootes; gnot imports helix's whole tree (which
 	// includes that mount) over the Datakit.
-	cfg := mnt.Config{Client: ninep.ClientConfig{Window: window}}
+	cfg := mnt.Config{Client: ninep.ClientConfig{WindowedTransfers: true, Window: window}}
 	if _, err := helix.ImportConfig("il!bootes!9fs", "/", "/n/bootes", ns.MREPL, cfg); err != nil {
 		b.Fatal(err)
 	}

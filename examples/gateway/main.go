@@ -24,7 +24,7 @@ import (
 
 func main() {
 	window := flag.Int("window", ninep.DefaultWindow,
-		"9P fragment window for the import (1 = serial RPCs, the pre-pipelining mount driver)")
+		"9P fragment window for write-behind depth on the import's client")
 	flag.Parse()
 
 	world, err := core.PaperWorld(core.FastProfiles())
@@ -53,9 +53,14 @@ func main() {
 
 	// import -a helix /net — over the Datakit, since that is all the
 	// terminal has. The union places remote entries after local ones.
-	// The explicit config sets the mount driver's RPC window: large
-	// transfers through the import fan into up to that many concurrent
-	// fragment RPCs, pipelined across both hops of the relay.
+	// A /net import is a live device tree, so it deliberately does NOT
+	// opt into windowed transfers: fanning a read into speculative
+	// Treads would consume stream data past a message boundary. The
+	// pipelining a device import does get is tag-level — every process
+	// using the import runs its RPCs concurrently across both hops of
+	// the relay — plus the window as write-behind depth if a mount
+	// opts in. Mount a plain file tree with mnt.FileConfig() to fan
+	// large transfers into concurrent fragments as well.
 	fmt.Printf("philw-gnot$ import -a helix /net  # window %d\n", *window)
 	cfg := mnt.Config{Client: ninep.ClientConfig{Window: *window}}
 	if _, err := gnot.ImportConfig("dk!nj/astro/helix!exportfs", "/net", "/net", ns.MAFTER, cfg); err != nil {

@@ -105,15 +105,17 @@ func (m *Machine) ServeExportfs(addr string) (func(), error) {
 // Import dials the exportfs service on a remote machine and mounts
 // its subtree at old with the given bind flag: the import command of
 // §6.1. dest is a dial string such as "net!helix!exportfs". The mount
-// pipelines large transfers; readahead and write-behind stay off
-// because imports usually carry live device trees (see ImportConfig).
+// keeps the serial driver's exact RPC mapping — windowed fan-out,
+// readahead, and write-behind stay off because imports usually carry
+// live device trees (see ImportConfig).
 func (m *Machine) Import(dest, remotePath, old string, flag int) (*ninep.Client, error) {
 	return m.ImportConfig(dest, remotePath, old, flag, mnt.Config{})
 }
 
 // ImportConfig is Import with an explicit mount-driver configuration —
-// mnt.FileConfig() for a plain file tree, or a Client window of 1 to
-// fall back to the serial RPC-per-fragment driver.
+// mnt.FileConfig() (windowed transfers, readahead, write-behind) for a
+// plain file tree; the zero Config is the serial RPC-per-fragment
+// driver.
 func (m *Machine) ImportConfig(dest, remotePath, old string, flag int, cfg mnt.Config) (*ninep.Client, error) {
 	conn, err := dialer.Dial(m.NS, dest)
 	if err != nil {

@@ -43,10 +43,11 @@ func Serve(conn ninep.MsgConn, nsp *ns.Namespace, root string) error {
 // §6.1. It returns the 9P client so the caller can Close it to
 // unmount.
 //
-// Import pipelines large transfers (the mount driver's RPC window) but
-// performs no readahead or write-behind: an import typically carries
-// live device files — /net of a gateway — where speculative I/O is
-// unsafe. Use ImportConfig to opt a file-tree import into more.
+// Import keeps the serial mount driver's exact RPC mapping — no
+// windowed fan-out, readahead, or write-behind: an import typically
+// carries live device files — /net of a gateway — where speculative
+// I/O is unsafe. Use ImportConfig (e.g. with mnt.FileConfig) to opt a
+// plain file-tree import into pipelining.
 func Import(nsp *ns.Namespace, conn ninep.MsgConn, aname, old string, flag int) (*ninep.Client, error) {
 	return ImportConfig(nsp, conn, aname, old, flag, mnt.Config{})
 }

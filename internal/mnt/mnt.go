@@ -5,13 +5,14 @@
 // yields a vfs.Node that can be mounted into a name space; every
 // operation on the subtree becomes a 9P message.
 //
-// The driver pipelines: large reads and writes fan into a sliding
-// window of concurrent RPCs (see ninep.ClientConfig), and a mount may
-// additionally opt into sequential-pattern readahead and coalescing
-// write-behind (Config). Readahead and write-behind reorder and defer
-// I/O, so they are only safe on trees of plain files; the zero Config
-// — window pipelining alone — preserves exact serial semantics and is
-// what imported device trees use.
+// The driver can pipeline: a mount may opt into fanning large reads
+// and writes into a sliding window of concurrent RPCs
+// (ninep.ClientConfig.WindowedTransfers), plus sequential-pattern
+// readahead and coalescing write-behind (Config). All three reorder or
+// speculate I/O, so they are only safe on trees of plain files —
+// FileConfig enables them together. The zero Config issues exactly the
+// serial driver's RPCs in exactly its order, and is what imported
+// device trees use.
 package mnt
 
 import (
@@ -25,12 +26,15 @@ import (
 
 // Config tunes the mount driver for one mount.
 //
-// The zero value enables windowed transfers only: every Read and Write
-// maps onto the same RPCs, in the same order, as the serial driver —
+// The zero value is the serial driver: every Read and Write maps onto
+// the same RPCs, in the same order, as one-fragment-at-a-time 9P —
 // safe for any server, including live device trees where a Tread has
 // side effects (a listen file, a stream's data file).
 type Config struct {
-	// Client tunes the RPC window; see ninep.ClientConfig.
+	// Client tunes the RPC engine: the in-flight cap, and whether
+	// large transfers fan into a window of concurrent fragment RPCs
+	// (WindowedTransfers — plain file trees only); see
+	// ninep.ClientConfig.
 	Client ninep.ClientConfig
 	// Readahead is how many MaxFData fragments of speculative Tread
 	// to keep in flight once a handle establishes a sequential read
@@ -49,14 +53,18 @@ type Config struct {
 // (a dump file system, a source tree): windowed transfers plus
 // readahead and write-behind.
 func FileConfig() Config {
-	return Config{Readahead: 4, WriteBehind: true}
+	return Config{
+		Client:      ninep.ClientConfig{WindowedTransfers: true},
+		Readahead:   4,
+		WriteBehind: true,
+	}
 }
 
 // Mount dials a 9P server over conn, authenticates uname, attaches to
 // aname, and returns the remote root as a mountable node. Closing the
 // returned client tears down the connection and every fid on it. The
-// mount pipelines large transfers but performs no readahead or
-// write-behind; see MountConfig.
+// mount uses the serial driver's exact RPC mapping; pass FileConfig to
+// MountConfig to pipeline a plain file tree.
 func Mount(conn ninep.MsgConn, uname, aname string) (vfs.Node, *ninep.Client, error) {
 	return MountConfig(conn, uname, aname, Config{})
 }

@@ -11,10 +11,10 @@ import (
 
 // Pipelining defaults. The window is how many fragment RPCs a large
 // Fid.Read or Fid.Write keeps in flight at once — the mount driver's
-// sliding window. MaxInFlight bounds the tags outstanding on the whole
-// client; when it is reached, new RPCs block until a reply frees a tag
-// (tag-exhaustion backpressure) rather than spinning over the tag
-// space.
+// sliding window — on clients that opt into WindowedTransfers.
+// MaxInFlight bounds the tags outstanding on the whole client; when it
+// is reached, new RPCs block until a reply frees a tag (tag-exhaustion
+// backpressure) rather than spinning over the tag space.
 const (
 	DefaultWindow      = 8
 	DefaultMaxInFlight = 64
@@ -24,17 +24,30 @@ const (
 	maxTags = int(NoTag) - 1
 )
 
-// ClientConfig tunes the mount driver's RPC engine. The zero value
-// selects the package defaults; Window 1 disables transfer pipelining
-// (every fragment waits for the previous reply, the pre-window
-// behavior).
+// ClientConfig tunes the mount driver's RPC engine. The zero value is
+// safe for any server, including live device trees: every Fid.Read and
+// Fid.Write maps onto the same RPCs, in the same order, as the serial
+// driver. Fanning a large transfer into concurrent fragment RPCs is an
+// explicit opt-in (WindowedTransfers) because it is only correct on
+// trees of plain files — on a delimited or stream device a speculative
+// Tread past a message boundary consumes data the caller never asked
+// for, even if its reply is later flushed.
 type ClientConfig struct {
 	// Window is the number of concurrent fragment RPCs a large
-	// read or write fans into. 0 means DefaultWindow.
+	// read or write fans into when WindowedTransfers is set, and the
+	// depth of the mount driver's write-behind. 0 means
+	// DefaultWindow; 1 forces every fragment to wait for the
+	// previous reply even where fan-out is enabled.
 	Window int
 	// MaxInFlight caps outstanding tags on the client across all
 	// processes. 0 means DefaultMaxInFlight.
 	MaxInFlight int
+	// WindowedTransfers fans Fid.Read/Fid.Write calls larger than
+	// MaxFData into up to Window concurrent fragment RPCs on
+	// plain-file fids. Off by default: only opt a client in when the
+	// served tree holds plain files (mnt.FileConfig does), never for
+	// an imported device tree.
+	WindowedTransfers bool
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -419,17 +432,28 @@ func (f *Fid) Create(name string, perm uint32, mode int) error {
 
 // Read reads up to len(p) bytes at offset off. Reads of at most
 // MaxFData map to exactly one RPC, which is how message delimiters
-// survive the mount driver; so do directory reads, whose record
-// boundaries the serial loop preserves. Larger reads on plain files
-// fan into up to Window concurrent Treads reassembled strictly in
-// offset order: a short reply truncates the result there and the
-// speculative fragments beyond it are flushed, so EOF and
-// delimited-device semantics are identical to the serial driver's.
+// survive the mount driver; larger reads issue one MaxFData Tread at a
+// time, a short reply ending the read — exactly the serial driver.
+// Only when the client opts into WindowedTransfers, and only on a
+// plain-file fid, does a larger read fan into up to Window concurrent
+// Treads reassembled strictly in offset order, a short reply
+// truncating the result there and the speculative fragments beyond it
+// flushed. The fan-out is never used on directories, append/exclusive
+// files, or clients without the opt-in, because a speculative Tread
+// past a boundary is executed by the server before the flush can reach
+// it — on a delimited or stream device that read consumes data.
 func (f *Fid) Read(p []byte, off int64) (int, error) {
-	if len(p) <= MaxFData || f.qid.IsDir() || f.cl.cfg.Window <= 1 {
+	if len(p) <= MaxFData || !f.windowed() {
 		return f.readSerial(p, off)
 	}
 	return f.readWindowed(p, off)
+}
+
+// windowed reports whether transfers on this fid may fan into
+// concurrent fragment RPCs: the client must opt in (WindowedTransfers,
+// with a window above 1) and the fid must name a plain file.
+func (f *Fid) windowed() bool {
+	return f.cl.cfg.WindowedTransfers && f.cl.cfg.Window > 1 && f.qid.Type == vfs.QTFILE
 }
 
 // readSerial is the pre-window mount driver: one MaxFData RPC at a
@@ -503,15 +527,23 @@ func (f *Fid) readWindowed(p []byte, off int64) (int, error) {
 }
 
 // Write writes p at offset off. Writes of at most MaxFData are one
-// RPC; larger writes fan into up to Window concurrent Twrites,
-// acknowledged strictly in offset order, a short Rwrite count
-// truncating the total.
+// RPC; larger writes issue one fragment at a time, stopping at the
+// first error or short Rwrite, exactly like the serial driver. On a
+// client that opts into WindowedTransfers, larger writes to plain-file
+// fids instead fan into up to Window concurrent Twrites, acknowledged
+// strictly in offset order, a short Rwrite count truncating the total.
+// The windowed fan-out relaxes the serial contract on failure: the
+// fragments ride as independent RPCs, so when one errors or comes up
+// short, fragments beyond the returned count may already have been
+// applied by the server (see writeWindowed). A caller that cannot
+// tolerate that — resuming a stream at the returned offset, say —
+// must not enable WindowedTransfers for that tree.
 func (f *Fid) Write(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		_, err := f.cl.RPC(&Fcall{Type: Twrite, Fid: f.fid, Offset: off})
 		return 0, err
 	}
-	if len(p) <= MaxFData || f.cl.cfg.Window <= 1 {
+	if len(p) <= MaxFData || !f.windowed() {
 		return f.writeSerial(p, off)
 	}
 	return f.writeWindowed(p, off)

@@ -3,6 +3,7 @@ package ninep
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/block"
 	"repro/internal/vfs"
@@ -25,10 +26,20 @@ type Server struct {
 
 	wmu sync.Mutex // serializes response writes
 
-	mu      sync.Mutex
-	fids    map[uint32]*srvFid
-	flushed map[uint16]bool // tags flushed while in flight
-	inUse   map[uint16]bool
+	mu   sync.Mutex
+	fids map[uint32]*srvFid
+	reqs map[uint16]*srvReq // requests in flight, by tag
+}
+
+// srvReq tracks one in-flight request. Flush state lives on the
+// request instance, never in a map keyed by tag alone: after the
+// 16-bit tag space wraps, a recycled tag can name a new request while
+// a flushed predecessor's goroutine is still running (blocked in
+// h.Read, say), and each instance must see only its own flush mark —
+// a shared per-tag entry would let the new request consume the old
+// one's mark and the old request answer under the new one's tag.
+type srvReq struct {
+	flushed atomic.Bool
 }
 
 type srvFid struct {
@@ -91,11 +102,10 @@ func (q *ticketQ) done() {
 // clean close).
 func Serve(conn MsgConn, attach AttachFunc) error {
 	s := &Server{
-		conn:    conn,
-		attach:  attach,
-		fids:    make(map[uint32]*srvFid),
-		flushed: make(map[uint16]bool),
-		inUse:   make(map[uint16]bool),
+		conn:   conn,
+		attach: attach,
+		fids:   make(map[uint32]*srvFid),
+		reqs:   make(map[uint16]*srvReq),
 	}
 	defer s.cleanup()
 	for {
@@ -115,7 +125,7 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 			// Control messages are answered synchronously so a
 			// Tflush can never be overtaken by the work it
 			// flushes.
-			s.respond(f.Tag, s.process(f))
+			s.respond(f.Tag, s.process(f), nil)
 		default:
 			// I/O requests take a per-fid, per-direction ticket
 			// here, in wire arrival order, so their goroutines
@@ -138,33 +148,39 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 					ticket = tq.take()
 				}
 			}
+			// Register the request instance. A stale instance may
+			// still occupy the tag (flushed, its goroutine not yet
+			// done); the client has seen its Rflush, so the tag is
+			// legitimately recycled and the new instance simply
+			// takes over the slot.
+			st := &srvReq{}
 			s.mu.Lock()
-			s.inUse[f.Tag] = true
+			s.reqs[f.Tag] = st
 			s.mu.Unlock()
-			go func(f *Fcall) {
+			go func(f *Fcall, st *srvReq) {
 				var r *Fcall
 				if tq != nil {
 					tq.wait(ticket)
-					r = s.process(f)
+					// A request flushed while queued must not
+					// touch the handle: on a delimited or
+					// stream device the read would consume
+					// data the client has already abandoned.
+					if !st.flushed.Load() {
+						r = s.process(f)
+					}
 					tq.done()
-				} else {
+				} else if !st.flushed.Load() {
 					r = s.process(f)
+				}
+				if r != nil {
+					s.respond(f.Tag, r, st)
 				}
 				s.mu.Lock()
-				delete(s.inUse, f.Tag)
-				skip := s.flushed[f.Tag]
-				delete(s.flushed, f.Tag)
-				s.mu.Unlock()
-				if !skip {
-					s.respond(f.Tag, r)
-				} else if r.recycle != nil {
-					// The reply of a flushed request is
-					// dropped; its pooled read buffer is
-					// not.
-					block.PutBytes(r.recycle)
-					r.recycle, r.Data = nil, nil
+				if s.reqs[f.Tag] == st {
+					delete(s.reqs, f.Tag)
 				}
-			}(f)
+				s.mu.Unlock()
+			}(f, st)
 		}
 	}
 }
@@ -183,7 +199,15 @@ func (s *Server) cleanup() {
 	}
 }
 
-func (s *Server) respond(tag uint16, r *Fcall) {
+// respond writes r under tag. st, non-nil for I/O requests, carries
+// the request's flush mark: the check sits under wmu, the same lock
+// that wrote the Rflush, so either the reply reaches the wire before
+// the Rflush (permitted — the client still holds the tag reserved
+// until Rflush arrives and drops the raced reply) or the mark is
+// visible and the reply is suppressed. A reply for a flushed tag can
+// therefore never follow its Rflush onto the wire, which is what lets
+// the client recycle a tag the moment Rflush is delivered.
+func (s *Server) respond(tag uint16, r *Fcall, st *srvReq) {
 	r.Tag = tag
 	msg, err := MarshalFcall(r)
 	if err != nil {
@@ -197,6 +221,12 @@ func (s *Server) respond(tag uint16, r *Fcall) {
 	}
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	if st != nil && st.flushed.Load() {
+		// The reply of a flushed request is dropped; its pooled
+		// wire buffer is not.
+		block.PutBytes(msg)
+		return
+	}
 	s.conn.WriteMsg(msg)
 }
 
@@ -228,11 +258,18 @@ func (s *Server) process(t *Fcall) *Fcall {
 		// Toy authentication: echo a ticket derived from the uname.
 		return &Fcall{Type: Rauth, Chal: "ticket-" + t.Uname}
 	case Tflush:
+		// Mark the in-flight instance before the Rflush is written
+		// (respond checks the mark under wmu): once the Rflush is on
+		// the wire, no reply for oldtag can follow it. If the request
+		// already answered, there is nothing to abort; if it is still
+		// blocked in a handle, its eventual reply is suppressed and
+		// its slot in reqs is reclaimed by comparing instances.
 		s.mu.Lock()
-		if s.inUse[t.Oldtag] {
-			s.flushed[t.Oldtag] = true
-		}
+		st := s.reqs[t.Oldtag]
 		s.mu.Unlock()
+		if st != nil {
+			st.flushed.Store(true)
+		}
 		return &Fcall{Type: Rflush}
 	case Tattach:
 		root, err := s.attach(t.Uname, t.Aname)

@@ -73,7 +73,7 @@ func pattern(n int) []byte {
 // window returns exactly the serial result, for sizes on and off the
 // fragment boundary.
 func TestWindowedReadCorrectness(t *testing.T) {
-	cl, _, fs := startCountingServer(t, ClientConfig{Window: 4})
+	cl, _, fs := startCountingServer(t, ClientConfig{WindowedTransfers: true, Window: 4})
 	for _, size := range []int{MaxFData + 1, 3 * MaxFData, 5*MaxFData - 77, 100 << 10} {
 		want := pattern(size)
 		fs.WriteFile("big", want, 0664)
@@ -95,7 +95,7 @@ func TestWindowedReadCorrectness(t *testing.T) {
 
 // TestWindowedWriteCorrectness: a multi-fragment write lands intact.
 func TestWindowedWriteCorrectness(t *testing.T) {
-	cl, _, fs := startCountingServer(t, ClientConfig{Window: 4})
+	cl, _, fs := startCountingServer(t, ClientConfig{WindowedTransfers: true, Window: 4})
 	root, _ := cl.Attach("glenda", "")
 	f, err := root.Clone()
 	if err != nil {
@@ -117,7 +117,7 @@ func TestWindowedWriteCorrectness(t *testing.T) {
 // TestSmallReadSingleRPC pins the invariant that a read of at most
 // MaxFData bytes costs exactly one Tread, window or no window.
 func TestSmallReadSingleRPC(t *testing.T) {
-	cl, cc, fs := startCountingServer(t, ClientConfig{Window: 8})
+	cl, cc, fs := startCountingServer(t, ClientConfig{WindowedTransfers: true, Window: 8})
 	fs.WriteFile("small", pattern(MaxFData), 0664)
 	f := openFile(t, cl, "small", vfs.OREAD)
 	before := cc.count(Tread)
@@ -131,17 +131,74 @@ func TestSmallReadSingleRPC(t *testing.T) {
 	f.Clunk()
 }
 
+// gateFS serves one file whose reads at or past a gate offset block
+// until released. It pins the speculative tail of a windowed read in
+// the server, so the client provably still has those fragments
+// outstanding when the short reply truncates the transfer — without
+// the gate, fast EOF replies can race the truncation and the flush
+// batch legitimately has nothing left to abandon.
+type gateFS struct {
+	content []byte
+	gate    int64
+	release chan struct{}
+}
+
+func (f *gateFS) Root() vfs.Node { return gateNode{f: f} }
+
+type gateNode struct{ f *gateFS }
+
+func (n gateNode) Stat() (vfs.Dir, error) {
+	return vfs.Dir{Name: "gate", Mode: 0666, Length: int64(len(n.f.content)), Qid: vfs.Qid{Path: 4}}, nil
+}
+func (n gateNode) Walk(name string) (vfs.Node, error) { return nil, vfs.ErrNotExist }
+func (n gateNode) Open(mode int) (vfs.Handle, error)  { return gateHandle{f: n.f}, nil }
+
+type gateHandle struct{ f *gateFS }
+
+func (h gateHandle) Read(p []byte, off int64) (int, error) {
+	if off >= h.f.gate {
+		<-h.f.release
+	}
+	if off >= int64(len(h.f.content)) {
+		return 0, nil
+	}
+	return copy(p, h.f.content[off:]), nil
+}
+func (h gateHandle) Write(p []byte, off int64) (int, error) { return len(p), nil }
+func (h gateHandle) Close() error                           { return nil }
+
 // TestWindowedShortReadTruncates: when an early fragment comes back
 // short (EOF inside the window), the bytes past it — already
 // speculatively requested — must not leak into the result, and the
 // later fragments are abandoned with Tflush rather than waited on.
+// The gate holds the speculative tail in the server so exactly the
+// three fragments past the short one are still in flight at
+// truncation time.
 func TestWindowedShortReadTruncates(t *testing.T) {
-	cl, cc, fs := startCountingServer(t, ClientConfig{Window: 8})
-	size := 2*MaxFData + 100 // third fragment comes back short, rest EOF
+	size := 2*MaxFData + 100 // third fragment comes back short
 	want := pattern(size)
-	fs.WriteFile("short", want, 0664)
-	f := openFile(t, cl, "short", vfs.OREAD)
-	got := make([]byte, 6*MaxFData)
+	fs := &gateFS{content: want, gate: 3 * MaxFData, release: make(chan struct{})}
+	t.Cleanup(func() { close(fs.release) })
+	a, b := NewPipe()
+	go Serve(b, func(uname, aname string) (vfs.Node, error) { return fs.Root(), nil })
+	cc := &countingConn{MsgConn: a}
+	cl, err := NewClientConfig(cc, ClientConfig{WindowedTransfers: true, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	root, err := cl.Attach("u", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Open(vfs.OREAD); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6*MaxFData) // fans into 6 fragments, 3 past the gate
 	n, err := f.Read(got, 0)
 	if err != nil {
 		t.Fatalf("read: %v", err)
@@ -149,8 +206,82 @@ func TestWindowedShortReadTruncates(t *testing.T) {
 	if n != size || !bytes.Equal(got[:n], want) {
 		t.Fatalf("read %d bytes, want %d", n, size)
 	}
-	if cc.count(Tflush) == 0 {
-		t.Fatal("short read in the window abandoned no speculative fragment")
+	if flushes := cc.count(Tflush); flushes != 3 {
+		t.Fatalf("short read in the window sent %d Tflushes, want 3 (one per gated speculative fragment)", flushes)
+	}
+	f.Clunk()
+}
+
+// streamFS serves one stream-like file: each read returns at most 100
+// bytes, like a delimited device delivering one message per Tread, and
+// counts how many reads reach the handle.
+type streamFS struct {
+	reads atomic.Int64
+}
+
+func (f *streamFS) Root() vfs.Node { return streamNode{f: f} }
+
+type streamNode struct{ f *streamFS }
+
+func (n streamNode) Stat() (vfs.Dir, error) {
+	return vfs.Dir{Name: "stream", Mode: 0666, Qid: vfs.Qid{Path: 3}}, nil
+}
+func (n streamNode) Walk(name string) (vfs.Node, error) { return nil, vfs.ErrNotExist }
+func (n streamNode) Open(mode int) (vfs.Handle, error)  { return streamHandle{f: n.f}, nil }
+
+type streamHandle struct{ f *streamFS }
+
+func (h streamHandle) Read(p []byte, off int64) (int, error) {
+	h.f.reads.Add(1)
+	n := min(len(p), 100)
+	for i := range p[:n] {
+		p[i] = 'm'
+	}
+	return n, nil
+}
+func (h streamHandle) Write(p []byte, off int64) (int, error) { return len(p), nil }
+func (h streamHandle) Close() error                           { return nil }
+
+// TestDefaultConfigReadsSerial pins the zero ClientConfig's safety
+// contract on delimited and stream devices: a large read issues
+// exactly one Tread at a time and a short reply ends it, so no
+// speculative fragment ever reaches the server to consume stream data
+// it would then throw away. (Fan-out is an explicit opt-in —
+// WindowedTransfers — for plain file trees.)
+func TestDefaultConfigReadsSerial(t *testing.T) {
+	fs := &streamFS{}
+	a, b := NewPipe()
+	go Serve(b, func(uname, aname string) (vfs.Node, error) { return fs.Root(), nil })
+	cc := &countingConn{MsgConn: a}
+	cl, err := NewClientConfig(cc, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	root, err := cl.Attach("u", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := root.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Open(vfs.OREAD); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3*MaxFData) // would fan into 3 Treads if windowed
+	n, err := f.Read(buf, 0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("read = %d bytes, want the single 100-byte message", n)
+	}
+	if got := cc.count(Tread); got != 1 {
+		t.Fatalf("default-config large read issued %d Treads, want 1", got)
+	}
+	if got := fs.reads.Load(); got != 1 {
+		t.Fatalf("server handle saw %d reads, want 1 (speculative fragment consumed stream data)", got)
 	}
 	f.Clunk()
 }

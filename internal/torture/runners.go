@@ -449,9 +449,11 @@ func run9P(s Scenario, rep *Report) {
 	teardown()
 }
 
-// torture9P is the client side of the 9P scenario.
+// torture9P is the client side of the 9P scenario. The served tree is
+// a ramfs of plain files, so the client opts into windowed transfers —
+// the windowed pass below must exercise the real fan-out path.
 func torture9P(s Scenario, rep *Report, dc xport.Conn, blockMax int) {
-	cl, err := ninep.NewClient(ninep.NewDelimConn(dc))
+	cl, err := ninep.NewClientConfig(ninep.NewDelimConn(dc), ninep.ClientConfig{WindowedTransfers: true})
 	if err != nil {
 		rep.violate("9p", "version: %v", err)
 		return
