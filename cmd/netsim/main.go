@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/dialer"
+	"repro/internal/mnt"
 	"repro/internal/netmsg"
 	"repro/internal/ns"
 	"repro/internal/table1"
@@ -32,6 +34,7 @@ func main() {
 	imp := flag.Bool("import", false, "run the §6.1 import transcript")
 	table := flag.Bool("table1", false, "reproduce Table 1 on calibrated media")
 	fast := flag.Bool("fast", false, "with -table1: ideal media (code-path cost only)")
+	jsonOut := flag.Bool("json", false, "with -table1: emit a JSON snapshot (rows + allocator + mount-driver stats)")
 	chaos := flag.Bool("chaos", false, "torture every protocol across impaired media")
 	seed := flag.Int64("seed", 1, "with -chaos: impairment seed (failures replay exactly)")
 	msgs := flag.Int("msgs", 40, "with -chaos: messages per direction")
@@ -96,7 +99,38 @@ func main() {
 		if *fast {
 			cfg = table1.FastConfig()
 		}
-		fmt.Print(table1.Run(cfg).Format())
+		res := table1.Run(cfg)
+		if *jsonOut {
+			// Machine-readable: the measured rows plus the
+			// process-wide observability counters the run left
+			// behind (allocator, mount-driver pipelining).
+			type row struct {
+				Name       string
+				Throughput float64 // MBytes/sec
+				Latency    float64 // milliseconds
+				Err        string  `json:",omitempty"`
+			}
+			rows := make([]row, 0, len(res.Rows))
+			for _, r := range res.Rows {
+				jr := row{Name: r.Name, Throughput: r.Throughput, Latency: r.Latency}
+				if r.Err != nil {
+					jr.Err = r.Err.Error()
+				}
+				rows = append(rows, jr)
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{
+				"table1": rows,
+				"block":  block.Snapshot(),
+				"mnt":    mnt.StatsGroup().Snapshot(),
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "netsim:", err)
+				exitCode = 1
+			}
+			return
+		}
+		fmt.Print(res.Format())
 		fmt.Printf("\nblock pool: %s\n", block.Snapshot())
 		return
 	}

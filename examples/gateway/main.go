@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dialer"
@@ -82,4 +83,29 @@ func main() {
 	buf := make([]byte, 128)
 	n, _ := conn.Read(buf)
 	fmt.Printf("echo over tcp through the gateway: %q\n", buf[:n])
+
+	// Remote diagnosis (§6.1): the terminal has no TCP of its own, so
+	// /net/tcp/stats resolves to HELIX's stats file through the
+	// import — every line below crossed the Datakit as a 9P Tread.
+	// The segment counters include the echo we just ran.
+	b, err := gnot.NS.ReadFile("/net/tcp/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("philw-gnot$ cat /net/tcp/stats   # helix's, over the import\n")
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		fmt.Printf("  %s\n", line)
+	}
+
+	// And the terminal's own mount driver accounts for the RPCs that
+	// import carried: /net/mnt resolves locally (the union places the
+	// terminal's entries first).
+	b, err = gnot.NS.ReadFile("/net/mnt/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("philw-gnot$ cat /net/mnt/stats   # the import's own RPC bill\n")
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		fmt.Printf("  %s\n", line)
+	}
 }

@@ -30,6 +30,33 @@ func writeAfterPutNext(q *queue, b *blk) {
 	hdr[0] = 1 // want block-aliasing "used after b is released"
 }
 
+// The trace API is a tempting place to break the rule: a send path
+// frees (or hands on) the block, then reaches back into the buffer
+// for the event's payload fields. By then the pool may have recycled
+// the bytes, so the trace records somebody else's data.
+
+type ring struct{}
+
+func (r *ring) Emit(kind int, a, b int64) {}
+
+func traceAfterFree(r *ring, b *blk) {
+	p := b.Bytes()
+	b.Free()
+	r.Emit(1, int64(p[0]), int64(len(p))) // want block-aliasing "used after b is released"
+}
+
+func traceAfterPutNext(r *ring, q *queue, b *blk) {
+	p := b.Bytes()
+	q.PutNext(b)
+	r.Emit(2, 0, int64(len(p))) // want block-aliasing "used after b is released"
+}
+
+func traceBeforeFree(r *ring, b *blk) {
+	p := b.Bytes()
+	r.Emit(1, int64(p[0]), int64(len(p))) // payload captured while b is still ours
+	b.Free()
+}
+
 // The rest must stay silent.
 
 func useBeforeFree(b *blk) {

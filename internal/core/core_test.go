@@ -209,10 +209,11 @@ func TestImportGatewayParagraph(t *testing.T) {
 	w := paperWorld(t)
 	gnot := w.Machine("philw-gnot")
 
-	// Before the import the terminal has cs and dk only.
+	// Before the import the terminal has cs, dk, and the mount
+	// driver's own stats dir only.
 	before := gnot.LsNet()
 	sort.Strings(before)
-	if strings.Join(before, " ") != "cs dk" {
+	if strings.Join(before, " ") != "cs dk mnt" {
 		t.Fatalf("gnot /net before import: %v", before)
 	}
 	if _, err := dialer.Dial(gnot.NS, "tcp!helix!echo"); err == nil {

@@ -13,9 +13,12 @@ import (
 	"repro/internal/ether"
 	"repro/internal/il"
 	"repro/internal/ip"
+	"repro/internal/mnt"
 	"repro/internal/ndb"
 	"repro/internal/netdev"
+	"repro/internal/ninep"
 	"repro/internal/ns"
+	"repro/internal/obs"
 	"repro/internal/ramfs"
 	"repro/internal/tcp"
 	"repro/internal/uart"
@@ -67,6 +70,41 @@ type Machine struct {
 	closers []func()
 	nextCyc int
 	uartDev *uart.Dev
+	mntCls  []*ninep.Client // mount-driver clients, for /net/mnt/stats
+}
+
+// addMntClient records a mount-driver client so /net/mnt/stats can
+// aggregate its RPC figures.
+func (m *Machine) addMntClient(cl *ninep.Client) {
+	m.mu.Lock()
+	m.mntCls = append(m.mntCls, cl)
+	m.mu.Unlock()
+}
+
+// mntStats renders /net/mnt/stats: the mount driver's process-wide
+// readahead/write-behind counters, then the RPC engine figures summed
+// over this machine's mount clients (rpcs, flushes, the deepest
+// in-flight window seen, and the merged RPC latency histogram).
+func (m *Machine) mntStats() string {
+	var b strings.Builder
+	b.WriteString(mnt.StatsGroup().Render())
+	m.mu.Lock()
+	cls := append([]*ninep.Client(nil), m.mntCls...)
+	m.mu.Unlock()
+	var rpcs, flushes, wmax int64
+	var hist obs.HistSnap
+	for _, cl := range cls {
+		rpcs += cl.RPCs.Load()
+		flushes += cl.Flushes.Load()
+		if w := cl.WindowHW.Load(); w > wmax {
+			wmax = w
+		}
+		hist.Merge(cl.RPCHist.SnapshotHist())
+	}
+	fmt.Fprintf(&b, "mounts: %d\nrpcs: %d\nflushes: %d\nwindow-max: %d\n",
+		len(cls), rpcs, flushes, wmax)
+	b.WriteString(hist.Render("rpc"))
+	return b.String()
 }
 
 // NewMachine boots a machine into the world.
@@ -174,6 +212,17 @@ func (w *World) NewMachine(cfg MachineConfig) (*Machine, error) {
 		if err := m.NS.MountNode(stats, "/net/ipstats", ns.MREPL); err != nil {
 			return nil, err
 		}
+	}
+
+	// The mount driver's pipelining counters plus aggregated 9P RPC
+	// figures, one stats file per machine, importable like the rest
+	// of /net (§6.1).
+	m.Root.MkdirAll("net/mnt", 0775)
+	m.Root.WriteFile("net/mnt/stats", nil, 0444)
+	mntStats := devtree.TextFile(devtree.MkFile("stats", cfg.Name, 0444),
+		func() (string, error) { return m.mntStats(), nil })
+	if err := m.NS.MountNode(mntStats, "/net/mnt/stats", ns.MREPL); err != nil {
+		return nil, err
 	}
 
 	// DNS: resolver (and /net/dns) when the machine has IP; an

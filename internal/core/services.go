@@ -127,6 +127,7 @@ func (m *Machine) ImportConfig(dest, remotePath, old string, flag int, cfg mnt.C
 		conn.Close()
 		return nil, err
 	}
+	m.addMntClient(cl)
 	m.onClose(func() { cl.Close() })
 	return cl, nil
 }
@@ -154,6 +155,7 @@ func (m *Machine) MountRemoteConfig(dest, aname, old string, flag int, cfg mnt.C
 		conn.Close()
 		return nil, err
 	}
+	m.addMntClient(cl)
 	m.onClose(func() { cl.Close() })
 	return cl, nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/devtree"
 	"repro/internal/ip"
 	"repro/internal/ndb"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -71,24 +72,56 @@ type Config struct {
 	Resolve func(domain string) ([]ip.Addr, error)
 }
 
+// cacheCap bounds the answer cache; past it the cache is dropped
+// wholesale (translations are cheap enough that simplicity wins over
+// an eviction order).
+const cacheCap = 128
+
 // Server is the connection server.
 type Server struct {
-	mu  sync.RWMutex
-	cfg Config
+	mu    sync.RWMutex
+	cfg   Config
+	cache map[string][]string
+
+	// Counters and the event ring: CS is a user-level file server, so
+	// its observability rides the same obs primitives as the kernel
+	// protocol devices.
+	Queries   obs.Counter
+	CacheHits obs.Counter
+	Answers   obs.Counter
+	Errors    obs.Counter
+	trace     obs.Ring
+	stats     *obs.Group
 }
 
 // New creates a connection server.
-func New(cfg Config) *Server { return &Server{cfg: cfg} }
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, cache: make(map[string][]string)}
+	s.stats = new(obs.Group).
+		AddCounter("queries", &s.Queries).
+		AddCounter("cache-hits", &s.CacheHits).
+		AddCounter("answers", &s.Answers).
+		AddCounter("errors", &s.Errors)
+	return s
+}
+
+// StatsGroup exposes the server's counters.
+func (s *Server) StatsGroup() *obs.Group { return s.stats }
+
+// Trace implements obs.Tracer: the server-wide query event ring.
+func (s *Server) Trace() *obs.Ring { return &s.trace }
 
 // Translate resolves one symbolic name into destination lines.
 func (s *Server) Translate(query string) ([]string, error) {
 	s.mu.RLock()
 	cfg := s.cfg
 	s.mu.RUnlock()
+	s.Queries.Inc()
+	s.trace.Emit(obs.EvQuery, int64(len(query)), 0)
 
 	parts := strings.Split(strings.TrimSpace(query), "!")
 	if len(parts) < 2 {
-		return nil, vfs.ErrBadArg
+		return nil, s.fail(vfs.ErrBadArg)
 	}
 	netName := parts[0]
 	host := parts[1]
@@ -97,7 +130,7 @@ func (s *Server) Translate(query string) ([]string, error) {
 		service = parts[2]
 	}
 	if host == "" {
-		return nil, vfs.ErrBadArg
+		return nil, s.fail(vfs.ErrBadArg)
 	}
 
 	available := func(n Network) bool {
@@ -118,7 +151,27 @@ func (s *Server) Translate(query string) ([]string, error) {
 		}
 	}
 	if len(nets) == 0 {
-		return nil, vfs.ErrNoNet
+		return nil, s.fail(vfs.ErrNoNet)
+	}
+
+	// Answer cache: the key is the query plus the set of networks that
+	// probed reachable. Reachability changes as imports land (§6.1) —
+	// and a changed probe answer changes the key, so a cached answer
+	// can never outlive the topology it was computed for.
+	var kb strings.Builder
+	kb.WriteString(strings.TrimSpace(query))
+	for _, n := range nets {
+		kb.WriteByte(0)
+		kb.WriteString(n.Name)
+	}
+	key := kb.String()
+	s.mu.RLock()
+	cached, hit := s.cache[key]
+	s.mu.RUnlock()
+	if hit {
+		s.CacheHits.Inc()
+		s.trace.Emit(obs.EvCacheHit, int64(len(cached)), 0)
+		return append([]string(nil), cached...), nil
 	}
 
 	// $attr: search the source system, then its subnetwork, then its
@@ -126,7 +179,7 @@ func (s *Server) Translate(query string) ([]string, error) {
 	if strings.HasPrefix(host, "$") {
 		v, ok := cfg.DB.IPInfo(cfg.SysName, host[1:])
 		if !ok {
-			return nil, vfs.ErrNotExist
+			return nil, s.fail(vfs.ErrNotExist)
 		}
 		host = v
 	}
@@ -138,9 +191,24 @@ func (s *Server) Translate(query string) ([]string, error) {
 		}
 	}
 	if len(lines) == 0 {
-		return nil, vfs.ErrNotExist
+		return nil, s.fail(vfs.ErrNotExist)
 	}
+	s.mu.Lock()
+	if len(s.cache) >= cacheCap {
+		s.cache = make(map[string][]string)
+	}
+	s.cache[key] = append([]string(nil), lines...)
+	s.mu.Unlock()
+	s.Answers.Inc()
+	s.trace.Emit(obs.EvAnswer, int64(len(lines)), 0)
 	return lines, nil
+}
+
+// fail counts and traces a failed translation.
+func (s *Server) fail(err error) error {
+	s.Errors.Inc()
+	s.trace.Emit(obs.EvError, 0, 0)
+	return err
 }
 
 // hostAddrs produces the address strings for host/service on network n.

@@ -1,0 +1,148 @@
+package cs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Deeper connection-server behavior: answer ordering must survive
+// repeated queries, the answer cache must key on the reachable
+// network set (an import landing must change the answers, never
+// serve stale ones), and the trace ring must record the
+// query/answer/cache-hit sequence in order.
+
+func kinds(r *obs.Ring) []obs.Kind { return r.Kinds() }
+
+func TestRepeatedQueryHitsCacheSameOrder(t *testing.T) {
+	s := newServer(t, nil)
+	s.Trace().Enable()
+
+	first, err := s.Translate("net!helix!9fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Translate("net!helix!9fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(first, "\n") != strings.Join(second, "\n") {
+		t.Fatalf("repeat changed the answer:\n%v\n%v", first, second)
+	}
+	// Preference order must hold on the cached answer too: IL before
+	// Datakit for a net! wildcard.
+	if !strings.HasPrefix(second[0], "/net/il/clone ") {
+		t.Errorf("cached answer lost preference order: %v", second)
+	}
+	if got := s.CacheHits.Load(); got != 1 {
+		t.Errorf("cache hits = %d, want 1", got)
+	}
+	if got := s.Queries.Load(); got != 2 {
+		t.Errorf("queries = %d, want 2", got)
+	}
+	want := []obs.Kind{obs.EvQuery, obs.EvAnswer, obs.EvQuery, obs.EvCacheHit}
+	got := kinds(s.Trace())
+	if len(got) != len(want) {
+		t.Fatalf("trace kinds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace kinds %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCallerCannotPoisonCache(t *testing.T) {
+	s := newServer(t, nil)
+	lines, err := s.Translate("tcp!helix!echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[0] = "scribbled"
+	again, err := s.Translate("tcp!helix!echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != "/net/tcp/clone 135.104.9.31!7" {
+		t.Errorf("cache served the caller's scribble: %v", again)
+	}
+	if s.CacheHits.Load() != 1 {
+		t.Errorf("second query should have hit the cache")
+	}
+}
+
+func TestCacheKeysOnReachableNetworks(t *testing.T) {
+	// The paper's dynamic: a terminal starts with only Datakit, then
+	// an import makes IP networks appear in /net. The same query must
+	// then produce a different (better) answer, not the cached one.
+	reachable := map[string]bool{"/net/dk/clone": true}
+	s := newServer(t, func(clone string) bool { return reachable[clone] })
+
+	before, err := s.Translate("net!helix!9fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 1 || !strings.HasPrefix(before[0], "/net/dk/clone ") {
+		t.Fatalf("dk-only answer: %v", before)
+	}
+
+	// The import lands: IL becomes dialable.
+	reachable["/net/il/clone"] = true
+	after, err := s.Translate("net!helix!9fs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 2 || !strings.HasPrefix(after[0], "/net/il/clone ") {
+		t.Fatalf("post-import answer not refreshed: %v", after)
+	}
+	if s.CacheHits.Load() != 0 {
+		t.Errorf("stale cache hit across a reachability change")
+	}
+
+	// Same reachable set again: now it may (and should) hit.
+	if _, err := s.Translate("net!helix!9fs"); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheHits.Load() != 1 {
+		t.Errorf("identical query+reachability did not hit the cache")
+	}
+}
+
+func TestFailedQueryCountsError(t *testing.T) {
+	s := newServer(t, nil)
+	s.Trace().Enable()
+	if _, err := s.Translate("fddi!helix!echo"); err == nil {
+		t.Fatal("unknown network translated")
+	}
+	if s.Errors.Load() != 1 {
+		t.Errorf("errors = %d, want 1", s.Errors.Load())
+	}
+	got := kinds(s.Trace())
+	if len(got) != 2 || got[0] != obs.EvQuery || got[1] != obs.EvError {
+		t.Errorf("trace kinds %v, want [query error]", got)
+	}
+	// Failures are never cached: the same query asks again.
+	s.Translate("fddi!helix!echo")
+	if s.CacheHits.Load() != 0 {
+		t.Errorf("a failed answer was cached")
+	}
+}
+
+func TestStatsFileAgreesWithCounters(t *testing.T) {
+	s := newServer(t, nil)
+	s.Translate("net!helix!9fs")
+	s.Translate("net!helix!9fs")
+	s.Translate("fddi!helix!echo")
+	parsed := obs.ParseStats(s.StatsGroup().Render())
+	for name, want := range map[string]int64{
+		"queries":    s.Queries.Load(),
+		"cache-hits": s.CacheHits.Load(),
+		"answers":    s.Answers.Load(),
+		"errors":     s.Errors.Load(),
+	} {
+		if parsed[name] != want {
+			t.Errorf("stats %s = %d, counter %d", name, parsed[name], want)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/medium"
+	"repro/internal/obs"
 	"repro/internal/urp"
 	"repro/internal/vfs"
 	"repro/internal/xport"
@@ -218,12 +219,27 @@ type Proto struct {
 	Stats urp.Stats
 	// FCSErrs counts cells the hardware discarded as damaged.
 	FCSErrs atomic.Int64
+
+	stats *obs.Group
 }
 
 var _ xport.Proto = (*Proto)(nil)
 
 // NewProto wraps a host as an xport protocol.
-func NewProto(h *Host) *Proto { return &Proto{host: h} }
+func NewProto(h *Host) *Proto {
+	p := &Proto{host: h}
+	p.stats = new(obs.Group).
+		AddAtomic("blocks", &p.Stats.Blocks).
+		AddAtomic("retransmits", &p.Stats.Retransmits).
+		AddAtomic("rejects", &p.Stats.Rejects).
+		AddAtomic("enquiries", &p.Stats.Enquiries).
+		AddAtomic("fcs-errs", &p.FCSErrs)
+	return p
+}
+
+// StatsGroup exposes the URP engine counters; the netdev tree renders
+// it into /net/dk/stats after the per-conversation lines.
+func (p *Proto) StatsGroup() *obs.Group { return p.stats }
 
 // Name implements xport.Proto.
 func (p *Proto) Name() string { return "dk" }
@@ -239,6 +255,7 @@ type Conn struct {
 
 	mu       sync.Mutex
 	urp      *urp.Conn
+	wire     *medium.Duplex
 	local    string
 	remote   string
 	service  string
@@ -246,7 +263,32 @@ type Conn struct {
 	state    string
 }
 
+// WireCounts reports the circuit medium's impairment ground truth —
+// what the wire actually did to the cells — for reconciling the stats
+// files against it. ok is false before the circuit exists.
+func (c *Conn) WireCounts() (counts medium.Counts, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wire == nil {
+		return medium.Counts{}, false
+	}
+	return c.wire.ImpairCounts(), true
+}
+
 var _ xport.Conn = (*Conn)(nil)
+var _ obs.Tracer = (*Conn)(nil)
+
+// Trace implements obs.Tracer by delegating to the URP engine's ring;
+// before the circuit exists (no connect or accept yet) it is nil and
+// the trace file reads empty.
+func (c *Conn) Trace() *obs.Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.urp == nil {
+		return nil
+	}
+	return c.urp.Trace()
+}
 
 // Connect implements xport.Conn: addr is "nj/astro/helix!9fs".
 func (c *Conn) Connect(addr string) error {
@@ -264,6 +306,7 @@ func (c *Conn) Connect(addr string) error {
 		return err
 	}
 	c.urp = urp.New(duplexWire{wire, &c.proto.FCSErrs}, &c.proto.Stats)
+	c.wire = wire
 	c.local = c.proto.host.name
 	c.remote = addr
 	c.service = service
@@ -317,6 +360,7 @@ func (c *Conn) Listen() (xport.Conn, error) {
 	nc := &Conn{
 		proto:   c.proto,
 		urp:     urp.New(duplexWire{call.wire, &c.proto.FCSErrs}, &c.proto.Stats),
+		wire:    call.wire,
 		local:   c.proto.host.name + "!" + call.service,
 		remote:  call.remote,
 		service: call.service,

@@ -708,10 +708,12 @@ func (c *Conn) Close() error {
 // Stats formats interface statistics in the ASCII style of the stats
 // file (§2.2: "interface address, packet input/output counts, error
 // statistics, and general information about the state of the
-// interface").
+// interface"). The counter lines use the "name: value" shape that
+// obs.ParseStats reads back, so the conformance suite can reconcile
+// them against the impairment model's ground truth.
 func (ifc *Interface) Stats() string {
 	return fmt.Sprintf(
-		"addr: %s\nmtu: %d\nin: %d\nout: %d\ninbytes: %d\noutbytes: %d\noverflows: %d\ncrc errs: %d\n",
+		"addr: %s\nmtu: %d\nin: %d\nout: %d\nin-bytes: %d\nout-bytes: %d\noverflows: %d\ncrc-errs: %d\n",
 		ifc.addr, ifc.MTU(),
 		ifc.inPackets.Load(), ifc.outPackets.Load(),
 		ifc.inBytes.Load(), ifc.outBytes.Load(),

@@ -566,7 +566,7 @@ func TestCorruptFramesFailFCS(t *testing.T) {
 	if q := c2.Stream().QueuedBytes(); q != 0 {
 		t.Errorf("%d bytes of corrupt frames reached the conversation", q)
 	}
-	if !strings.Contains(i2.Stats(), "crc errs: 20") {
+	if !strings.Contains(i2.Stats(), "crc-errs: 20") {
 		t.Errorf("stats file does not report the crc errors:\n%s", i2.Stats())
 	}
 }

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/ip"
+	"repro/internal/obs"
 	"repro/internal/streams"
 	"repro/internal/vfs"
 	"repro/internal/xport"
@@ -150,6 +151,11 @@ type Proto struct {
 	MsgsSent     atomic.Int64
 	MsgsRcvd     atomic.Int64
 	ChecksumErrs atomic.Int64
+
+	// RTTHist collects every round-trip sample the adaptive timer
+	// takes (§3); /net/il/stats renders it as a log2 histogram.
+	RTTHist obs.Hist
+	stats   *obs.Group
 }
 
 type connKey struct {
@@ -178,10 +184,24 @@ func New(stack *ip.Stack, cfg Config) *Proto {
 		txq:       make(chan txPkt, 256),
 		txstop:    make(chan struct{}),
 	}
+	p.stats = new(obs.Group).
+		AddAtomic("msgs-sent", &p.MsgsSent).
+		AddAtomic("msgs-rcvd", &p.MsgsRcvd).
+		AddAtomic("retransmits", &p.Retransmits).
+		AddAtomic("queries-sent", &p.QueriesSent).
+		AddAtomic("queries-rcvd", &p.QueriesRcvd).
+		AddAtomic("dups-rcvd", &p.DupsReceived).
+		AddAtomic("out-of-window", &p.OutOfWindow).
+		AddAtomic("checksum-errs", &p.ChecksumErrs).
+		AddHist("rtt", &p.RTTHist)
 	stack.Register(ip.ProtoIL, p.recv)
 	go p.transmitter()
 	return p
 }
+
+// StatsGroup exposes the engine counters; the netdev tree renders it
+// into /net/il/stats after the per-conversation lines.
+func (p *Proto) StatsGroup() *obs.Group { return p.stats }
 
 // transmitter is the output kernel process: it owns every queued
 // packet and walks it down the stack. It exits at Close, freeing
@@ -481,9 +501,19 @@ type Conn struct {
 
 	closed bool
 	err    error
+
+	// trace is the conversation's event ring, armed by writing
+	// "trace on" to the ctl file; disabled it costs one atomic load
+	// per would-be event.
+	trace obs.Ring
 }
 
 var _ xport.Conn = (*Conn)(nil)
+var _ obs.Tracer = (*Conn)(nil)
+
+// Trace implements obs.Tracer; the netdev tree serves it as the
+// conversation's trace file.
+func (c *Conn) Trace() *obs.Ring { return &c.trace }
 
 // Connect implements xport.Conn: the active open (Syncer).
 func (c *Conn) Connect(addr string) error {
@@ -529,8 +559,10 @@ func (c *Conn) Connect(addr string) error {
 		if c.err == nil {
 			c.err = vfs.ErrConnRef
 		}
+		c.trace.Emit(obs.EvError, 0, 0)
 		return c.err
 	}
+	c.trace.Emit(obs.EvConnect, 1, 0)
 	return nil
 }
 
@@ -566,6 +598,7 @@ func (c *Conn) Announce(addr string) error {
 	c.localPort = port
 	c.state = Listening
 	p.listeners[port] = c
+	c.trace.Emit(obs.EvAnnounce, int64(port), 0)
 	return nil
 }
 
@@ -663,6 +696,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		c.unacked = append(c.unacked, m)
 		c.sendLocked(msgData, spec, id, data)
+		c.trace.Emit(obs.EvSend, int64(id), int64(n))
 		total += n
 		if total == len(p) {
 			c.mu.Unlock()
@@ -756,12 +790,14 @@ func (c *Conn) maybeCloseLocked() {
 		c.state = Closed
 	}
 	c.cond.Broadcast()
+	c.trace.Emit(obs.EvHangup, 0, 0)
 	c.rstream.HangupUp()
 }
 
 func (c *Conn) establishSynceeLocked() {
 	c.state = Established
 	c.cond.Broadcast()
+	c.trace.Emit(obs.EvAccept, 0, 0)
 	if l := c.listener; l != nil {
 		c.listener = nil
 		ok := false
@@ -787,9 +823,11 @@ func (c *Conn) ackLocked(ack uint32) {
 	if ack < c.sndUna {
 		return
 	}
+	c.trace.Emit(obs.EvAck, int64(ack), 0)
 	// Round-trip timing on the timed message (§3 adaptive timeouts).
 	if c.timing && ack >= c.timedID {
 		rtt := time.Since(c.timedAt)
+		c.proto.RTTHist.Observe(rtt)
 		if c.srtt == 0 {
 			c.srtt = rtt
 			c.mdev = rtt / 2
@@ -832,6 +870,7 @@ func (c *Conn) dataLocked(h header, data []byte) {
 	c.ackLocked(h.ack)
 	switch {
 	case h.id == c.rcvNext:
+		c.trace.Emit(obs.EvRecv, int64(h.id), int64(len(data)))
 		c.acceptLocked(h.spec, data)
 		// Drain any buffered successors.
 		for {
@@ -849,6 +888,7 @@ func (c *Conn) dataLocked(h header, data []byte) {
 	case h.id < c.rcvNext:
 		// Duplicate: re-acknowledge so the sender advances.
 		c.proto.DupsReceived.Add(1)
+		c.trace.Emit(obs.EvDup, int64(h.id), 0)
 		c.sendLocked(msgAck, 0, c.sndNext-1, nil)
 	case h.id < c.rcvNext+c.proto.cfg.window():
 		if c.ooo == nil {
@@ -857,6 +897,7 @@ func (c *Conn) dataLocked(h header, data []byte) {
 		}
 		if _, dup := c.ooo[h.id]; dup {
 			c.proto.DupsReceived.Add(1)
+			c.trace.Emit(obs.EvDup, int64(h.id), 0)
 		}
 		c.ooo[h.id] = append([]byte(nil), data...)
 		c.oooSpec[h.id] = h.spec
@@ -864,6 +905,7 @@ func (c *Conn) dataLocked(h header, data []byte) {
 		// Outside the window: "messages outside the window are
 		// discarded and must be retransmitted" (§3).
 		c.proto.OutOfWindow.Add(1)
+		c.trace.Emit(obs.EvOutOfOrder, int64(h.id), 0)
 	}
 }
 
@@ -912,6 +954,7 @@ func (c *Conn) retransmitLocked() {
 		m := &c.unacked[i]
 		m.sent = time.Now()
 		c.proto.Retransmits.Add(1)
+		c.trace.Emit(obs.EvRetransmit, int64(m.id), 0)
 		c.sendLocked(msgData, m.spec, m.id, m.data)
 	}
 	// Retransmitted messages cannot be timed (Karn's rule).
@@ -957,11 +1000,13 @@ func (c *Conn) timer() {
 						// retransmitting blindly.
 						c.querySent = true
 						c.proto.QueriesSent.Add(1)
+						c.trace.Emit(obs.EvQuery, 0, 0)
 						c.sendLocked(msgQuery, 0, c.sndNext-1, nil)
 					} else {
 						// Query itself may be lost;
 						// requery after another RTO.
 						c.proto.QueriesSent.Add(1)
+						c.trace.Emit(obs.EvQuery, 0, 0)
 						c.sendLocked(msgQuery, 0, c.sndNext-1, nil)
 					}
 					// Push the timeout forward so we do not
@@ -983,6 +1028,7 @@ func (c *Conn) diedLocked(err error) {
 	c.err = err
 	c.state = Closed
 	c.cond.Broadcast()
+	c.trace.Emit(obs.EvHangup, 0, 0)
 	c.rstream.HangupUp()
 }
 

@@ -253,6 +253,7 @@ func (h *handle) readLocked(p []byte, off int64) (int, error) {
 		h.cancelRALocked()
 		h.raStop = false
 		h.seqRun = 0
+		RAMisses.Inc()
 		n, err := h.fid.Read(p, off)
 		h.seqOff = off + int64(n)
 		if err == nil && n == len(p) {
@@ -262,6 +263,7 @@ func (h *handle) readLocked(p []byte, off int64) (int, error) {
 	}
 	total := 0
 	short := false
+	fromFrags := 0
 	for total < len(p) && len(h.frags) > 0 {
 		fr := h.frags[0]
 		if fr.pend != nil {
@@ -281,6 +283,7 @@ func (h *handle) readLocked(p []byte, off int64) (int, error) {
 		}
 		n := copy(p[total:], fr.data[fr.used:])
 		total += n
+		fromFrags += n
 		fr.used += n
 		if fr.used < len(fr.data) {
 			break // p is full
@@ -309,6 +312,11 @@ func (h *handle) readLocked(p []byte, off int64) (int, error) {
 			h.raStop = false
 		}
 	}
+	if fromFrags > 0 {
+		RAHits.Inc()
+	} else {
+		RAMisses.Inc()
+	}
 	h.seqOff = off + int64(total)
 	if total == len(p) && total > 0 {
 		h.seqRun++
@@ -336,6 +344,7 @@ func (h *handle) fillRALocked() {
 			h.raStop = true
 			return
 		}
+		RAIssued.Inc()
 		h.frags = append(h.frags, &frag{pend: pr, asked: ninep.MaxFData})
 		next += ninep.MaxFData
 	}
@@ -345,6 +354,9 @@ func (h *handle) fillRALocked() {
 // Treads (pipelined Tflushes, one round trip) and dropping buffered
 // data.
 func (h *handle) cancelRALocked() {
+	if len(h.frags) > 0 {
+		RACancels.Inc()
+	}
 	var ps []*ninep.Pending
 	for _, fr := range h.frags {
 		if fr.pend != nil {
@@ -434,6 +446,7 @@ func (h *handle) issueWBLocked(data []byte) {
 		h.werr = err
 		return
 	}
+	WBIssued.Inc()
 	h.wpend = append(h.wpend, wfrag{pend: pr, n: len(data)})
 }
 
@@ -455,6 +468,9 @@ func (h *handle) reapWBLocked() {
 // every in-flight fragment is awaited, and the first deferred error is
 // returned (and cleared).
 func (h *handle) barrierLocked() error {
+	if len(h.buf) > 0 || len(h.wpend) > 0 {
+		WBBarriers.Inc()
+	}
 	if len(h.buf) > 0 {
 		h.issueWBLocked(h.buf)
 		h.bufOff += int64(len(h.buf))

@@ -1,0 +1,39 @@
+package mnt
+
+import "repro/internal/obs"
+
+// Mount-driver observability, process-wide: every handle's readahead
+// and write-behind activity lands in these counters, and the machine
+// serves them (together with the per-client RPC figures from
+// ninep.Client.StatsGroup) as /net/mnt/stats. Process-wide rather than
+// per-mount keeps the hot paths at one padded atomic add and matches
+// how the numbers are read: "is the window earning its keep on this
+// machine?"
+var (
+	// RAHits counts reads that consumed prefetched fragment bytes.
+	RAHits obs.Counter
+	// RAMisses counts sequential-pattern reads that found nothing
+	// buffered (including pattern breaks that restart the run).
+	RAMisses obs.Counter
+	// RACancels counts abandoned prefetch queues (pattern break,
+	// error, EOF) — each flushed its in-flight Treads.
+	RACancels obs.Counter
+	// RAIssued counts speculative Treads issued by the prefetcher.
+	RAIssued obs.Counter
+	// WBIssued counts write-behind fragments issued asynchronously.
+	WBIssued obs.Counter
+	// WBBarriers counts barrier drains (read-your-writes, offset
+	// jumps, close).
+	WBBarriers obs.Counter
+
+	statsGroup = new(obs.Group).
+			AddCounter("ra-hits", &RAHits).
+			AddCounter("ra-misses", &RAMisses).
+			AddCounter("ra-cancels", &RACancels).
+			AddCounter("ra-issued", &RAIssued).
+			AddCounter("wb-issued", &WBIssued).
+			AddCounter("wb-barriers", &WBBarriers)
+)
+
+// StatsGroup exposes the mount driver's process-wide counters.
+func StatsGroup() *obs.Group { return statsGroup }

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/devtree"
 	"repro/internal/netmsg"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -211,11 +212,12 @@ func (d *Dev) Root() vfs.Node {
 	return root
 }
 
-// statsText renders one line per live conversation, netstat style.
+// statsText renders one line per live conversation, netstat style,
+// followed by the engine's counters and histograms when the protocol
+// exposes an obs.Group — the "name: value" body of /net/PROTO/stats.
 func (d *Dev) statsText() string {
 	var b strings.Builder
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for id := range MaxConvs {
 		c := d.convs[id]
 		if c == nil {
@@ -227,6 +229,12 @@ func (d *Dev) statsText() string {
 		}
 		fmt.Fprintf(&b, "%s/%d %s %s %s\n",
 			d.proto.Name(), id, conn.Status(), conn.LocalAddr(), conn.RemoteAddr())
+	}
+	d.mu.Unlock()
+	if sp, ok := d.proto.(interface{ StatsGroup() *obs.Group }); ok {
+		if g := sp.StatsGroup(); g != nil {
+			b.WriteString(g.Render())
+		}
 	}
 	return b.String()
 }
@@ -266,6 +274,26 @@ func (d *Dev) convCtl(c *conv, cmd string) error {
 	case netmsg.VerbReject:
 		// Datakit accepts a reason; IP networks ignore it (§5.2).
 		return conn.Close()
+	case netmsg.VerbTrace:
+		// "trace on" arms the conversation's event ring; "trace off"
+		// stops it. The buffered events stay readable either way.
+		t, ok := conn.(obs.Tracer)
+		if !ok {
+			return vfs.ErrBadCtl
+		}
+		r := t.Trace()
+		if r == nil {
+			return vfs.ErrBadCtl
+		}
+		switch arg {
+		case "on":
+			r.Enable()
+		case "off":
+			r.Disable()
+		default:
+			return vfs.ErrBadCtl
+		}
+		return nil
 	default:
 		return vfs.ErrBadCtl
 	}
@@ -325,12 +353,27 @@ func (d *Dev) convDir(c *conv) vfs.Node {
 		get(func(cn xport.Conn) string {
 			return d.proto.Name() + "/" + strconv.Itoa(c.id) + " " + cn.Status() + "\n"
 		}))
+	nodes := map[string]vfs.Node{
+		"ctl": ctl, "data": data, "listen": listen,
+		"local": local, "remote": remote, "status": status,
+	}
+	order := []string{"ctl", "data", "listen", "local", "remote", "status"}
+	if _, ok := c.xconn().(obs.Tracer); ok {
+		// The conversation carries an event ring: serve it as the
+		// trace file (§6.1's remote diagnosis — arm with "trace on",
+		// read the events back, locally or over an imported /net).
+		nodes["trace"] = devtree.TextFile(mk("trace", 0444),
+			get(func(cn xport.Conn) string {
+				r := cn.(obs.Tracer).Trace()
+				if r == nil {
+					return ""
+				}
+				return r.TraceText()
+			}))
+		order = append(order, "trace")
+	}
 	return devtree.StaticDir(devtree.MkDir(strconv.Itoa(c.id), d.owner, 0555),
-		map[string]vfs.Node{
-			"ctl": ctl, "data": data, "listen": listen,
-			"local": local, "remote": remote, "status": status,
-		},
-		[]string{"ctl", "data", "listen", "local", "remote", "status"})
+		nodes, order)
 }
 
 // dataHandle is the data file: the process end of the conversation's

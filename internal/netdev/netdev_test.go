@@ -127,7 +127,7 @@ func TestPaperConnectionDance(t *testing.T) {
 	for _, e := range ents {
 		names = append(names, e.Name)
 	}
-	if strings.Join(names, " ") != "ctl data listen local remote status" {
+	if strings.Join(names, " ") != "ctl data listen local remote status trace" {
 		t.Errorf("conversation dir: %v", names)
 	}
 	local, _ := nsA.ReadFile(dir + "/local")

@@ -18,6 +18,7 @@ const (
 	VerbPush        = "push"
 	VerbPop         = "pop"
 	VerbPromiscuous = "promiscuous"
+	VerbTrace       = "trace"
 )
 
 // Connect formats the dial request written to a conversation's ctl
@@ -56,6 +57,11 @@ func Pop() string { return VerbPop }
 // Promiscuous returns the Ethernet diagnostic request that makes a
 // conversation receive a copy of every frame on the wire (§2.2).
 func Promiscuous() string { return VerbPromiscuous }
+
+// Trace formats the diagnostic request that arms ("on") or disarms
+// ("off") a conversation's event ring, read back through its trace
+// file.
+func Trace(arg string) string { return VerbTrace + " " + arg }
 
 // Parse splits a ctl message into its verb and argument. The argument
 // is trimmed, so "connect  2048 " parses as ("connect", "2048").

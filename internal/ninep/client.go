@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -85,6 +87,15 @@ type Client struct {
 	nextFid uint32
 	err     error
 	done    chan struct{}
+
+	// Mount-driver observability: RPC count and latency, Tflush count,
+	// and the in-flight window high-water mark. The mnt device renders
+	// these into /net/mnt/stats.
+	RPCs     obs.Counter
+	Flushes  obs.Counter
+	RPCHist  obs.Hist
+	WindowHW obs.Watermark
+	stats    *obs.Group
 }
 
 // NewClient starts a 9P client on conn and performs the session
@@ -103,6 +114,11 @@ func NewClientConfig(conn MsgConn, cfg ClientConfig) (*Client, error) {
 		done: make(chan struct{}),
 	}
 	cl.tagFree = sync.NewCond(&cl.mu)
+	cl.stats = new(obs.Group).
+		AddCounter("rpcs", &cl.RPCs).
+		AddCounter("flushes", &cl.Flushes).
+		Add("window-max", cl.WindowHW.Load).
+		AddHist("rpc", &cl.RPCHist)
 	go cl.demux()
 	if _, err := cl.RPC(&Fcall{Type: Tsession, Chal: "repro"}); err != nil {
 		cl.Close()
@@ -113,6 +129,9 @@ func NewClientConfig(conn MsgConn, cfg ClientConfig) (*Client, error) {
 
 // Window reports the configured fragment window.
 func (cl *Client) Window() int { return cl.cfg.Window }
+
+// StatsGroup exposes the client's counters and RPC latency histogram.
+func (cl *Client) StatsGroup() *obs.Group { return cl.stats }
 
 // Dead reports whether the client has failed or been closed; RPCs on a
 // dead client fail immediately without blocking.
@@ -205,6 +224,7 @@ func (cl *Client) allocTag(ch chan *Fcall, flushExempt bool) (uint16, error) {
 		}
 		if _, inUse := cl.tags[cl.nextTag]; !inUse {
 			cl.tags[cl.nextTag] = ch
+			cl.WindowHW.Note(int64(len(cl.tags)))
 			return cl.nextTag, nil
 		}
 	}
@@ -222,10 +242,11 @@ func (cl *Client) freeTag(tag uint16) {
 // Pending is an RPC in flight: the asynchronous half of the mount
 // driver. Exactly one of Wait or Flush must be called, once.
 type Pending struct {
-	cl  *Client
-	tag uint16
-	req uint8
-	ch  chan *Fcall
+	cl    *Client
+	tag   uint16
+	req   uint8
+	ch    chan *Fcall
+	start time.Time
 }
 
 // RPCAsync sends t now and returns a Pending whose Wait delivers the
@@ -252,7 +273,8 @@ func (cl *Client) sendAsync(t *Fcall, flushExempt bool) (*Pending, error) {
 		cl.freeTag(tag)
 		return nil, err
 	}
-	return &Pending{cl: cl, tag: tag, req: t.Type, ch: ch}, nil
+	cl.RPCs.Inc()
+	return &Pending{cl: cl, tag: tag, req: t.Type, ch: ch, start: time.Now()}, nil
 }
 
 // Wait blocks for the reply. On an Rerror response it returns the
@@ -268,6 +290,7 @@ func (p *Pending) Wait() (*Fcall, error) {
 		}
 		return nil, err
 	}
+	p.cl.RPCHist.Observe(time.Since(p.start))
 	if r.Type == Rerror {
 		return nil, errors.New(r.Ename)
 	}
@@ -310,6 +333,7 @@ func (cl *Client) flushMany(ps []*Pending) {
 		if p == nil || !p.abandon() {
 			continue
 		}
+		cl.Flushes.Inc()
 		fp, err := cl.sendAsync(&Fcall{Type: Tflush, Oldtag: p.tag}, true)
 		if err != nil {
 			// Transport dead: fail() has already emptied the

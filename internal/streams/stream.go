@@ -239,6 +239,7 @@ func (s *Stream) Read(p []byte) (int, error) {
 			b.Free()
 			continue // control information is not data
 		}
+		observeResidency(b)
 		n := copy(p[total:], b.Buf)
 		total += n
 		if n < len(b.Buf) {
@@ -267,6 +268,7 @@ func (s *Stream) Read(p []byte) (int, error) {
 // the module Iputs to the read queue — what a device interrupt
 // handler's kernel process does with received data (§2.4.2).
 func (s *Stream) DeviceUp(b *Block) {
+	stampUp(b)
 	s.cfg.RLock()
 	entry := s.devUp
 	s.cfg.RUnlock()

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/ip"
+	"repro/internal/obs"
 	"repro/internal/streams"
 	"repro/internal/vfs"
 	"repro/internal/xport"
@@ -82,6 +83,11 @@ type Proto struct {
 	Retransmits atomic.Int64
 	SegsSent    atomic.Int64
 	SegsRcvd    atomic.Int64
+
+	// RTTHist collects every round-trip sample the adaptive timer
+	// takes; /net/tcp/stats renders it as a log2 histogram.
+	RTTHist obs.Hist
+	stats   *obs.Group
 }
 
 type connKey struct {
@@ -101,12 +107,21 @@ func New(stack *ip.Stack) *Proto {
 		nextEphem: 5000,
 		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	p.stats = new(obs.Group).
+		AddAtomic("segs-sent", &p.SegsSent).
+		AddAtomic("segs-rcvd", &p.SegsRcvd).
+		AddAtomic("retransmits", &p.Retransmits).
+		AddHist("rtt", &p.RTTHist)
 	stack.Register(ip.ProtoTCP, p.recv)
 	return p
 }
 
 // Name implements xport.Proto.
 func (p *Proto) Name() string { return "tcp" }
+
+// StatsGroup exposes the engine counters; the netdev tree renders it
+// into /net/tcp/stats after the per-conversation lines.
+func (p *Proto) StatsGroup() *obs.Group { return p.stats }
 
 // Close tears the whole engine down at machine shutdown: every
 // conversation dies immediately — no FIN exchange, the machine is
@@ -351,9 +366,18 @@ type Conn struct {
 
 	closed bool
 	err    error
+
+	// trace is the conversation's event ring, armed by writing
+	// "trace on" to the ctl file.
+	trace obs.Ring
 }
 
 var _ xport.Conn = (*Conn)(nil)
+var _ obs.Tracer = (*Conn)(nil)
+
+// Trace implements obs.Tracer; the netdev tree serves it as the
+// conversation's trace file.
+func (c *Conn) Trace() *obs.Ring { return &c.trace }
 
 // Connect implements xport.Conn: the active open.
 func (c *Conn) Connect(addr string) error {
@@ -396,8 +420,10 @@ func (c *Conn) Connect(addr string) error {
 		if c.err == nil {
 			c.err = vfs.ErrConnRef
 		}
+		c.trace.Emit(obs.EvError, 0, 0)
 		return c.err
 	}
+	c.trace.Emit(obs.EvConnect, 1, 0)
 	return nil
 }
 
@@ -431,6 +457,7 @@ func (c *Conn) Announce(addr string) error {
 	c.localPort = port
 	c.state = Listen
 	p.listeners[port] = c
+	c.trace.Emit(obs.EvAnnounce, int64(port), 0)
 	return nil
 }
 
@@ -602,6 +629,7 @@ func (c *Conn) segment(h header, data []byte) {
 			c.state = Established
 			c.sndWnd = h.win
 			c.cond.Broadcast()
+			c.trace.Emit(obs.EvAccept, 0, 0)
 			if l := c.listener; l != nil {
 				c.listener = nil
 				ok := false
@@ -631,6 +659,7 @@ func (c *Conn) segment(h header, data []byte) {
 		acked := h.ack - c.sndUna
 		if c.timing && h.ack >= c.timedSeq {
 			rtt := time.Since(c.timedAt)
+			c.proto.RTTHist.Observe(rtt)
 			if c.srtt == 0 {
 				c.srtt, c.mdev = rtt, rtt/2
 			} else {
@@ -761,6 +790,7 @@ func (c *Conn) dieLocked() {
 	}
 	c.state = Closed
 	c.cond.Broadcast()
+	c.trace.Emit(obs.EvHangup, 0, 0)
 	c.rstream.HangupUp()
 	go c.proto.remove(c)
 }
@@ -840,12 +870,14 @@ func (c *Conn) retransmitLocked() {
 			n = mss
 		}
 		c.proto.Retransmits.Add(1)
+		c.trace.Emit(obs.EvRetransmit, int64(seq), int64(n))
 		c.sendSegLocked(0, seq, append([]byte(nil), remaining[:n]...))
 		seq += uint32(n)
 		remaining = remaining[n:]
 	}
 	if c.finSent && c.sndUna <= c.finSeq {
 		c.proto.Retransmits.Add(1)
+		c.trace.Emit(obs.EvRetransmit, int64(c.finSeq), 0)
 		c.sendSegLocked(flagFIN, c.finSeq, nil)
 	}
 }

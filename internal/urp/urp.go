@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 	"repro/internal/streams"
 	"repro/internal/vfs"
 )
@@ -110,7 +111,16 @@ type Conn struct {
 	dead    bool
 
 	lastProgress time.Time
+
+	// trace is the circuit's event ring (obs.Tracer); the datakit
+	// device serves it as the conversation's trace file.
+	trace obs.Ring
 }
+
+var _ obs.Tracer = (*Conn)(nil)
+
+// Trace implements obs.Tracer.
+func (c *Conn) Trace() *obs.Ring { return &c.trace }
 
 type sentBlock struct {
 	seq   int
@@ -191,6 +201,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		cell := makeCell(cellData, seq, flags, data)
 		c.lastSend = time.Now()
 		c.stats.Blocks.Add(1)
+		c.trace.Emit(obs.EvSend, int64(seq), int64(n))
 		c.mu.Unlock()
 		c.wire.SendCell(cell)
 		total += n
@@ -277,11 +288,13 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 		}
 		c.rejSent = true
 		next := c.rcvNext
+		c.trace.Emit(obs.EvReject, int64(next), int64(seq))
 		c.mu.Unlock()
 		c.sendCell(cellRej, next, 0, nil)
 		return
 	}
 	c.rejSent = false
+	c.trace.Emit(obs.EvRecv, int64(seq), int64(len(data)))
 	c.rcvNext = (c.rcvNext + 1) % SeqMod
 	whole := flags&flagEOM != 0 && len(c.reassembly) == 0
 	var msg *block.Block
@@ -317,6 +330,7 @@ func (c *Conn) recvAck(seq int) (stalled bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lastProgress = time.Now()
+	c.trace.Emit(obs.EvAck, int64(seq), 0)
 	wasEnq := c.enqSent
 	c.enqSent = false
 	freed := false
@@ -353,6 +367,7 @@ func (c *Conn) retransmit() {
 	c.retransNeeded = false
 	cells := make([][]byte, 0, len(c.unacked))
 	for _, b := range c.unacked {
+		c.trace.Emit(obs.EvRetransmit, int64(b.seq), 0)
 		cells = append(cells, makeCell(cellData, b.seq, b.flags, b.data))
 	}
 	c.lastSend = time.Now()
@@ -392,6 +407,7 @@ func (c *Conn) timer() {
 			c.lastSend = time.Now()
 			c.enqSent = true
 			c.stats.Enquiries.Add(1)
+			c.trace.Emit(obs.EvQuery, 0, 0)
 			c.mu.Unlock()
 			c.sendCell(cellEnq, 0, 0, nil)
 			continue
@@ -408,6 +424,7 @@ func (c *Conn) hangup() {
 	}
 	c.dead = true
 	c.cond.Broadcast()
+	c.trace.Emit(obs.EvHangup, 0, 0)
 	c.mu.Unlock()
 	c.rstream.HangupUp()
 }

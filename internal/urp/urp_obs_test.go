@@ -1,0 +1,185 @@
+package urp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/medium"
+	"repro/internal/obs"
+)
+
+// Deeper URP behavior at the protocol's edges: the mod-8 sequence
+// space's window of seven, the enquiry timer when acknowledgements
+// stall, and the trace ring recording the block-level conversation in
+// order.
+
+// TestWindowSevenEdge writes exactly Window blocks against a wire that
+// swallows acknowledgements: all seven must go out unblocked (the
+// window admits them), and the eighth write must stall — the pacing
+// edge the mod-8 numbering forces.
+func TestWindowSevenEdge(t *testing.T) {
+	tx := medium.NewPipe(medium.Profile{})
+	silent := medium.NewPipe(medium.Profile{})
+	a := New(wire{d: duplexOf(tx, silent)}, nil)
+	defer a.Close()
+	a.Trace().Enable()
+
+	sent := make(chan int, 1)
+	go func() {
+		for i := range Window {
+			if _, err := a.Write(bytes.Repeat([]byte{byte(i)}, BlockSize)); err != nil {
+				sent <- i
+				return
+			}
+		}
+		sent <- Window
+	}()
+	select {
+	case n := <-sent:
+		if n != Window {
+			t.Fatalf("only %d of %d window blocks went out", n, Window)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer blocked inside the window")
+	}
+
+	// The eighth block must wait for an ack that never comes.
+	blocked := make(chan struct{}, 1)
+	go func() {
+		a.Write([]byte("eighth"))
+		blocked <- struct{}{}
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("write past the window did not block")
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// The trace recorded seven sends, sequence-numbered in order.
+	evs := a.Trace().Events()
+	if len(evs) < Window {
+		t.Fatalf("trace has %d events, want at least %d", len(evs), Window)
+	}
+	for i := 0; i < Window; i++ {
+		if evs[i].Kind != obs.EvSend || evs[i].A != int64(i) {
+			t.Fatalf("trace[%d] = %v seq %d, want send seq %d", i, evs[i].Kind, evs[i].A, i)
+		}
+	}
+}
+
+// TestEnquiryTimeout stalls the ack path and waits: the timer must
+// send enquiries (counted and traced) rather than retransmit blindly.
+func TestEnquiryTimeout(t *testing.T) {
+	tx := medium.NewPipe(medium.Profile{})
+	silent := medium.NewPipe(medium.Profile{})
+	stats := &Stats{}
+	a := New(wire{d: duplexOf(tx, silent)}, stats)
+	defer a.Close()
+	a.Trace().Enable()
+
+	if _, err := a.Write([]byte("lonely block")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for stats.Enquiries.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stats.Enquiries.Load() == 0 {
+		t.Fatal("no enquiry after the ack stalled")
+	}
+	ks := a.Trace().Kinds()
+	if len(ks) < 2 || ks[0] != obs.EvSend {
+		t.Fatalf("trace %v: want send first", ks)
+	}
+	sawQuery := false
+	for _, k := range ks[1:] {
+		if k == obs.EvQuery {
+			sawQuery = true
+		}
+	}
+	if !sawQuery {
+		t.Fatalf("trace %v records no enquiry", ks)
+	}
+}
+
+// TestTraceOrderUnderLoss drives a lossy wire and checks both ends'
+// rings: the sender's trace interleaves sends, retransmits, and acks;
+// the receiver's records in-sequence receives and the REJs that
+// triggered recovery — and the counted rejects equal the traced ones.
+func TestTraceOrderUnderLoss(t *testing.T) {
+	a, b, stats := pair(t, medium.Profile{Loss: 0.12, Seed: 4})
+	a.Trace().Enable()
+	b.Trace().Enable()
+
+	const rounds = 30
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 4096)
+		for n := 0; n < rounds; {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+			n++
+		}
+	}()
+	for i := range rounds {
+		if _, err := a.Write(bytes.Repeat([]byte{byte(i)}, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+
+	// Sender side: sends and at least one retransmit (the wire loses
+	// ~12% of cells), acks present, and every retransmit traced is
+	// also counted.
+	var sends, retrans, acks int64
+	for _, e := range a.Trace().Events() {
+		switch e.Kind {
+		case obs.EvSend:
+			sends++
+		case obs.EvRetransmit:
+			retrans++
+		case obs.EvAck:
+			acks++
+		}
+	}
+	if sends == 0 || acks == 0 {
+		t.Fatalf("sender trace: %d sends, %d acks", sends, acks)
+	}
+	if retrans == 0 {
+		t.Error("12% loss produced no traced retransmit")
+	}
+
+	// Receiver side: the trace records REJs as they are SENT, the
+	// counter as they are RECEIVED by the peer — a REJ cell can itself
+	// be lost, so traced ≥ counted, never the reverse.
+	var rejs int64
+	for _, e := range b.Trace().Events() {
+		if e.Kind == obs.EvReject {
+			rejs++
+		}
+	}
+	if rejs == 0 {
+		t.Error("loss produced no traced REJ")
+	}
+	if rejs < stats.Rejects.Load() {
+		t.Errorf("peer counted %d rejects but only %d were traced as sent", stats.Rejects.Load(), rejs)
+	}
+
+	// In-sequence receives arrive with monotonically advancing mod-8
+	// sequence numbers.
+	prev := int64(-1)
+	for _, e := range b.Trace().Events() {
+		if e.Kind != obs.EvRecv {
+			continue
+		}
+		if prev >= 0 {
+			if want := (prev + 1) % SeqMod; e.A != want {
+				t.Fatalf("receive trace jumps %d -> %d", prev, e.A)
+			}
+		}
+		prev = e.A
+	}
+}

@@ -1,10 +1,10 @@
 #!/bin/sh
 # bench.sh — run the repo's headline benchmarks and record them as
-# BENCH_PR4.json: one object per benchmark with name, ns/op, B/op and
+# BENCH_PR5.json: one object per benchmark with name, ns/op, B/op and
 # allocs/op, so a future PR can diff performance against this one
 # mechanically. Usage:
 #
-#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR4.json
+#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR5.json
 #   scripts/bench.sh -smoke       # quick pass (benchtime 100ms), writes nothing,
 #                                 # fails only if a benchmark fails to run
 set -eu
@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 benchtime=2s
-out=BENCH_PR4.json
+out=BENCH_PR5.json
 smoke=0
 if [ "${1:-}" = "-smoke" ]; then
     benchtime=100ms

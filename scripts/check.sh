@@ -37,6 +37,20 @@ go test -run '^TestAllocs' -count=1 ./internal/streams ./internal/ninep
 echo "== chaos: deterministic torture pass (fixed seed)"
 go run ./cmd/netsim -chaos -seed 1 -msgs 40
 
+echo "== stats conformance: /net files vs wire ground truth"
+# The conformance suite balances every /net/*/stats file against the
+# impairment engine's own books (drops, dups, corrupted emissions) —
+# the observability layer must never disagree with the wire.
+go test -run '^TestStatsConformance' -count=1 ./internal/torture
+
+echo "== obs coverage floor (>= 80%)"
+cov=$(go test -cover ./internal/obs | awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") print $(i+1) }' | tr -d '%')
+if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
+    echo "internal/obs coverage ${cov:-unknown}% < 80%" >&2
+    exit 1
+fi
+echo "internal/obs coverage ${cov}%"
+
 echo "== bench smoke (benchmarks still run)"
 sh scripts/bench.sh -smoke
 
