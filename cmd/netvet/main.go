@@ -12,16 +12,23 @@
 //
 //	go run ./cmd/netvet ./...
 //	go run ./cmd/netvet -tests -checks lock-across-send ./...
+//	go run ./cmd/netvet -json ./...
 //
-// Deliberate exceptions carry a `//netvet:ignore <check> <why>`
+// Deliberate exceptions carry a `//netvet:ignore <checks> <why>`
 // directive on the offending line (or the line above); suppressed
-// findings are counted in the summary so they stay reviewable.
+// findings are counted in the summary so they stay reviewable, and
+// -ignored lists each one with the directive that silenced it. -json
+// emits the whole report (live and suppressed findings, directives)
+// as one JSON document for tooling.
 // Exit status is 1 when unsuppressed diagnostics remain.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,8 +41,10 @@ func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	checksFlag := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	quiet := flag.Bool("q", false, "suppress the summary line")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	ignored := flag.Bool("ignored", false, "also list suppressed findings and the directives that silenced them")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: netvet [-tests] [-checks list] [./... | dir]\nchecks: %s\n",
+		fmt.Fprintf(os.Stderr, "usage: netvet [-tests] [-checks list] [-json] [-ignored] [./... | dir]\nchecks: %s\n",
 			strings.Join(analysis.CheckNames(), ", "))
 	}
 	flag.Parse()
@@ -54,12 +63,21 @@ func main() {
 		fatal(err)
 	}
 	res := analysis.Run(mod, checks)
-	for _, d := range res.Diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, root, res); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Check, d.Message)
+	} else {
+		for _, d := range res.Diags {
+			fmt.Printf("%s: %s: %s\n", relPos(root, d.Pos), d.Check, d.Message)
+		}
+		if *ignored {
+			for _, sd := range res.Ignored {
+				fmt.Printf("%s: %s: %s (suppressed at %s: %s)\n",
+					relPos(root, sd.Pos), sd.Check, sd.Message,
+					relPos(root, sd.By.Pos), sd.By.Reason)
+			}
+		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "netvet: %d package(s), %d diagnostic(s)%s\n",
@@ -67,6 +85,70 @@ func main() {
 	}
 	if len(res.Diags) > 0 {
 		os.Exit(1)
+	}
+}
+
+// relPos rewrites a position's filename relative to the module root
+// when it lies inside it.
+func relPos(root string, pos token.Position) token.Position {
+	if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		pos.Filename = rel
+	}
+	return pos
+}
+
+// jsonDiag is one finding in -json output; IgnoredBy is present only
+// on suppressed findings.
+type jsonDiag struct {
+	Check     string         `json:"check"`
+	Pos       string         `json:"pos"`
+	Message   string         `json:"message"`
+	IgnoredBy *jsonDirective `json:"ignored-by,omitempty"`
+}
+
+type jsonDirective struct {
+	Pos     string   `json:"pos"`
+	Checks  []string `json:"checks"`
+	Reason  string   `json:"reason"`
+	Matched int      `json:"matched"`
+}
+
+type jsonReport struct {
+	Diagnostics []jsonDiag      `json:"diagnostics"`
+	Ignored     []jsonDiag      `json:"ignored"`
+	Directives  []jsonDirective `json:"directives"`
+}
+
+func writeJSON(w io.Writer, root string, res *analysis.Result) error {
+	rep := jsonReport{
+		Diagnostics: []jsonDiag{},
+		Ignored:     []jsonDiag{},
+		Directives:  []jsonDirective{},
+	}
+	for _, d := range res.Diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
+			Check: d.Check, Pos: relPos(root, d.Pos).String(), Message: d.Message,
+		})
+	}
+	for _, sd := range res.Ignored {
+		by := directiveJSON(root, sd.By)
+		rep.Ignored = append(rep.Ignored, jsonDiag{
+			Check: sd.Check, Pos: relPos(root, sd.Pos).String(), Message: sd.Message,
+			IgnoredBy: &by,
+		})
+	}
+	for _, dir := range res.Directives {
+		rep.Directives = append(rep.Directives, directiveJSON(root, dir))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(rep)
+}
+
+func directiveJSON(root string, d *analysis.Directive) jsonDirective {
+	return jsonDirective{
+		Pos: relPos(root, d.Pos).String(), Checks: d.Checks,
+		Reason: d.Reason, Matched: d.Matched,
 	}
 }
 

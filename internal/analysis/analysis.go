@@ -14,22 +14,41 @@
 //	                    Close/Free/Unmount and without escaping
 //	naked-ctl-string    an ad-hoc ctl message literal bypassing the
 //	                    canonical netmsg formatting helpers
-//	block-aliasing      a buffer view (b.Bytes()/b.Buf) used after the
-//	                    block was freed or handed down the put chain
+//	block-ownership     a pooled block freed twice, used after its
+//	                    ownership was transferred, or leaked on an
+//	                    early-return path (path-sensitive, over the
+//	                    CFG/dataflow engine in cfg.go and dataflow.go)
+//	lock-order          a cycle in the whole-module lock acquisition
+//	                    graph, keyed by (type, field), with witness
+//	                    paths for both directions
+//
+// Ownership transfer across calls is declared, not guessed: a callee
+// that consumes a block parameter carries a directive on its
+// declaration,
+//
+//	//netvet:owns <param>[,<param>...]
+//
+// and the block-ownership check treats a call through it as the end of
+// the caller's ownership. Free/Put/PutNext/PutBytes are implicitly
+// owning, matching the block package's contract.
 //
 // A finding is suppressed by a directive comment on its line or the
 // line above:
 //
-//	//netvet:ignore <check>[,<check>...] [reason]
+//	//netvet:ignore <check>[,<check>...] <reason>
 //
-// Suppressions are counted and reported, so deliberate exceptions
-// stay visible.
+// The check names must be real and the reason must be non-empty —
+// a reasonless or misspelled directive is itself reported (as check
+// "directive", which cannot be suppressed). Suppressions are recorded
+// individually, so deliberate exceptions stay visible and auditable
+// (netvet -ignored lists them all).
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -45,11 +64,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
 }
 
-// Check is one named invariant.
+// Check is one named invariant. Run is called once per package to
+// collect; the optional Finish is called once per module after every
+// package ran, for checks (lock-order) whose findings are global.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(p *Pass)
+	Name   string
+	Doc    string
+	Run    func(p *Pass)
+	Finish func(p *Pass) // optional; p.Pkg is nil
 }
 
 // Checks returns all checks, in reporting order.
@@ -59,7 +81,8 @@ func Checks() []*Check {
 		unjoinedGoroutineCheck,
 		unclosedResourceCheck,
 		nakedCtlStringCheck,
-		blockAliasingCheck,
+		blockOwnershipCheck,
+		lockOrderCheck,
 	}
 }
 
@@ -72,7 +95,8 @@ func CheckNames() []string {
 	return names
 }
 
-// Pass is one check running over one package.
+// Pass is one check running over one package (or, in a Finish call,
+// over the module as a whole, with Pkg nil).
 type Pass struct {
 	Fset  *token.FileSet
 	Pkg   *Pkg
@@ -85,28 +109,97 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.res.report(p.Fset.Position(pos), p.check.Name, fmt.Sprintf(format, args...))
 }
 
-// Result accumulates findings and suppression counts for a run.
+// Facts returns the check's module-wide scratch state, allocated by
+// mk on first use — how a Run collects for its Finish.
+func (p *Pass) Facts(mk func() any) any {
+	if p.res.facts == nil {
+		p.res.facts = make(map[*Check]any)
+	}
+	f, ok := p.res.facts[p.check]
+	if !ok {
+		f = mk()
+		p.res.facts[p.check] = f
+	}
+	return f
+}
+
+// Owns returns the declared ownership transfer of fn's parameters:
+// recv is true when the receiver is consumed, params holds the
+// consumed parameter indices. ok is false for undeclared functions.
+func (p *Pass) Owns(fn *types.Func) (fact OwnsFact, ok bool) {
+	fact, ok = p.res.owns[fn]
+	return fact, ok
+}
+
+// OwnsFact is one //netvet:owns declaration, resolved to positions in
+// the function's signature.
+type OwnsFact struct {
+	Recv   bool
+	Params []int
+}
+
+// Directive is one //netvet:ignore comment.
+type Directive struct {
+	Pos     token.Position
+	Checks  []string
+	Reason  string
+	Matched int // findings this directive suppressed
+}
+
+// SuppressedDiag is a finding a directive silenced, kept for -json
+// and the suppression audit.
+type SuppressedDiag struct {
+	Diagnostic
+	By *Directive
+}
+
+// Result accumulates findings and suppressions for a run.
 type Result struct {
 	Diags      []Diagnostic
 	Suppressed map[string]int // check name -> suppressed findings
+	Ignored    []SuppressedDiag
+	Directives []*Directive
 
-	ignores map[string]map[int][]string // filename -> line -> checks ("" = all)
+	ignores   map[string]map[int][]*Directive // filename -> line -> directives
+	owns      map[*types.Func]OwnsFact
+	facts     map[*Check]any
+	localPkgs map[string]bool // import paths of the loaded packages
 }
 
 // Run executes the checks over every package of the module.
 func Run(mod *Module, checks []*Check) *Result {
 	res := &Result{
 		Suppressed: make(map[string]int),
-		ignores:    make(map[string]map[int][]string),
+		ignores:    make(map[string]map[int][]*Directive),
+		owns:       make(map[*types.Func]OwnsFact),
+		localPkgs:  make(map[string]bool),
 	}
 	for _, pkg := range mod.Pkgs {
-		res.collectIgnores(mod.Fset, pkg)
+		if pkg.Types != nil {
+			res.localPkgs[pkg.Types.Path()] = true
+		}
+	}
+	for _, pkg := range mod.Pkgs {
+		res.collectDirectives(mod.Fset, pkg)
+		res.collectOwns(mod.Fset, pkg)
 	}
 	for _, pkg := range mod.Pkgs {
 		for _, c := range checks {
 			c.Run(&Pass{Fset: mod.Fset, Pkg: pkg, check: c, res: res})
 		}
 	}
+	for _, c := range checks {
+		if c.Finish != nil {
+			c.Finish(&Pass{Fset: mod.Fset, check: c, res: res})
+		}
+	}
+	sort.Slice(res.Directives, func(i, j int) bool {
+		a, b := res.Directives[i], res.Directives[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
 	sort.Slice(res.Diags, func(i, j int) bool {
 		a, b := res.Diags[i], res.Diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -115,7 +208,10 @@ func Run(mod *Module, checks []*Check) *Result {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 	return res
 }
@@ -127,11 +223,19 @@ func RunPkg(fset *token.FileSet, pkg *Pkg, checks []*Check) *Result {
 	return Run(mod, checks)
 }
 
-// ignorePrefix introduces a suppression directive.
-const ignorePrefix = "//netvet:ignore"
+// Directive prefixes.
+const (
+	ignorePrefix = "//netvet:ignore"
+	ownsPrefix   = "//netvet:owns"
+)
 
-// collectIgnores scans a package's comments for directives.
-func (r *Result) collectIgnores(fset *token.FileSet, pkg *Pkg) {
+// collectDirectives scans a package's comments for ignore directives,
+// validating check names and demanding a reason.
+func (r *Result) collectDirectives(fset *token.FileSet, pkg *Pkg) {
+	valid := map[string]bool{}
+	for _, name := range CheckNames() {
+		valid[name] = true
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -139,48 +243,178 @@ func (r *Result) collectIgnores(fset *token.FileSet, pkg *Pkg) {
 				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
-				var checks []string
-				if fields := strings.Fields(rest); len(fields) > 0 {
-					for _, name := range strings.Split(fields[0], ",") {
-						checks = append(checks, strings.TrimSpace(name))
-					}
-				} else {
-					checks = []string{""} // bare directive: ignore all
-				}
 				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					r.reportRaw(pos, "directive", "//netvet:ignore needs a check list and a reason")
+					continue
+				}
+				var checks []string
+				bad := ""
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if !valid[name] {
+						bad = name
+					}
+					checks = append(checks, name)
+				}
+				if bad != "" {
+					r.reportRaw(pos, "directive", fmt.Sprintf("//netvet:ignore names unknown check %q (have %s)",
+						bad, strings.Join(CheckNames(), ", ")))
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				if reason == "" {
+					r.reportRaw(pos, "directive", fmt.Sprintf("//netvet:ignore %s needs a reason", fields[0]))
+					continue
+				}
+				d := &Directive{Pos: pos, Checks: checks, Reason: reason}
+				r.Directives = append(r.Directives, d)
 				byLine := r.ignores[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]*Directive)
 					r.ignores[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], checks...)
+				byLine[pos.Line] = append(byLine[pos.Line], d)
 			}
 		}
 	}
 }
 
-// ignored reports whether a finding of check at pos is suppressed by a
-// directive on the same line or the line immediately above.
-func (r *Result) ignored(pos token.Position, check string) bool {
-	byLine := r.ignores[pos.Filename]
-	if byLine == nil {
-		return false
-	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == "" || name == check {
-				return true
+// collectOwns resolves every //netvet:owns directive to the function
+// it documents. The directive must sit in (or immediately form) the
+// doc comment of a FuncDecl, and every name must be a parameter or
+// the receiver of that function.
+func (r *Result) collectOwns(fset *token.FileSet, pkg *Pkg) {
+	for _, f := range pkg.Files {
+		// Directives by end line, to catch doc groups.
+		type ownsDir struct {
+			names []string
+			pos   token.Pos
+		}
+		dirs := map[int]ownsDir{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ownsPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				var names []string
+				for _, field := range strings.Fields(rest) {
+					for _, n := range strings.Split(field, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							names = append(names, n)
+						}
+					}
+				}
+				line := fset.Position(c.Pos()).Line
+				dirs[line] = ownsDir{names: names, pos: c.Pos()}
+			}
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		claimed := map[int]bool{}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			// Any directive line between the doc comment's start and
+			// the declaration belongs to this function.
+			funcLine := fset.Position(fd.Pos()).Line
+			startLine := funcLine - 1
+			if fd.Doc != nil {
+				startLine = fset.Position(fd.Doc.Pos()).Line
+			}
+			for line := startLine; line < funcLine; line++ {
+				dir, ok := dirs[line]
+				if !ok {
+					continue
+				}
+				claimed[line] = true
+				r.applyOwns(fset, pkg, fd, dir.names, dir.pos)
+			}
+		}
+		for line, dir := range dirs {
+			if !claimed[line] {
+				_ = line
+				r.reportRaw(fset.Position(dir.pos), "directive", "//netvet:owns is not attached to a function declaration")
 			}
 		}
 	}
-	return false
+}
+
+// applyOwns validates one owns directive against fd's signature and
+// records the fact.
+func (r *Result) applyOwns(fset *token.FileSet, pkg *Pkg, fd *ast.FuncDecl, names []string, pos token.Pos) {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if len(names) == 0 {
+		r.reportRaw(fset.Position(pos), "directive", "//netvet:owns needs parameter names")
+		return
+	}
+	fact := r.owns[fn]
+	for _, name := range names {
+		found := false
+		if recv := sig.Recv(); recv != nil && recv.Name() == name {
+			fact.Recv = true
+			found = true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i).Name() == name {
+				fact.Params = append(fact.Params, i)
+				found = true
+			}
+		}
+		if !found {
+			r.reportRaw(fset.Position(pos), "directive",
+				fmt.Sprintf("//netvet:owns names %q, which is not a parameter of %s", name, fd.Name.Name))
+			return
+		}
+	}
+	sort.Ints(fact.Params)
+	r.owns[fn] = fact
+}
+
+// ignored returns the directive suppressing a finding of check at pos
+// (same line or the line immediately above), if any.
+func (r *Result) ignored(pos token.Position, check string) *Directive {
+	byLine := r.ignores[pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			for _, name := range d.Checks {
+				if name == check {
+					return d
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func (r *Result) report(pos token.Position, check, msg string) {
-	if r.ignored(pos, check) {
+	if d := r.ignored(pos, check); d != nil {
+		d.Matched++
 		r.Suppressed[check]++
+		r.Ignored = append(r.Ignored, SuppressedDiag{
+			Diagnostic: Diagnostic{Pos: pos, Check: check, Message: msg},
+			By:         d,
+		})
 		return
 	}
+	r.reportRaw(pos, check, msg)
+}
+
+// reportRaw records a diagnostic that no directive can silence — the
+// path directive errors take.
+func (r *Result) reportRaw(pos token.Position, check, msg string) {
 	r.Diags = append(r.Diags, Diagnostic{Pos: pos, Check: check, Message: msg})
 }
 

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestCFGShapes pins the canonical rendering of small function CFGs:
+// every construct the builder claims to handle, including defer,
+// labeled break/continue, goto, fallthrough, and select.
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name, body string
+		want       string
+	}{
+		{
+			name: "straightline",
+			body: `x := 1; y := x + 1; _ = y`,
+			want: `
+b0 entry: {x := 1; y := x + 1; _ = y} -> b1
+b1 exit:`,
+		},
+		{
+			// The else arm is materialized even when absent, so both
+			// branch edges carry the governing condition for pruning.
+			name: "if_no_else",
+			body: `if x() { a() }; b()`,
+			want: `
+b0 entry: {x()} -> b1 b2
+b1 if.then: {a()} -> b3
+b2 if.else: -> b3
+b3 if.join: {b()} -> b4
+b4 exit:`,
+		},
+		{
+			name: "if_else_return",
+			body: `if x() { return } else { a() }; b()`,
+			want: `
+b0 entry: {x()} -> b1 b2
+b1 if.then: {return} -> b4
+b2 if.else: {a()} -> b3
+b3 if.join: {b()} -> b4
+b4 exit:
+`,
+		},
+		{
+			name: "for_full",
+			body: `for i := 0; i < 3; i++ { a() }; b()`,
+			want: `
+b0 entry: {i := 0} -> b1
+b1 for.head: {i < 3} -> b3 b4
+b2 for.post: {i++} -> b1
+b3 for.body: {a()} -> b2
+b4 for.after: {b()} -> b5
+b5 exit:`,
+		},
+		{
+			name: "for_infinite_with_break",
+			body: `for { if x() { break }; a() }; b()`,
+			want: `
+b0 entry: -> b1
+b1 for.head: -> b2
+b2 for.body: {x()} -> b3 b4
+b3 if.then: -> b6
+b4 if.else: -> b5
+b5 if.join: {a()} -> b1
+b6 for.after: {b()} -> b7
+b7 exit:
+`,
+		},
+		{
+			name: "labeled_break_continue",
+			body: `
+outer:
+	for x() {
+		for {
+			if x() {
+				continue outer
+			}
+			break outer
+		}
+	}
+	b()`,
+			want: `
+b0 entry: -> b1
+b1 label.outer: -> b2
+b2 for.head: {x()} -> b3 b9
+b3 for.body: -> b4
+b4 for.head: -> b5
+b5 for.body: {x()} -> b6 b7
+b6 if.then: -> b2
+b7 if.else: -> b8
+b8 if.join: -> b9
+b9 for.after: {b()} -> b10
+b10 exit:
+`,
+		},
+		{
+			name: "range_chan",
+			body: `for v := range ch { a(); _ = v }; b()`,
+			want: `
+b0 entry: -> b1
+b1 range.head: {v := range ch} -> b2 b3
+b2 range.body: {a(); _ = v} -> b1
+b3 range.after: {b()} -> b4
+b4 exit:
+`,
+		},
+		{
+			name: "switch_fallthrough",
+			body: `switch x() { case true: a(); fallthrough; case false: b(); default: return }; c()`,
+			want: `
+b0 entry: {x()} -> b1 b2 b3
+b1 switch.case: {true; a()} -> b2
+b2 switch.case: {false; b()} -> b4
+b3 switch.case: {return} -> b5
+b4 switch.join: {c()} -> b5
+b5 exit:
+`,
+		},
+		{
+			name: "select_two_cases",
+			body: `select { case v := <-ch: a(); _ = v; case ch <- true: b() }; c()`,
+			want: `
+b0 entry: {select} -> b1 b2
+b1 select.case: {v := <-ch; a(); _ = v} -> b3
+b2 select.case: {ch <- true; b()} -> b3
+b3 select.join: {c()} -> b4
+b4 exit:
+`,
+		},
+		{
+			name: "select_forever",
+			body: `a(); select {}`,
+			want: `
+b0 entry: {a(); select}
+b1 exit:
+`,
+		},
+		{
+			name: "defer_and_panic",
+			body: `defer a(); if x() { panic("boom") }; defer b(); c()`,
+			want: `
+b0 entry: {defer a(); x()} -> b1 b2
+b1 if.then: {panic("boom")} -> b4
+b2 if.else: -> b3
+b3 if.join: {defer b(); c()} -> b4
+b4 exit: {b(); a()}
+`,
+		},
+		{
+			name: "goto_forward_and_back",
+			body: `
+loop:
+	a()
+	if x() {
+		goto done
+	}
+	goto loop
+done:
+	b()`,
+			want: `
+b0 entry: -> b1
+b1 label.loop: {a(); x()} -> b2 b4
+b2 if.then: -> b3
+b3 label.done: {b()} -> b6
+b4 if.else: -> b5
+b5 if.join: -> b1
+b6 exit:
+`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "package p\nvar ch chan bool\nfunc x() bool { return false }\nfunc a() {}\nfunc b() {}\nfunc c() {}\nfunc f() {\n" + tc.body + "\n}\n"
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			var body *ast.BlockStmt
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+					body = fd.Body
+				}
+			}
+			got := strings.TrimRight(BuildCFG(body).Render(fset), "\n")
+			want := strings.TrimSpace(tc.want)
+			if got != want {
+				t.Errorf("CFG mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

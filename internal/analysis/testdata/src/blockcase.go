@@ -1,4 +1,5 @@
-// Corpus for the block-aliasing check.
+// Corpus for the block-ownership check: buffer-view aliasing cases
+// (carried over from the retired block-aliasing check).
 package blockcase
 
 type blk struct{ Buf []byte }
@@ -15,19 +16,19 @@ func sink(p []byte) {}
 func useAfterFree(b *blk) {
 	p := b.Bytes()
 	b.Free()
-	sink(p) // want block-aliasing "used after b is released"
+	sink(p) // want block-ownership "used after b is released"
 }
 
 func indexAfterFree(b *blk) byte {
 	p := b.Buf
 	b.Free()
-	return p[0] // want block-aliasing "used after b is released"
+	return p[0] // want block-ownership "used after b is released"
 }
 
 func writeAfterPutNext(q *queue, b *blk) {
 	hdr := b.Bytes()
 	q.PutNext(b)
-	hdr[0] = 1 // want block-aliasing "used after b is released"
+	hdr[0] = 1 // want block-ownership "used after b is released"
 }
 
 // The trace API is a tempting place to break the rule: a send path
@@ -42,13 +43,13 @@ func (r *ring) Emit(kind int, a, b int64) {}
 func traceAfterFree(r *ring, b *blk) {
 	p := b.Bytes()
 	b.Free()
-	r.Emit(1, int64(p[0]), int64(len(p))) // want block-aliasing "used after b is released"
+	r.Emit(1, int64(p[0]), int64(len(p))) // want block-ownership "used after b is released"
 }
 
 func traceAfterPutNext(r *ring, q *queue, b *blk) {
 	p := b.Bytes()
 	q.PutNext(b)
-	r.Emit(2, 0, int64(len(p))) // want block-aliasing "used after b is released"
+	r.Emit(2, 0, int64(len(p))) // want block-ownership "used after b is released"
 }
 
 func traceBeforeFree(r *ring, b *blk) {

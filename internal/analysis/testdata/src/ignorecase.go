@@ -1,6 +1,8 @@
-// Corpus for the //netvet:ignore directive: same-line and line-above
-// placement suppress, a bare directive suppresses every check, and a
-// directive naming a different check suppresses nothing.
+// Corpus for the //netvet:ignore directive grammar: a directive needs
+// a known check list and a non-empty reason. Same-line and line-above
+// placement suppress; a bare directive, a reasonless directive, and an
+// unknown check name are themselves errors; a directive naming a
+// different check suppresses nothing.
 package ignorecase
 
 import "sync"
@@ -26,7 +28,24 @@ func lineAbove(b *box) {
 func bareDirective(b *box) {
 	b.mu.Lock()
 	//netvet:ignore
-	b.ch <- 1
+	// want-1 directive "needs a check list and a reason"
+	b.ch <- 1 // want lock-across-send "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func reasonlessDirective(b *box) {
+	b.mu.Lock()
+	//netvet:ignore lock-across-send
+	// want-1 directive "needs a reason"
+	b.ch <- 1 // want lock-across-send "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func unknownCheckName(b *box) {
+	b.mu.Lock()
+	//netvet:ignore no-such-check because reasons
+	// want-1 directive "unknown check"
+	b.ch <- 1 // want lock-across-send "channel send while holding b.mu"
 	b.mu.Unlock()
 }
 

@@ -1,0 +1,111 @@
+// Corpus for the lock-order check: cycles in the module-wide lock
+// acquisition graph, keyed by (type, field). The first pair is the
+// cyclone Listen/Close inversion shape; the second goes through a
+// call; the third inverts an embedded mutex. The tail cases must stay
+// silent: consistent order, two instances of one type, and a local
+// mutex have no cross-function identity.
+package lockordercase
+
+import "sync"
+
+type cyclone struct {
+	mu    sync.Mutex
+	convs []*conv
+}
+
+type conv struct {
+	mu sync.Mutex
+	id int
+}
+
+// listen takes device-then-conversation...
+func listen(cy *cyclone, c *conv) {
+	cy.mu.Lock()
+	c.mu.Lock() // want lock-across-send "acquiring"
+	c.id++
+	c.mu.Unlock()
+	cy.mu.Unlock()
+}
+
+// ...and teardown takes conversation-then-device: the classic
+// inversion, wedging only on a loaded machine.
+func closeConv(cy *cyclone, c *conv) {
+	c.mu.Lock()
+	cy.mu.Lock() // want lock-order "lock-order cycle" // want lock-across-send "acquiring"
+	cy.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// --- inversion through a call ---
+
+type registry struct{ mu sync.Mutex }
+
+type session struct{ mu sync.Mutex }
+
+func (r *registry) drop(s *session) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.detach() // registry.mu -> session.mu, via the callee
+}
+
+func (s *session) detach() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (s *session) rebind(r *registry) {
+	s.mu.Lock()
+	r.mu.Lock() // want lock-order "lock-order cycle" // want lock-across-send "acquiring"
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// --- inversion against an embedded mutex ---
+
+type hub struct{ sync.Mutex }
+
+func (h *hub) admit(c *conv) {
+	h.Lock()
+	c.mu.Lock() // want lock-across-send "acquiring"
+	c.mu.Unlock()
+	h.Unlock()
+}
+
+func expel(h *hub, c *conv) {
+	c.mu.Lock()
+	h.Lock() // want lock-order "lock-order cycle" // want lock-across-send "acquiring"
+	h.Unlock()
+	c.mu.Unlock()
+}
+
+// --- silent cases ---
+
+var tableMu sync.Mutex
+
+// Consistent order everywhere: tableMu before conv.mu, no cycle.
+func addRoute(c *conv) {
+	tableMu.Lock()
+	c.mu.Lock() // want lock-across-send "acquiring"
+	c.mu.Unlock()
+	tableMu.Unlock()
+}
+
+// Two instances of one type are indistinguishable under (type, field)
+// keying, so no lock-order edge is drawn (the old nested-acquire
+// warning still applies).
+func link(a, b *conv) {
+	a.mu.Lock()
+	b.mu.Lock() // want lock-across-send "acquiring"
+	b.id = a.id
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// A local mutex has no cross-function identity.
+func scratch(c *conv) {
+	var mu sync.Mutex
+	mu.Lock()
+	c.mu.Lock() // want lock-across-send "acquiring"
+	c.mu.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,240 @@
+// Corpus for the block-ownership check: the acquisition-to-sink
+// discipline over pooled blocks and raw GetBytes buffers, along every
+// CFG path.
+package owncase
+
+type blk struct{ Buf []byte }
+
+func (b *blk) Bytes() []byte { return b.Buf }
+func (b *blk) Free()         {}
+func (b *blk) Ref() *blk     { return b }
+
+type queue struct{}
+
+func (q *queue) PutNext(b *blk) {}
+
+func alloc(n int) *blk { return &blk{Buf: make([]byte, n)} }
+
+func GetBytes(n int) []byte { return make([]byte, n) }
+func PutBytes(p []byte)     {}
+
+func consume(p []byte) {}
+
+// --- double release, in all four flavours ---
+
+func doubleFree(b *blk) {
+	b.Free()
+	b.Free() // want block-ownership "freed twice"
+}
+
+func doubleFreeOnPath(b *blk, flag bool) {
+	if flag {
+		b.Free()
+	}
+	b.Free() // want block-ownership "freed twice"
+}
+
+func freeAfterTransfer(q *queue, b *blk) {
+	q.PutNext(b)
+	b.Free() // want block-ownership "freed after its ownership was transferred"
+}
+
+func transferAfterFree(q *queue, b *blk) {
+	b.Free()
+	q.PutNext(b) // want block-ownership "ownership transferred after it was freed"
+}
+
+func transferTwice(q *queue, b *blk) {
+	q.PutNext(b)
+	q.PutNext(b) // want block-ownership "ownership transferred twice"
+}
+
+func rawDoublePut(n int) {
+	buf := GetBytes(n)
+	PutBytes(buf)
+	PutBytes(buf) // want block-ownership "ownership transferred twice"
+}
+
+// --- use after the ownership ended ---
+
+func useAfterFree(b *blk) {
+	b.Free()
+	consume(b.Buf) // want block-ownership "use of b after it was freed"
+}
+
+func useAfterTransfer(q *queue, b *blk) {
+	q.PutNext(b)
+	consume(b.Buf) // want block-ownership "use of b after its ownership was transferred"
+}
+
+// --- the early-return leak ---
+
+func leakOnError(q *queue, n int) bool {
+	b := alloc(n)
+	b.Buf[0] = 1 // header written: the block is live
+	if n > 512 {
+		return false // want block-ownership "may leak"
+	}
+	q.PutNext(b)
+	return true
+}
+
+func rawLeak(n int, tiny bool) {
+	buf := GetBytes(n)
+	buf[0] = 7
+	if tiny {
+		return // want block-ownership "may leak"
+	}
+	PutBytes(buf)
+}
+
+func fetch(n int) (*blk, bool) { return alloc(n), n > 0 }
+
+// A block that was never touched on the early-return path is the
+// error-return shape — b is nil there, not leaked.
+func errReturnUntouched(q *queue, n int) bool {
+	b, ok := fetch(n)
+	if !ok {
+		return false
+	}
+	consume(b.Buf)
+	q.PutNext(b)
+	return true
+}
+
+//netvet:owns b
+func consumeBlock(q *queue, b *blk) {
+	q.PutNext(b)
+}
+
+// An //netvet:owns function owns its parameter from entry: returning
+// without sinking it is the same early-return leak.
+//
+//netvet:owns b
+func consumeUnlessTiny(q *queue, b *blk, n int) {
+	if n < 4 {
+		return // want block-ownership "may leak"
+	}
+	q.PutNext(b)
+}
+
+// A call through an annotated parameter is a transfer.
+func sendVia(q *queue, n int) {
+	b := alloc(n)
+	consumeBlock(q, b)
+	b.Free() // want block-ownership "freed after its ownership was transferred"
+}
+
+// --- deferred releases ---
+
+func deferThenFree(n int) {
+	b := alloc(n)
+	defer b.Free()
+	b.Free() // want block-ownership "released here and again by its deferred release"
+}
+
+func freeThenDefer(n int) {
+	b := alloc(n)
+	b.Free()
+	defer b.Free() // want block-ownership "deferred release of b"
+}
+
+// --- the rest must stay silent ---
+
+// defer covers every return path: no leak.
+func deferFreeNoLeak(n int) bool {
+	b := alloc(n)
+	defer b.Free()
+	if n == 0 {
+		return false
+	}
+	consume(b.Buf)
+	return true
+}
+
+// Each path releases exactly once.
+func releaseOnEachPath(q *queue, b *blk, keep bool) {
+	if keep {
+		q.PutNext(b)
+		return
+	}
+	b.Free()
+}
+
+// Ref marks refcounted fan-out: linear ownership reasoning stops, so
+// the per-destination transfers and the trailing Free stay unjudged.
+func refLoop(q *queue, b *blk, dests int) {
+	for i := 1; i < dests; i++ {
+		b.Ref()
+	}
+	for i := 0; i < dests; i++ {
+		q.PutNext(b)
+	}
+	b.Free()
+}
+
+// But Ref after Free is still a use of a freed block.
+func refAfterFree(b *blk) {
+	b.Free()
+	b.Ref() // want block-ownership "use of b after it was freed"
+}
+
+// A constructor hands the block out: never released here, so no leak.
+func newBlock(n int) *blk {
+	b := alloc(n)
+	b.Buf = b.Buf[:0]
+	return b
+}
+
+// Escapes end the analysis: storing the block is not a leak.
+type stash struct{ b *blk }
+
+func park(s *stash, n int, useIt bool) {
+	b := alloc(n)
+	if useIt {
+		s.b = b
+		return
+	}
+	b.Free()
+}
+
+// Conditional acquisition delivered under a nil test: on the branch
+// where msg was never filled in, the nil check proves there is nothing
+// to release, so neither arm leaks. This is the urp reassembly shape.
+func reassemble(q *queue, data []byte, eom bool) {
+	var msg *blk
+	if eom {
+		msg = alloc(len(data))
+		copy(msg.Buf, data)
+	}
+	if msg != nil {
+		q.PutNext(msg)
+	}
+}
+
+// The inverted test works too: the early return is the nil arm.
+func reassembleInverted(q *queue, data []byte, eom bool) {
+	var msg *blk
+	if eom {
+		msg = alloc(len(data))
+		copy(msg.Buf, data)
+	}
+	if msg == nil {
+		return
+	}
+	q.PutNext(msg)
+}
+
+// Guarding delivery on the wrong predicate is still a leak: urgent
+// says nothing about whether msg holds a block, so the quiet arm can
+// drop a filled-in buffer.
+func reassembleLeaky(q *queue, data []byte, eom, urgent bool) {
+	var msg *blk
+	if eom {
+		msg = alloc(len(data))
+		copy(msg.Buf, data)
+	}
+	if urgent {
+		q.PutNext(msg)
+	}
+} // want block-ownership "msg may leak"

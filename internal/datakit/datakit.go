@@ -296,14 +296,27 @@ func (c *Conn) Connect(addr string) error {
 	if !ok || dest == "" || service == "" {
 		return xport.ErrBadAddress
 	}
+	// Dial without holding c.mu: dial takes Host.mu, and the lock
+	// hierarchy is host before conversation (Announce holds Host.mu
+	// while taking c.mu), so holding c.mu across the dial would
+	// invert it.
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.urp != nil || c.listenCh != nil {
+		c.mu.Unlock()
 		return xport.ErrConnected
 	}
+	c.mu.Unlock()
 	wire, err := c.proto.host.sw.dial(c.proto.host, dest, service)
 	if err != nil {
 		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.urp != nil || c.listenCh != nil {
+		// Lost the race to a concurrent Connect or Announce: tear the
+		// fresh circuit down, the remote listener sees a hangup.
+		wire.Close()
+		return xport.ErrConnected
 	}
 	c.urp = urp.New(duplexWire{wire, &c.proto.FCSErrs}, &c.proto.Stats)
 	c.wire = wire

@@ -257,6 +257,8 @@ func (st *Stack) Send(proto uint8, src, dst Addr, payload []byte) error {
 // SendBlock is Send for a payload the caller already owns as a pooled
 // block with header headroom; ownership transfers to the stack, which
 // prepends the IP header in place instead of re-marshaling.
+//
+//netvet:owns b
 func (st *Stack) SendBlock(proto uint8, src, dst Addr, b *block.Block) error {
 	if st.IsLocal(dst) {
 		if src.IsZero() {

@@ -267,6 +267,8 @@ func (s *Stream) Read(p []byte) (int, error) {
 // DeviceUp injects a block at the device end, moving upstream through
 // the module Iputs to the read queue — what a device interrupt
 // handler's kernel process does with received data (§2.4.2).
+//
+//netvet:owns b
 func (s *Stream) DeviceUp(b *Block) {
 	stampUp(b)
 	s.cfg.RLock()
@@ -286,6 +288,8 @@ func (s *Stream) DeviceUpData(p []byte) {
 
 // DeviceUpOwned is DeviceUp for a delimited payload the device already
 // owns as a pooled block; ownership transfers without copying.
+//
+//netvet:owns bb
 func (s *Stream) DeviceUpOwned(bb *block.Block) {
 	b := NewBlockOwned(bb)
 	b.Delim = true

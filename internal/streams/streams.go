@@ -76,6 +76,8 @@ func NewBlock(p []byte) *Block {
 
 // NewBlockOwned wraps an already-owned pooled block as a stream data
 // block without copying; ownership of bb transfers to the stream.
+//
+//netvet:owns bb
 func NewBlockOwned(bb *block.Block) *Block {
 	return &Block{Type: BlockData, Buf: bb.Bytes(), inner: bb}
 }
@@ -201,11 +203,15 @@ func (q *Queue) Other() *Queue { return q.other }
 
 // Put hands a block to this queue's put routine on the caller's
 // goroutine — the fundamental stream operation.
+//
+//netvet:owns b
 func (q *Queue) Put(b *Block) { q.put(q, b) }
 
 // PutNext forwards a block to the next module in this direction; put
 // routines use it to continue the chain ("the first put routine calls
 // the second, the second calls the third, and so on").
+//
+//netvet:owns b
 func (q *Queue) PutNext(b *Block) {
 	if n := q.next; n != nil {
 		n.put(n, b)
@@ -215,6 +221,8 @@ func (q *Queue) PutNext(b *Block) {
 // Enqueue adds a block to the queue's local list, blocking while the
 // queue is over its limit (flow control), and wakes readers. Hangup
 // blocks mark the queue so readers drain and then see EOF.
+//
+//netvet:owns b
 func (q *Queue) Enqueue(b *Block) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -222,6 +230,7 @@ func (q *Queue) Enqueue(b *Block) {
 		q.hungup = true
 		q.rwait.Broadcast()
 		q.wwait.Broadcast()
+		b.Free() // consumed here like any other block, not just dropped
 		return
 	}
 	for q.nbytes >= q.limit && !q.closed && !q.hungup {
@@ -287,6 +296,8 @@ func (q *Queue) dequeueLocked() *Block {
 // It must wake waiting readers just as Enqueue does: the block it
 // re-heads is readable data, and a second reader parked in Get would
 // otherwise sleep through it until unrelated traffic arrived.
+//
+//netvet:owns b
 func (q *Queue) putback(b *Block) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -325,8 +336,12 @@ func (q *Queue) close() {
 // PutQ is the default put routine for a queueing module side: it
 // enqueues locally for a helper process (or the user read path) to
 // consume later.
+//
+//netvet:owns b
 func PutQ(q *Queue, b *Block) { q.Enqueue(b) }
 
 // PassPut forwards every block to the next module unchanged — the
 // identity processing module side.
+//
+//netvet:owns b
 func PassPut(q *Queue, b *Block) { q.PutNext(b) }

@@ -296,26 +296,28 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 	c.rejSent = false
 	c.trace.Emit(obs.EvRecv, int64(seq), int64(len(data)))
 	c.rcvNext = (c.rcvNext + 1) % SeqMod
-	whole := flags&flagEOM != 0 && len(c.reassembly) == 0
-	var msg *block.Block
-	if !whole {
-		c.reassembly = append(c.reassembly, data...)
-		if flags&flagEOM != 0 {
-			// Hand up a pooled copy and keep the scratch for the next
-			// message: the reassembly buffer grows to the message size
-			// once per circuit instead of once per message.
-			msg = block.Copy(c.reassembly, 0)
-			c.reassembly = c.reassembly[:0]
-		}
-	}
-	next := c.rcvNext
-	c.mu.Unlock()
-	if whole {
+	if flags&flagEOM != 0 && len(c.reassembly) == 0 {
 		// Single-cell message: skip the reassembly buffer. The stream
 		// copies at this boundary (the cell is the wire's buffer), so
 		// this is the path's one copy.
+		next := c.rcvNext
+		c.mu.Unlock()
 		c.rstream.DeviceUpData(data)
-	} else if msg != nil {
+		c.sendCell(cellAck, next, 0, nil)
+		return
+	}
+	c.reassembly = append(c.reassembly, data...)
+	var msg *block.Block
+	if flags&flagEOM != 0 {
+		// Hand up a pooled copy and keep the scratch for the next
+		// message: the reassembly buffer grows to the message size
+		// once per circuit instead of once per message.
+		msg = block.Copy(c.reassembly, 0)
+		c.reassembly = c.reassembly[:0]
+	}
+	next := c.rcvNext
+	c.mu.Unlock()
+	if msg != nil {
 		c.rstream.DeviceUpOwned(msg)
 	}
 	c.sendCell(cellAck, next, 0, nil)

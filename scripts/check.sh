@@ -51,6 +51,16 @@ if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
 fi
 echo "internal/obs coverage ${cov}%"
 
+echo "== analysis coverage floor (>= 80%)"
+# The analyzer is itself load-bearing (check.sh trusts its verdicts),
+# so its CFG builder, solver, and checks are held to the same floor.
+cov=$(go test -cover ./internal/analysis | awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") print $(i+1) }' | tr -d '%')
+if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
+    echo "internal/analysis coverage ${cov:-unknown}% < 80%" >&2
+    exit 1
+fi
+echo "internal/analysis coverage ${cov}%"
+
 echo "== bench smoke (benchmarks still run)"
 sh scripts/bench.sh -smoke
 
