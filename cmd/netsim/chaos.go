@@ -2,66 +2,44 @@ package main
 
 import (
 	"fmt"
-	"time"
 
-	"repro/internal/medium"
 	"repro/internal/torture"
 )
 
-// chaosScenario builds the impairment cocktail for one protocol of
-// the torture matrix. Every fault class the protocol's medium can
-// express is on; the per-protocol adjustments track the contracts of
-// the real hardware (§2.3, §7): Datakit circuits deliver cells
-// ordered or not at all, and the Cyclone boards are reliable, so only
-// delay variation reaches them.
-func chaosScenario(proto string, seed int64, msgs int) torture.Scenario {
-	s := torture.Scenario{
-		Proto:  proto,
-		Seed:   seed,
-		Msgs:   msgs,
-		Back:   msgs / 2,
-		MaxMsg: 700,
-		Loss:   0.02,
-		Impair: medium.Impairment{
-			Duplicate:    0.03,
-			Reorder:      0.05,
-			ReorderDepth: 3,
-			Corrupt:      0.05,
-			CorruptBits:  2,
-			BurstP:       0.004,
-			BurstR:       0.4,
-			Partitions:   []medium.Window{{From: 120, To: 140}, {From: 300, To: 315}},
-		},
-		Timeout: 25 * time.Second,
+// runChaos runs the full torture matrix — msgs messages per direction
+// over the standard impairment cocktail (torture.Chaos) — once per
+// seed in [seed, seed+seeds), and prints a report per protocol. With
+// virtual set the scenarios run on the discrete-event clock, so a
+// multi-seed sweep costs wall-clock seconds. A failing scenario is
+// shrunk to its minimal reproduction before the command exits nonzero.
+func runChaos(seed int64, msgs, seeds int, virtual bool) int {
+	if seeds < 1 {
+		seeds = 1
 	}
-	switch proto {
-	case torture.ProtoURP:
-		s.Impair.Reorder = 0
-		s.Impair.ReorderDepth = 0
-		s.Impair.Duplicate = 0
-		s.Impair.Partitions = []medium.Window{{From: 80, To: 95}}
-	case torture.ProtoCyclone:
-		s.Loss = 0
-		s.Impair = medium.Impairment{Jitter: 200 * time.Microsecond}
-	}
-	return s
-}
-
-// runChaos runs the full torture matrix and prints a report per
-// protocol; a failing scenario is shrunk to its minimal reproduction
-// before the command exits nonzero.
-func runChaos(seed int64, msgs int) int {
 	failed := 0
-	for _, proto := range torture.Protos {
-		s := chaosScenario(proto, seed, msgs)
-		rep := torture.Run(s)
-		fmt.Print(rep)
-		if rep.Failed() {
-			failed++
-			minimal, runs := torture.Shrink(s, func(c torture.Scenario) bool {
-				return torture.Run(c).Failed()
-			}, 60)
-			fmt.Printf("  minimal reproduction (%d shrink runs):\n    %s\n", runs, minimal)
+	for sd := seed; sd < seed+int64(seeds); sd++ {
+		for _, proto := range torture.Protos {
+			s := torture.Chaos(proto, sd, msgs)
+			s.Virtual = virtual
+			rep := torture.Run(s)
+			if seeds > 1 {
+				// Sweeps stay terse: one line per passing scenario.
+				if !rep.Failed() {
+					fmt.Printf("torture %s seed=%d: ok (%d+%d msgs, %d retransmits, elapsed %v)\n",
+						proto, sd, rep.Forward.Msgs, rep.Backward.Msgs, rep.Retransmits, rep.Elapsed)
+				} else {
+					fmt.Print(rep)
+				}
+			} else {
+				fmt.Print(rep)
+			}
+			if rep.Failed() {
+				failed++
+				minimal, runs := torture.Shrink(s, func(c torture.Scenario) bool {
+					return torture.Run(c).Failed()
+				}, 60)
+				fmt.Printf("  minimal reproduction (%d shrink runs):\n    %s\n", runs, minimal)
+			}
 		}
 	}
 	return failed

@@ -6,6 +6,8 @@
 //	netsim -import     run the §6.1 import transcript (ls /net before/after)
 //	netsim -table1     measure Table 1 on calibrated media (see also bench_test.go)
 //	netsim -chaos      torture IL, TCP, URP, 9P and Cyclone across impaired media
+//	netsim -virtual    boot a 1000-machine Datakit world on the discrete-event
+//	                   clock and run the registry storm (see -machines, -simtime)
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/core"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/mnt"
 	"repro/internal/netmsg"
 	"repro/internal/ns"
+	"repro/internal/storm"
 	"repro/internal/table1"
 	"repro/internal/vfs"
 )
@@ -36,14 +40,18 @@ func main() {
 	fast := flag.Bool("fast", false, "with -table1: ideal media (code-path cost only)")
 	jsonOut := flag.Bool("json", false, "with -table1: emit a JSON snapshot (rows + allocator + mount-driver stats)")
 	chaos := flag.Bool("chaos", false, "torture every protocol across impaired media")
-	seed := flag.Int64("seed", 1, "with -chaos: impairment seed (failures replay exactly)")
+	seed := flag.Int64("seed", 1, "with -chaos/-virtual: impairment seed (failures replay exactly)")
 	msgs := flag.Int("msgs", 40, "with -chaos: messages per direction")
+	seeds := flag.Int("seeds", 1, "with -chaos: sweep this many consecutive seeds")
+	virtual := flag.Bool("virtual", false, "run on the discrete-event clock; alone, boots the -machines Datakit world and runs the registry storm")
+	nmach := flag.Int("machines", 1000, "with -virtual: machines to boot besides the registry")
+	simtime := flag.Duration("simtime", 75*time.Second, "with -virtual: simulated duration of the registry storm")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Parse()
 
-	if !*figure1 && !*transcript && !*imp && !*table && !*chaos {
+	if !*figure1 && !*transcript && !*imp && !*table && !*chaos && !*virtual {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -88,10 +96,25 @@ func main() {
 		}
 	}()
 	if *chaos {
-		if failed := runChaos(*seed, *msgs); failed > 0 {
-			fmt.Fprintf(os.Stderr, "netsim: chaos: %d protocols failed\n", failed)
+		if failed := runChaos(*seed, *msgs, *seeds, *virtual); failed > 0 {
+			fmt.Fprintf(os.Stderr, "netsim: chaos: %d scenarios failed\n", failed)
 			exitCode = 1
 		}
+		return
+	}
+	if *virtual {
+		res, err := storm.Run(storm.Config{
+			Machines: *nmach,
+			Sim:      *simtime,
+			Seed:     *seed,
+			Virtual:  true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			exitCode = 1
+			return
+		}
+		fmt.Println(res)
 		return
 	}
 	if *table {

@@ -77,7 +77,7 @@ func main() {
 			select {
 			case <-stop:
 				return
-			case <-time.After(10 * time.Millisecond):
+			case <-time.After(10 * time.Millisecond): //netvet:ignore realtime paces reads of the real process's trace output
 			}
 		}
 	}()

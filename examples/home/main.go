@@ -80,16 +80,19 @@ func main() {
 	}
 
 	// The wrong way at 56k: pull the whole file home.
+	//netvet:ignore realtime example measures real wall time
 	start := time.Now()
 	b, err := home.ReadFile("/n/helix/tmp/novel.txt")
 	if err != nil {
 		log.Fatal(err)
 	}
+	//netvet:ignore realtime example measures real wall time
 	pull := time.Since(start)
 	fmt.Printf("pulling %d bytes over the serial line: %v\n", len(b), pull)
 
 	// The right way: do the work on the CPU server and move only the
 	// result. Here the "computation" is wc -l, run where the data is.
+	//netvet:ignore realtime example measures real wall time
 	start = time.Now()
 	lines := 0
 	{
@@ -113,6 +116,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//netvet:ignore realtime example measures real wall time
 	remote := time.Since(start)
 	fmt.Printf("running wc on the CPU server and fetching the count: %v (%s lines)\n", remote, cnt)
 	fmt.Printf("the slow link moved %d bytes instead of %d\n", len(cnt), len(b))

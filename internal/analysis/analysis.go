@@ -21,6 +21,9 @@
 //	lock-order          a cycle in the whole-module lock acquisition
 //	                    graph, keyed by (type, field), with witness
 //	                    paths for both directions
+//	realtime            a direct time.Now/time.Sleep/time.After call
+//	                    where a vclock.Clock should be threaded, so
+//	                    virtual-time runs stay deterministic
 //
 // Ownership transfer across calls is declared, not guessed: a callee
 // that consumes a block parameter carries a directive on its
@@ -83,6 +86,7 @@ func Checks() []*Check {
 		nakedCtlStringCheck,
 		blockOwnershipCheck,
 		lockOrderCheck,
+		realtimeCheck,
 	}
 }
 

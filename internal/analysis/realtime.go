@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// realtimeCheck flags direct real-clock calls — time.Now, time.Sleep,
+// time.After and their timer-constructing relatives — anywhere in the
+// module except the vclock package itself. The simulator's whole
+// deterministic-replay story rests on every timestamp and timer going
+// through a threaded vclock.Clock: one stray time.Sleep in a protocol
+// engine silently anchors a "virtual" scenario to the wall clock,
+// breaking both the speedup and the same-seed identity guarantee, and
+// nothing else in the test suite notices until a seed refuses to
+// replay. Genuinely wall-clock uses (benchmark harnesses measuring
+// real throughput, the leak checker polling the real runtime, the
+// wall-side half of a simulation report) carry a
+// //netvet:ignore realtime directive, so every exception is deliberate
+// and auditable.
+var realtimeCheck = &Check{
+	Name: "realtime",
+	Doc:  "direct real-clock call where a vclock.Clock should be threaded",
+	Run:  runRealtime,
+}
+
+// realtimeFuncs are the package-level time functions that read or arm
+// the real clock. Pure values and arithmetic (time.Duration,
+// time.Millisecond, time.Date) are fine anywhere.
+var realtimeFuncs = map[string]string{
+	"Now":       "ck.Now()",
+	"Sleep":     "ck.Sleep",
+	"After":     "ck.AfterFunc",
+	"AfterFunc": "ck.AfterFunc",
+	"NewTimer":  "ck.AfterFunc",
+	"NewTicker": "a ck.Sleep loop",
+	"Tick":      "a ck.Sleep loop",
+	"Since":     "ck.Since",
+	"Until":     "ck.Now arithmetic",
+}
+
+func runRealtime(p *Pass) {
+	if p.Pkg.Name == "vclock" {
+		// The clock package is the one place the real clock lives.
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			repl, hit := realtimeFuncs[sel.Sel.Name]
+			if !hit {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"time.%s reads the real clock: thread a vclock.Clock and use %s so the code stays deterministic under virtual time",
+				sel.Sel.Name, repl)
+			return true
+		})
+	}
+}

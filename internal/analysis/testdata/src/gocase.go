@@ -6,7 +6,7 @@ import "time"
 func leakyLoop() {
 	go func() { // want unjoined-goroutine "no shutdown path"
 		for {
-			time.Sleep(time.Millisecond)
+			time.Sleep(time.Millisecond) // want realtime "use ck.Sleep"
 		}
 	}()
 }
@@ -37,7 +37,7 @@ func joinedByDone(done chan struct{}) {
 			select {
 			case <-done:
 				return
-			case <-time.After(time.Millisecond):
+			case <-time.After(time.Millisecond): // want realtime "use ck.AfterFunc"
 			}
 		}
 	}()

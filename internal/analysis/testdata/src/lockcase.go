@@ -34,7 +34,7 @@ func selectWhileLocked(b *box, done chan struct{}) {
 
 func sleepWhileLocked(b *box) {
 	b.mu.Lock()
-	time.Sleep(time.Millisecond) // want lock-across-send "time.Sleep while holding b.mu"
+	time.Sleep(time.Millisecond) // want lock-across-send "time.Sleep while holding b.mu" // want realtime "use ck.Sleep"
 	b.mu.Unlock()
 }
 

@@ -1,0 +1,65 @@
+// Corpus for the realtime check: direct real-clock calls that should
+// go through a threaded vclock.Clock, plus the shapes that are fine
+// (pure time values, a suppressed wall-clock measurement, a non-time
+// package that happens to export Now).
+package realtimecase
+
+import (
+	"time"
+)
+
+type clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	Since(t time.Time) time.Duration
+}
+
+func reads() time.Duration {
+	start := time.Now()          // want realtime "time.Now reads the real clock"
+	time.Sleep(time.Millisecond) // want realtime "use ck.Sleep"
+	return time.Since(start)     // want realtime "use ck.Since"
+}
+
+func timers(f func()) {
+	time.AfterFunc(time.Second, f)  // want realtime "time.AfterFunc reads the real clock"
+	t := time.NewTimer(time.Second) // want realtime "time.NewTimer reads the real clock"
+	t.Stop()
+	tk := time.NewTicker(time.Second) // want realtime "a ck.Sleep loop"
+	tk.Stop()
+	<-time.After(time.Second) // want realtime "time.After reads the real clock"
+}
+
+// threaded is the approved shape: every timestamp goes through ck.
+func threaded(ck clock) time.Duration {
+	start := ck.Now()
+	ck.Sleep(time.Millisecond)
+	return ck.Since(start)
+}
+
+// values is fine: durations, constants and constructors that do not
+// read the clock.
+func values() time.Time {
+	d := 3 * time.Second
+	_ = d
+	return time.Date(1993, time.January, 25, 0, 0, 0, 0, time.UTC)
+}
+
+// measured is the deliberate exception: wall-clock measurement of the
+// simulation itself, suppressed with a reason.
+func measured() time.Duration {
+	//netvet:ignore realtime wall-clock half of a simulation report
+	start := time.Now()
+	//netvet:ignore realtime wall-clock half of a simulation report
+	return time.Since(start)
+}
+
+// otherNow exercises the package-identity test: a local Now is not
+// the real clock.
+type fakeTime struct{}
+
+func (fakeTime) Now() int { return 0 }
+
+func otherNow() int {
+	var ft fakeTime
+	return ft.Now()
+}

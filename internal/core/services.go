@@ -27,8 +27,9 @@ func (m *Machine) Serve(addr string, handler Handler) (func(), error) {
 	if err != nil {
 		return nil, err
 	}
+	ck := m.World.Clock()
 	done := make(chan struct{})
-	go func() {
+	ck.Go(func() {
 		for {
 			call, err := l.Listen()
 			if err != nil {
@@ -40,16 +41,16 @@ func (m *Machine) Serve(addr string, handler Handler) (func(), error) {
 				return
 			default:
 			}
-			go func(call *dialer.Call) {
+			ck.Go(func() {
 				conn, err := call.Accept()
 				if err != nil {
 					return
 				}
 				defer conn.Close()
 				handler(m.NS.Clone(), conn)
-			}(call)
+			})
 		}
-	}()
+	})
 	stop := func() {
 		close(done)
 		l.Close()
@@ -98,7 +99,7 @@ func msgConnFor(conn *dialer.Conn) ninep.MsgConn {
 // selects the exported subtree.
 func (m *Machine) ServeExportfs(addr string) (func(), error) {
 	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
-		exportfs.Serve(msgConnFor(conn), nsp, "/")
+		exportfs.ServeClock(msgConnFor(conn), nsp, "/", m.World.Clock())
 	})
 }
 
@@ -117,6 +118,9 @@ func (m *Machine) Import(dest, remotePath, old string, flag int) (*ninep.Client,
 // plain file tree; the zero Config is the serial RPC-per-fragment
 // driver.
 func (m *Machine) ImportConfig(dest, remotePath, old string, flag int, cfg mnt.Config) (*ninep.Client, error) {
+	if cfg.Client.Clock == nil {
+		cfg.Client.Clock = m.World.Clock()
+	}
 	conn, err := dialer.Dial(m.NS, dest)
 	if err != nil {
 		return nil, err
@@ -141,6 +145,9 @@ func (m *Machine) MountRemote(dest, aname, old string, flag int) (*ninep.Client,
 // MountRemoteConfig is MountRemote with an explicit mount-driver
 // configuration.
 func (m *Machine) MountRemoteConfig(dest, aname, old string, flag int, cfg mnt.Config) (*ninep.Client, error) {
+	if cfg.Client.Clock == nil {
+		cfg.Client.Clock = m.World.Clock()
+	}
 	conn, err := dialer.Dial(m.NS, dest)
 	if err != nil {
 		return nil, err
@@ -164,7 +171,7 @@ func (m *Machine) MountRemoteConfig(dest, aname, old string, flag int, cfg mnt.C
 // file service (the "9fs" service a file server exposes).
 func (m *Machine) Serve9P(addr, root string) (func(), error) {
 	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
-		exportfs.Serve(msgConnFor(conn), nsp, root)
+		exportfs.ServeClock(msgConnFor(conn), nsp, root, m.World.Clock())
 	})
 }
 

@@ -15,10 +15,12 @@ import (
 	"repro/internal/ip"
 	"repro/internal/medium"
 	"repro/internal/ndb"
+	"repro/internal/vclock"
 )
 
 // World is a universe of machines and media.
 type World struct {
+	clock    vclock.Clock
 	mu       sync.Mutex
 	ethers   map[string]*ether.Segment
 	dk       *datakit.Switch
@@ -32,12 +34,21 @@ type World struct {
 // NewWorld creates an empty world with the given database text (the
 // shared /lib/ndb/local every machine reads).
 func NewWorld(ndbText string) (*World, error) {
+	return NewWorldClock(ndbText, nil)
+}
+
+// NewWorldClock is NewWorld on an explicit clock: every medium the
+// world creates and every machine booted into it inherits ck, so a
+// discrete-event clock simulates the whole network. nil means the
+// real clock.
+func NewWorldClock(ndbText string, ck vclock.Clock) (*World, error) {
 	db, err := ndb.ParseDB(map[string][]byte{"local": []byte(ndbText)}, "local")
 	if err != nil {
 		return nil, err
 	}
 	db.HashAll("sys", "dom", "ip", "dk", "tcp", "il", "udp", "ipnet")
 	return &World{
+		clock:    vclock.Or(ck),
 		ethers:   make(map[string]*ether.Segment),
 		db:       db,
 		ndbText:  []byte(ndbText),
@@ -45,13 +56,20 @@ func NewWorld(ndbText string) (*World, error) {
 	}, nil
 }
 
+// Clock returns the world's clock.
+func (w *World) Clock() vclock.Clock { return w.clock }
+
 // DB returns the world's database.
 func (w *World) DB() *ndb.DB { return w.db }
 
 // AddEther creates a broadcast segment with the given medium profile.
+// The segment runs on the world's clock unless the profile names one.
 func (w *World) AddEther(name string, p ether.Profile) *ether.Segment {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if p.Clock == nil {
+		p.Clock = w.clock
+	}
 	seg := ether.NewSegment(name, p)
 	w.ethers[name] = seg
 	return seg
@@ -64,10 +82,14 @@ func (w *World) Ether(name string) *ether.Segment {
 	return w.ethers[name]
 }
 
-// AddDatakit creates the Datakit switch with the given circuit profile.
+// AddDatakit creates the Datakit switch with the given circuit
+// profile, on the world's clock unless the profile names one.
 func (w *World) AddDatakit(p medium.Profile) *datakit.Switch {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if p.Clock == nil {
+		p.Clock = w.clock
+	}
 	w.dk = datakit.NewSwitch(p)
 	return w.dk
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/medium"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -57,15 +58,14 @@ type End struct {
 	name string
 	wire *medium.Duplex
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	conn *Conn // conversation currently owning the wire
+	mu       sync.Mutex
+	cond     vclock.Cond
+	condOnce sync.Once
+	conn     *Conn // conversation currently owning the wire
 }
 
 func (e *End) init() {
-	if e.cond == nil {
-		e.cond = sync.NewCond(&e.mu)
-	}
+	e.condOnce.Do(func() { e.cond.Init(e.wire.Clock(), &e.mu) })
 }
 
 var _ xport.Proto = (*End)(nil)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/medium"
 	"repro/internal/obs"
 	"repro/internal/urp"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -51,7 +52,7 @@ func (sw *Switch) NewHost(name string) (*Host, error) {
 	if _, taken := sw.hosts[name]; taken {
 		return nil, ErrNameTaken
 	}
-	h := &Host{sw: sw, name: name, listeners: make(map[string]chan *incomingCall)}
+	h := &Host{sw: sw, name: name, listeners: make(map[string]*vclock.Mailbox[*incomingCall])}
 	sw.hosts[name] = h
 	return h, nil
 }
@@ -84,11 +85,8 @@ func (sw *Switch) dial(caller *Host, dest, service string) (*medium.Duplex, erro
 	}
 	delivered := false
 	if ch != nil {
-		select {
-		case ch <- call:
-			delivered = true
-		default: // listener backlog full: refused
-		}
+		// TrySend refuses on a full backlog (or a closed listener).
+		delivered = ch.TrySend(call)
 	}
 	h.mu.Unlock()
 	if !delivered {
@@ -105,7 +103,7 @@ type Host struct {
 	name string
 
 	mu        sync.Mutex
-	listeners map[string]chan *incomingCall
+	listeners map[string]*vclock.Mailbox[*incomingCall]
 }
 
 // Name returns the station's Datakit name.
@@ -259,7 +257,7 @@ type Conn struct {
 	local    string
 	remote   string
 	service  string
-	listenCh chan *incomingCall
+	listenCh *vclock.Mailbox[*incomingCall]
 	state    string
 }
 
@@ -318,7 +316,7 @@ func (c *Conn) Connect(addr string) error {
 		wire.Close()
 		return xport.ErrConnected
 	}
-	c.urp = urp.New(duplexWire{wire, &c.proto.FCSErrs}, &c.proto.Stats)
+	c.urp = urp.NewClock(duplexWire{wire, &c.proto.FCSErrs}, &c.proto.Stats, wire.Clock())
 	c.wire = wire
 	c.local = c.proto.host.name
 	c.remote = addr
@@ -349,7 +347,7 @@ func (c *Conn) Announce(addr string) error {
 	if _, taken := h.listeners[service]; taken {
 		return xport.ErrInUse
 	}
-	ch := make(chan *incomingCall, 8)
+	ch := vclock.NewMailbox[*incomingCall](h.sw.profile.Clock, 8)
 	h.listeners[service] = ch
 	c.listenCh = ch
 	c.service = service
@@ -366,13 +364,13 @@ func (c *Conn) Listen() (xport.Conn, error) {
 	if ch == nil {
 		return nil, xport.ErrNotAnnounced
 	}
-	call, ok := <-ch
+	call, ok := ch.Recv()
 	if !ok {
 		return nil, vfs.ErrHungup
 	}
 	nc := &Conn{
 		proto:   c.proto,
-		urp:     urp.New(duplexWire{call.wire, &c.proto.FCSErrs}, &c.proto.Stats),
+		urp:     urp.NewClock(duplexWire{call.wire, &c.proto.FCSErrs}, &c.proto.Stats, call.wire.Clock()),
 		wire:    call.wire,
 		local:   c.proto.host.name + "!" + call.service,
 		remote:  call.remote,
@@ -447,7 +445,7 @@ func (c *Conn) Close() error {
 		if h.listeners[service] == ch {
 			delete(h.listeners, service)
 		}
-		close(ch) // under h.mu: no dial can be mid-send
+		ch.Close() // under h.mu: no dial can be mid-send
 		h.mu.Unlock()
 	}
 	if u != nil {

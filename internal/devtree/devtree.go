@@ -20,7 +20,7 @@ import (
 )
 
 // Now returns the time in seconds for Dir stamps.
-func Now() uint32 { return uint32(time.Now().Unix()) }
+func Now() uint32 { return uint32(time.Now().Unix()) } //netvet:ignore realtime file mtimes are cosmetic wall-clock stamps
 
 // MkDir fills a Dir for a directory with conventional ownership.
 func MkDir(name, owner string, perm uint32) vfs.Dir {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ether"
 	"repro/internal/ip"
 	"repro/internal/udp"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -195,19 +196,27 @@ func TestNXDomain(t *testing.T) {
 }
 
 func TestTimeoutWhenNoServers(t *testing.T) {
-	seg := ether.NewSegment("e0", ether.Profile{})
-	defer seg.Close()
-	st := ip.NewStack()
-	defer st.Close()
-	st.Bind(seg.NewInterface("e"), ip.Addr{10, 0, 0, 9}, ip.Addr{255, 255, 255, 0})
-	r := NewResolver(udp.New(st), []ip.Addr{{10, 0, 0, 200}}) // nobody there
-	start := time.Now()
-	if _, err := r.LookupA("www.example.com"); err == nil {
-		t.Error("lookup with dead roots succeeded")
-	}
-	if time.Since(start) > 3*time.Second {
-		t.Error("timeout took too long")
-	}
+	// The retry ladder against dead roots burns simulated time on the
+	// virtual clock, so the test costs microseconds of wall time and
+	// the 3s budget is exact rather than machine-load-dependent.
+	// (t.Error, not t.Fatal, inside Run: Goexit from a machine
+	// goroutine would hang the scheduler.)
+	v := vclock.NewVirtual()
+	v.Run(func() {
+		seg := ether.NewSegment("e0", ether.Profile{Clock: v})
+		defer seg.Close()
+		st := ip.NewStackClock(v)
+		defer st.Close()
+		st.Bind(seg.NewInterface("e"), ip.Addr{10, 0, 0, 9}, ip.Addr{255, 255, 255, 0})
+		r := NewResolver(udp.New(st), []ip.Addr{{10, 0, 0, 200}}) // nobody there
+		start := v.Now()
+		if _, err := r.LookupA("www.example.com"); err == nil {
+			t.Error("lookup with dead roots succeeded")
+		}
+		if v.Since(start) > 3*time.Second {
+			t.Error("timeout took too long")
+		}
+	})
 }
 
 func TestDevNode(t *testing.T) {

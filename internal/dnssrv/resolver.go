@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ip"
 	"repro/internal/udp"
+	"repro/internal/vclock"
 )
 
 // Resolver errors.
@@ -24,6 +25,7 @@ const queryTimeout = 500 * time.Millisecond
 type Resolver struct {
 	proto *udp.Proto
 	roots []ip.Addr
+	ck    vclock.Clock
 
 	mu    sync.Mutex
 	cache map[cacheKey]cacheVal
@@ -46,11 +48,13 @@ type cacheVal struct {
 // NewResolver creates a resolver that speaks UDP via proto and starts
 // from the given root servers.
 func NewResolver(proto *udp.Proto, roots []ip.Addr) *Resolver {
+	ck := proto.Clock()
 	return &Resolver{
 		proto: proto,
 		roots: roots,
+		ck:    ck,
 		cache: make(map[cacheKey]cacheVal),
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:   rand.New(rand.NewSource(ck.Now().UnixNano())),
 	}
 }
 
@@ -94,7 +98,7 @@ func (r *Resolver) cached(name string, qtype uint16) ([]RR, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	v, ok := r.cache[cacheKey{name, qtype}]
-	if !ok || time.Now().After(v.expiry) {
+	if !ok || r.ck.Now().After(v.expiry) {
 		delete(r.cache, cacheKey{name, qtype})
 		return nil, false
 	}
@@ -111,7 +115,7 @@ func (r *Resolver) store(name string, qtype uint16, rrs []RR) {
 	r.mu.Lock()
 	r.cache[cacheKey{name, qtype}] = cacheVal{
 		rrs:    rrs,
-		expiry: time.Now().Add(time.Duration(ttl) * time.Second),
+		expiry: r.ck.Now().Add(time.Duration(ttl) * time.Second),
 	}
 	r.mu.Unlock()
 }
@@ -223,27 +227,30 @@ func (r *Resolver) query(server ip.Addr, name string, qtype uint16) (*Msg, error
 		msg *Msg
 		err error
 	}
-	ch := make(chan result, 1)
-	go func() {
+	ch := vclock.NewMailbox[result](r.ck, 1)
+	r.ck.Go(func() {
 		buf := make([]byte, 8192)
 		for {
 			n, err := conn.Read(buf)
 			if err != nil {
-				ch <- result{nil, err}
+				ch.TrySend(result{nil, err})
 				return
 			}
 			m, err := Unmarshal(buf[:n])
 			if err != nil || !m.Response || m.ID != id {
 				continue
 			}
-			ch <- result{m, nil}
+			ch.TrySend(result{m, nil})
 			return
 		}
-	}()
-	select {
-	case res := <-ch:
-		return res.msg, res.err
-	case <-time.After(queryTimeout):
+	})
+	// The timeout closes the mailbox; an already-sent reply is drained
+	// first. The deferred conn.Close unblocks the reader afterwards.
+	timer := r.ck.AfterFunc(queryTimeout, func() { ch.Close() })
+	res, ok := ch.Recv()
+	timer.Stop()
+	if !ok {
 		return nil, ErrTimeout
 	}
+	return res.msg, res.err
 }

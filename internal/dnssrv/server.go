@@ -119,7 +119,7 @@ func Serve(proto *udp.Proto, zone *Zone) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{zone: zone, conn: conn, done: make(chan struct{})}
-	go s.loop()
+	proto.Clock().Go(s.loop)
 	return s, nil
 }
 

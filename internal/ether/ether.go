@@ -25,6 +25,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/medium"
 	"repro/internal/streams"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -82,6 +83,10 @@ type Profile struct {
 	// fail the FCS at every receiving interface, so corruption
 	// surfaces as loss plus a crc errs count — as on real hardware.
 	Impair medium.Impairment
+	// Clock schedules pacing, propagation, and jitter; nil means the
+	// real clock. A vclock.Virtual turns the segment into a
+	// discrete-event component.
+	Clock vclock.Clock
 }
 
 func (p Profile) mtu() int {
@@ -96,6 +101,7 @@ func (p Profile) mtu() int {
 type Segment struct {
 	name    string
 	profile Profile
+	ck      vclock.Clock
 	im      *medium.Impairer // nil on an unimpaired, lossless segment
 	ideal   bool             // ideal medium: no pacing, no impairment, FCS elided
 
@@ -103,8 +109,7 @@ type Segment struct {
 	ifaces []*Interface
 	closed bool
 
-	txq  chan txFrame
-	done chan struct{}
+	txq *vclock.Mailbox[txFrame]
 }
 
 type txFrame struct {
@@ -114,11 +119,12 @@ type txFrame struct {
 
 // NewSegment creates a segment with the given medium profile.
 func NewSegment(name string, p Profile) *Segment {
+	ck := vclock.Or(p.Clock)
 	seg := &Segment{
 		name:    name,
 		profile: p,
-		txq:     make(chan txFrame, 256),
-		done:    make(chan struct{}),
+		ck:      ck,
+		txq:     vclock.NewMailbox[txFrame](ck, 256),
 	}
 	if p.Impair.Armed(p.Loss) {
 		seg.im = medium.NewImpairer(p.Seed+1, p.Loss, p.Impair)
@@ -129,9 +135,12 @@ func NewSegment(name string, p Profile) *Segment {
 	// flag, fixed for the segment's lifetime, so they always agree on
 	// the frame layout.
 	seg.ideal = p.Bandwidth == 0 && p.Latency == 0 && seg.im == nil
-	go seg.transmitter()
+	ck.Go(seg.transmitter)
 	return seg
 }
+
+// Clock returns the clock the segment waits on.
+func (seg *Segment) Clock() vclock.Clock { return seg.ck }
 
 // Schedule returns the segment's recorded impairment decisions
 // (requires Profile.Impair.Record); nil when unimpaired.
@@ -167,80 +176,75 @@ func (seg *Segment) Close() {
 	seg.closed = true
 	ifaces := seg.ifaces
 	seg.mu.Unlock()
-	close(seg.done)
+	seg.txq.Close()
 	for _, ifc := range ifaces {
 		ifc.close()
 	}
 }
 
 // transmitter models the shared wire: one frame at a time, paced by
-// bandwidth, then fanned out after the propagation latency. Timing
-// uses medium.SleepUntil because frame times are far below the OS
-// timer quantum.
+// bandwidth, then fanned out after the propagation latency. All
+// waiting goes through the segment's clock, so a virtual clock replays
+// the identical wire schedule.
 func (seg *Segment) transmitter() {
 	type timedFrame struct {
 		tx txFrame
 		at time.Time
 	}
-	sched := make(chan timedFrame, 512)
+	sched := vclock.NewMailbox[timedFrame](seg.ck, 512)
 	// The deliverer applies propagation latency in order, pipelined
 	// behind the serializing transmitter.
-	go func() {
+	seg.ck.Go(func() {
 		for {
-			select {
-			case <-seg.done:
+			tf, ok := sched.Recv()
+			if !ok {
 				return
-			case tf := <-sched:
-				medium.SleepUntil(tf.at)
-				seg.mu.Lock()
-				ifaces := append([]*Interface(nil), seg.ifaces...)
-				seg.mu.Unlock()
-				for _, ifc := range ifaces {
-					if ifc != tf.tx.from {
-						// Each receiver gets its own wrapper over the
-						// shared (read-only) detached frame.
-						ifc.deliver(block.FromBytes(tf.tx.frame))
-					}
+			}
+			seg.ck.SleepUntil(tf.at)
+			seg.mu.Lock()
+			ifaces := append([]*Interface(nil), seg.ifaces...)
+			seg.mu.Unlock()
+			for _, ifc := range ifaces {
+				if ifc != tf.tx.from {
+					// Each receiver gets its own wrapper over the
+					// shared (read-only) detached frame.
+					ifc.deliver(block.FromBytes(tf.tx.frame))
 				}
 			}
 		}
-	}()
+	})
+	defer sched.Close()
 	var lineFree time.Time
 	for {
-		select {
-		case <-seg.done:
+		tx, ok := seg.txq.Recv()
+		if !ok {
 			return
-		case tx := <-seg.txq:
-			p := seg.profile
-			now := time.Now()
-			if p.Bandwidth > 0 {
-				d := time.Duration(int64(len(tx.frame)) * int64(time.Second) / p.Bandwidth)
-				if lineFree.Before(now) {
-					lineFree = now
+		}
+		p := seg.profile
+		now := seg.ck.Now()
+		if p.Bandwidth > 0 {
+			d := time.Duration(int64(len(tx.frame)) * int64(time.Second) / p.Bandwidth)
+			if lineFree.Before(now) {
+				lineFree = now
+			}
+			lineFree = lineFree.Add(d)
+			seg.ck.SleepUntil(lineFree)
+		}
+		if seg.im != nil {
+			// The impairer decides drop/duplicate/corrupt/hold
+			// for this wire position; each resulting copy is
+			// scheduled at latency plus its jitter. The single
+			// transmitter goroutine defines wire-position order,
+			// so a fixed seed replays the identical schedule.
+			for _, e := range seg.im.Apply(tx.frame) {
+				if sched.Send(timedFrame{tx: txFrame{from: tx.from, frame: e.Data}, at: seg.ck.Now().Add(p.Latency + e.Delay)}) != nil {
+					return
 				}
-				lineFree = lineFree.Add(d)
-				medium.SleepUntil(lineFree)
 			}
-			if seg.im != nil {
-				// The impairer decides drop/duplicate/corrupt/hold
-				// for this wire position; each resulting copy is
-				// scheduled at latency plus its jitter. The single
-				// transmitter goroutine defines wire-position order,
-				// so a fixed seed replays the identical schedule.
-				for _, e := range seg.im.Apply(tx.frame) {
-					select {
-					case sched <- timedFrame{tx: txFrame{from: tx.from, frame: e.Data}, at: time.Now().Add(p.Latency + e.Delay)}:
-					case <-seg.done:
-						return
-					}
-				}
-				continue
-			}
-			select {
-			case sched <- timedFrame{tx: tx, at: time.Now().Add(p.Latency)}:
-			case <-seg.done:
-				return
-			}
+			continue
+		}
+		if sched.Send(timedFrame{tx: tx, at: seg.ck.Now().Add(p.Latency)}) != nil {
+			return
 		}
 	}
 }
@@ -296,12 +300,10 @@ func (seg *Segment) transmitBlock(from *Interface, b *block.Block) error {
 	crc := crc32.ChecksumIEEE(b.Bytes())
 	binary.BigEndian.PutUint32(b.Extend(fcsLen), crc)
 	frame := b.Detach()
-	select {
-	case seg.txq <- txFrame{from: from, frame: frame}:
-		return nil
-	case <-seg.done:
+	if seg.txq.Send(txFrame{from: from, frame: frame}) != nil {
 		return vfs.ErrShutdown
 	}
+	return nil
 }
 
 var macCounter atomic.Uint32
@@ -318,9 +320,7 @@ type Interface struct {
 	conns  [MaxConns + 1]*Conn     // index 1..MaxConns, as in the file tree
 	active atomic.Pointer[[]*Conn] // snapshot of allocated conns, for the lock-free demux
 
-	in     chan *block.Block
-	closed chan struct{}
-	once   sync.Once
+	in *vclock.Mailbox[*block.Block]
 
 	inPackets  atomic.Int64
 	outPackets atomic.Int64
@@ -338,13 +338,12 @@ func (ifc *Interface) CRCErrs() int64 { return ifc.crcErrs.Load() }
 func (seg *Segment) NewInterface(name string) *Interface {
 	n := macCounter.Add(1)
 	ifc := &Interface{
-		seg:    seg,
-		name:   name,
-		addr:   Addr{0x08, 0x00, 0x69, byte(n >> 16), byte(n >> 8), byte(n)},
-		in:     make(chan *block.Block, 512),
-		closed: make(chan struct{}),
+		seg:  seg,
+		name: name,
+		addr: Addr{0x08, 0x00, 0x69, byte(n >> 16), byte(n >> 8), byte(n)},
+		in:   vclock.NewMailbox[*block.Block](seg.ck, 512),
 	}
-	go ifc.reader()
+	seg.ck.Go(ifc.reader)
 	seg.mu.Lock()
 	seg.ifaces = append(seg.ifaces, ifc)
 	seg.mu.Unlock()
@@ -364,7 +363,11 @@ func (ifc *Interface) Segment() *Segment { return ifc.seg }
 func (ifc *Interface) MTU() int { return ifc.seg.MTU() }
 
 func (ifc *Interface) close() {
-	ifc.once.Do(func() { close(ifc.closed) })
+	// Undelivered frames go back to the block pool rather than to a
+	// reader that has already quit.
+	for _, b := range ifc.in.CloseDrain() {
+		b.Free()
+	}
 }
 
 // deliver is called by the medium with a received frame (the interrupt
@@ -372,9 +375,7 @@ func (ifc *Interface) close() {
 // frame and counts an overflow. The interface takes ownership of (its
 // reference to) the block.
 func (ifc *Interface) deliver(b *block.Block) {
-	select {
-	case ifc.in <- b:
-	default:
+	if !ifc.in.TrySend(b) {
 		ifc.overflows.Add(1)
 		b.Free()
 	}
@@ -385,44 +386,43 @@ func (ifc *Interface) deliver(b *block.Block) {
 // up the kernel process...").
 func (ifc *Interface) reader() {
 	for {
-		select {
-		case <-ifc.closed:
+		b, ok := ifc.in.Recv()
+		if !ok {
 			return
-		case b := <-ifc.in:
-			// Verify and strip the FCS: a frame damaged on the wire
-			// never reaches the protocols — the hardware drops it and
-			// counts a crc error, and recovery is the transport's
-			// problem (loss, not corruption). The block may be shared
-			// with other stations (broadcast fan-out), so it is read,
-			// never written, and this reference is released when
-			// demultiplexing returns.
-			frame := b.Bytes()
-			body := frame
-			if ifc.seg.ideal {
-				// An ideal medium carries no FCS (nothing to check).
-				if len(frame) < HdrLen {
-					ifc.crcErrs.Add(1)
-					b.Free()
-					continue
-				}
-			} else {
-				if len(frame) < HdrLen+fcsLen {
-					ifc.crcErrs.Add(1)
-					b.Free()
-					continue
-				}
-				body = frame[:len(frame)-fcsLen]
-				if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(frame[len(frame)-fcsLen:]) {
-					ifc.crcErrs.Add(1)
-					b.Free()
-					continue
-				}
-			}
-			ifc.inPackets.Add(1)
-			ifc.inBytes.Add(int64(len(body)))
-			ifc.demux(body)
-			b.Free()
 		}
+		// Verify and strip the FCS: a frame damaged on the wire
+		// never reaches the protocols — the hardware drops it and
+		// counts a crc error, and recovery is the transport's
+		// problem (loss, not corruption). The block may be shared
+		// with other stations (broadcast fan-out), so it is read,
+		// never written, and this reference is released when
+		// demultiplexing returns.
+		frame := b.Bytes()
+		body := frame
+		if ifc.seg.ideal {
+			// An ideal medium carries no FCS (nothing to check).
+			if len(frame) < HdrLen {
+				ifc.crcErrs.Add(1)
+				b.Free()
+				continue
+			}
+		} else {
+			if len(frame) < HdrLen+fcsLen {
+				ifc.crcErrs.Add(1)
+				b.Free()
+				continue
+			}
+			body = frame[:len(frame)-fcsLen]
+			if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(frame[len(frame)-fcsLen:]) {
+				ifc.crcErrs.Add(1)
+				b.Free()
+				continue
+			}
+		}
+		ifc.inPackets.Add(1)
+		ifc.inBytes.Add(int64(len(body)))
+		ifc.demux(body)
+		b.Free()
 	}
 }
 

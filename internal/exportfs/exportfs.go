@@ -15,6 +15,7 @@ import (
 	"repro/internal/mnt"
 	"repro/internal/ninep"
 	"repro/internal/ns"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -23,6 +24,12 @@ import (
 // the root of the file tree being exported" is the 9P attach itself:
 // the attach name is joined beneath root.
 func Serve(conn ninep.MsgConn, nsp *ns.Namespace, root string) error {
+	return ServeClock(conn, nsp, root, nil)
+}
+
+// ServeClock is Serve with an explicit clock driving the server's
+// per-request goroutines; nil means the real clock.
+func ServeClock(conn ninep.MsgConn, nsp *ns.Namespace, root string, ck vclock.Clock) error {
 	root = ns.Clean(root)
 	attach := func(uname, aname string) (vfs.Node, error) {
 		p := root
@@ -35,7 +42,7 @@ func Serve(conn ninep.MsgConn, nsp *ns.Namespace, root string) error {
 		}
 		return ns.NodeAt(nsp, p), nil
 	}
-	return ninep.Serve(conn, attach)
+	return ninep.ServeClock(conn, attach, ck)
 }
 
 // Import mounts the tree exported on conn at mountpoint old in nsp,

@@ -43,6 +43,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/obs"
 	"repro/internal/streams"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -126,6 +127,7 @@ func (c Config) deathTime() time.Duration {
 // Proto is a machine's IL protocol device.
 type Proto struct {
 	stack *ip.Stack
+	ck    vclock.Clock
 	cfg   Config
 
 	mu        sync.Mutex
@@ -138,9 +140,7 @@ type Proto struct {
 	// goroutine with a warm stack walks packets down the IP stack,
 	// instead of a fresh goroutine per segment growing its stack
 	// through the ether path every time.
-	txq    chan txPkt
-	txstop chan struct{}
-	txonce sync.Once
+	txq *vclock.Mailbox[txPkt]
 
 	// Counters for the ablation experiments and status files.
 	Retransmits  atomic.Int64
@@ -174,15 +174,16 @@ var _ xport.Proto = (*Proto)(nil)
 
 // New creates the IL device on a stack and registers its demux.
 func New(stack *ip.Stack, cfg Config) *Proto {
+	ck := stack.Clock()
 	p := &Proto{
 		stack:     stack,
+		ck:        ck,
 		cfg:       cfg,
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[uint16]*Conn),
 		nextEphem: 2000,
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
-		txq:       make(chan txPkt, 256),
-		txstop:    make(chan struct{}),
+		rng:       rand.New(rand.NewSource(ck.Now().UnixNano())),
+		txq:       vclock.NewMailbox[txPkt](ck, 256),
 	}
 	p.stats = new(obs.Group).
 		AddAtomic("msgs-sent", &p.MsgsSent).
@@ -195,7 +196,7 @@ func New(stack *ip.Stack, cfg Config) *Proto {
 		AddAtomic("checksum-errs", &p.ChecksumErrs).
 		AddHist("rtt", &p.RTTHist)
 	stack.Register(ip.ProtoIL, p.recv)
-	go p.transmitter()
+	ck.Go(p.transmitter)
 	return p
 }
 
@@ -208,20 +209,12 @@ func (p *Proto) StatsGroup() *obs.Group { return p.stats }
 // whatever is still queued.
 func (p *Proto) transmitter() {
 	for {
-		select {
-		case <-p.txstop:
-			for {
-				select {
-				case t := <-p.txq:
-					t.pkt.Free()
-				default:
-					return
-				}
-			}
-		case t := <-p.txq:
-			p.MsgsSent.Add(1)
-			p.stack.SendBlock(ip.ProtoIL, t.src, t.dst, t.pkt)
+		t, ok := p.txq.Recv()
+		if !ok {
+			return
 		}
+		p.MsgsSent.Add(1)
+		p.stack.SendBlock(ip.ProtoIL, t.src, t.dst, t.pkt)
 	}
 }
 
@@ -229,9 +222,7 @@ func (p *Proto) transmitter() {
 // called under connection locks). A full ring drops the packet, which
 // the retransmission machinery treats as wire loss.
 func (p *Proto) enqueue(src, dst ip.Addr, pkt *block.Block) {
-	select {
-	case p.txq <- txPkt{src: src, dst: dst, pkt: pkt}:
-	default:
+	if !p.txq.TrySend(txPkt{src: src, dst: dst, pkt: pkt}) {
 		pkt.Free()
 	}
 }
@@ -244,7 +235,10 @@ func (p *Proto) Name() string { return "il" }
 // going away — and every listener stops accepting, so per-connection
 // timers and blocked readers, writers, and accepts all wake and exit.
 func (p *Proto) Close() {
-	p.txonce.Do(func() { close(p.txstop) })
+	// Packets still queued for the transmitter go back to the pool.
+	for _, t := range p.txq.CloseDrain() {
+		t.pkt.Free()
+	}
 	p.mu.Lock()
 	all := make([]*Conn, 0, len(p.conns)+len(p.listeners))
 	for _, c := range p.conns {
@@ -258,9 +252,8 @@ func (p *Proto) Close() {
 	p.mu.Unlock()
 	for _, c := range all {
 		c.mu.Lock()
-		if c.state == Listening && !c.acceptClosed {
-			c.acceptClosed = true
-			close(c.accepted)
+		if c.state == Listening {
+			c.accepted.Close()
 		}
 		c.diedLocked(vfs.ErrHungup)
 		c.mu.Unlock()
@@ -272,9 +265,9 @@ func (p *Proto) NewConn() (xport.Conn, error) { return p.newConn(), nil }
 
 func (p *Proto) newConn() *Conn {
 	c := &Conn{proto: p, state: Closed}
-	c.cond = sync.NewCond(&c.mu)
-	c.rstream = streams.New(1<<22, nil)
-	c.accepted = make(chan *Conn, 8)
+	c.cond.Init(p.ck, &c.mu)
+	c.rstream = streams.NewClock(1<<22, p.ck, nil)
+	c.accepted = vclock.NewMailbox[*Conn](p.ck, 8)
 	return c
 }
 
@@ -430,7 +423,7 @@ func (p *Proto) spawnLocked(l *Conn, src ip.Addr, h header) *Conn {
 	c.sndUna = c.sndStart + 1
 	c.rcvNext = h.id + 1
 	p.conns[connKey{raddr: src, rport: h.src, lport: h.dst}] = c
-	go c.timer()
+	p.ck.Go(c.timer)
 	return c
 }
 
@@ -461,7 +454,7 @@ type Conn struct {
 	rstream *streams.Stream
 
 	mu   sync.Mutex
-	cond *sync.Cond
+	cond vclock.Cond
 
 	state      int
 	localAddr  ip.Addr
@@ -491,10 +484,7 @@ type Conn struct {
 	querySent    bool
 
 	listener *Conn
-	accepted chan *Conn
-	// acceptClosed guards accepted against send-after-close: set
-	// under the listener's own mu.
-	acceptClosed bool
+	accepted *vclock.Mailbox[*Conn]
 
 	closeSeen bool   // peer close received
 	closeID   uint32 // its sequence position
@@ -541,12 +531,12 @@ func (c *Conn) Connect(addr string) error {
 	c.sndNext = c.sndStart + 1
 	c.sndUna = c.sndStart + 1
 	c.state = Syncer
-	c.lastProgress = time.Now()
+	c.lastProgress = p.ck.Now()
 	p.conns[connKey{raddr: a, rport: port, lport: c.localPort}] = c
 	c.mu.Unlock()
 	p.mu.Unlock()
 
-	go c.timer()
+	p.ck.Go(c.timer)
 	c.sendSync()
 
 	// Block until established or dead, as opening the data file does.
@@ -609,9 +599,9 @@ func (c *Conn) Listen() (xport.Conn, error) {
 		c.mu.Unlock()
 		return nil, xport.ErrNotAnnounced
 	}
-	ch := c.accepted
+	mb := c.accepted
 	c.mu.Unlock()
-	nc, ok := <-ch
+	nc, ok := mb.Recv()
 	if !ok {
 		return nil, streams.ErrClosed
 	}
@@ -687,7 +677,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		// when the ack drops it from the window.
 		data := block.GetBytes(n)
 		copy(data, p[total:total+n])
-		m := unackedMsg{id: id, spec: spec, data: data, sent: time.Now()}
+		m := unackedMsg{id: id, spec: spec, data: data, sent: c.proto.ck.Now()}
 		if !c.timing {
 			c.timing = true
 			c.timedID = id
@@ -715,7 +705,7 @@ func (c *Conn) input(h header, data []byte, src, dst ip.Addr) {
 		c.mu.Unlock()
 		return
 	}
-	c.lastProgress = time.Now()
+	c.lastProgress = c.proto.ck.Now()
 	switch h.typ {
 	case msgSync:
 		switch c.state {
@@ -800,16 +790,9 @@ func (c *Conn) establishSynceeLocked() {
 	c.trace.Emit(obs.EvAccept, 0, 0)
 	if l := c.listener; l != nil {
 		c.listener = nil
-		ok := false
-		l.mu.Lock() // safe: listener code never takes a conn's mu
-		if !l.acceptClosed {
-			select {
-			case l.accepted <- c:
-				ok = true
-			default:
-			}
-		}
-		l.mu.Unlock()
+		// TrySend refuses on a full backlog or a closed listener,
+		// exactly the cases the close below covers.
+		ok := l.accepted.TrySend(c)
 		if !ok {
 			// Listener gone or accept queue overflow: refuse.
 			c.sendLocked(msgClose, 0, c.sndNext-1, nil)
@@ -826,7 +809,7 @@ func (c *Conn) ackLocked(ack uint32) {
 	c.trace.Emit(obs.EvAck, int64(ack), 0)
 	// Round-trip timing on the timed message (§3 adaptive timeouts).
 	if c.timing && ack >= c.timedID {
-		rtt := time.Since(c.timedAt)
+		rtt := c.proto.ck.Since(c.timedAt)
 		c.proto.RTTHist.Observe(rtt)
 		if c.srtt == 0 {
 			c.srtt = rtt
@@ -952,7 +935,7 @@ func (c *Conn) rtoLocked() time.Duration {
 func (c *Conn) retransmitLocked() {
 	for i := range c.unacked {
 		m := &c.unacked[i]
-		m.sent = time.Now()
+		m.sent = c.proto.ck.Now()
 		c.proto.Retransmits.Add(1)
 		c.trace.Emit(obs.EvRetransmit, int64(m.id), 0)
 		c.sendLocked(msgData, m.spec, m.id, m.data)
@@ -964,15 +947,15 @@ func (c *Conn) retransmitLocked() {
 // timer is the connection's helper kernel process: sync retries,
 // query-or-blind retransmission, and the death timer.
 func (c *Conn) timer() {
-	tick := time.NewTicker(tickInterval)
-	defer tick.Stop()
-	for range tick.C {
+	ck := c.proto.ck
+	for {
+		ck.Sleep(tickInterval)
 		c.mu.Lock()
 		if c.closed || c.state == Closed {
 			c.mu.Unlock()
 			return
 		}
-		now := time.Now()
+		now := ck.Now()
 		switch c.state {
 		case Syncer, Syncee:
 			if now.Sub(c.lastProgress) > c.proto.cfg.deathTime() {
@@ -982,7 +965,7 @@ func (c *Conn) timer() {
 			}
 			c.mu.Unlock()
 			c.sendSync()
-			time.Sleep(synRetry - tickInterval)
+			ck.Sleep(synRetry - tickInterval)
 			continue
 		case Established, Closing:
 			if len(c.unacked) > 0 {
@@ -1087,8 +1070,7 @@ func (c *Conn) Close() error {
 		c.sendLocked(msgClose, 0, id, nil)
 	case Listening:
 		c.state = Closed
-		c.acceptClosed = true
-		close(c.accepted)
+		c.accepted.Close()
 	default:
 		c.state = Closed
 	}
@@ -1103,7 +1085,7 @@ func (c *Conn) Close() error {
 	// The conversation stays in the demux table until then so late
 	// packets (our peer's acks) land here quietly instead of
 	// provoking stray "unknown conversation" closes.
-	time.AfterFunc(200*time.Millisecond, func() {
+	c.proto.ck.AfterFunc(200*time.Millisecond, func() {
 		c.mu.Lock()
 		c.state = Closed
 		c.cond.Broadcast()

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ether"
 	"repro/internal/ip"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -263,27 +264,83 @@ func TestCloseDeliversEOF(t *testing.T) {
 }
 
 func TestAdaptiveRTTTracksMedium(t *testing.T) {
-	p1, p2, _, a2 := pair(t, ether.Profile{Latency: 20 * time.Millisecond, Bandwidth: 1 << 26}, Config{})
-	dc, sc := connect(t, p1, p2, a2)
-	go func() {
-		buf := make([]byte, 4096)
-		for {
-			if _, err := sc.Read(buf); err != nil {
-				return
-			}
+	// On the virtual clock the 20ms medium and the ten 30ms pacing
+	// gaps are simulated, so the estimator converges in microseconds
+	// of wall time and the measured RTT is exact. Setup is inlined
+	// rather than pair()/connect(): inside Run a t.Fatal (Goexit)
+	// would strand the scheduler token, so errors report and return,
+	// and teardown happens before Run unwinds.
+	v := vclock.NewVirtual()
+	v.Run(func() {
+		seg := ether.NewSegment("e0", ether.Profile{
+			Latency: 20 * time.Millisecond, Bandwidth: 1 << 26, Clock: v,
+		})
+		defer seg.Close()
+		s1, s2 := ip.NewStackClock(v), ip.NewStackClock(v)
+		defer s1.Close()
+		defer s2.Close()
+		a2 := ip.Addr{135, 104, 9, 2}
+		mask := ip.Addr{255, 255, 255, 0}
+		if _, err := s1.Bind(seg.NewInterface("ether0"), ip.Addr{135, 104, 9, 1}, mask); err != nil {
+			t.Error(err)
+			return
 		}
-	}()
-	for range 10 {
-		dc.Write([]byte("measure me"))
-		time.Sleep(30 * time.Millisecond)
-	}
-	rtt := dc.(*Conn).RTT()
-	if rtt < 10*time.Millisecond {
-		t.Errorf("smoothed RTT %v on a 20ms-latency medium", rtt)
-	}
-	if rtt > 500*time.Millisecond {
-		t.Errorf("smoothed RTT %v absurdly high", rtt)
-	}
+		if _, err := s2.Bind(seg.NewInterface("ether0"), a2, mask); err != nil {
+			t.Error(err)
+			return
+		}
+		p1, p2 := New(s1, Config{}), New(s2, Config{})
+		defer p1.Close()
+		defer p2.Close()
+
+		lc, _ := p2.NewConn()
+		if err := lc.Announce("17008"); err != nil {
+			t.Error(err)
+			return
+		}
+		defer lc.Close()
+		acceptCh := make(chan xport.Conn, 1)
+		v.Go(func() {
+			if nc, err := lc.Listen(); err == nil {
+				acceptCh <- nc
+			}
+		})
+		dc, _ := p1.NewConn()
+		if err := dc.Connect(ip.HostPort(a2, 17008)); err != nil {
+			t.Error(err)
+			return
+		}
+		defer dc.Close()
+		v.Sleep(time.Second)
+		var sc xport.Conn
+		select {
+		case sc = <-acceptCh:
+		default:
+			t.Error("listen never returned")
+			return
+		}
+		defer sc.Close()
+
+		v.Go(func() {
+			buf := make([]byte, 4096)
+			for {
+				if _, err := sc.Read(buf); err != nil {
+					return
+				}
+			}
+		})
+		for range 10 {
+			dc.Write([]byte("measure me"))
+			v.Sleep(30 * time.Millisecond)
+		}
+		rtt := dc.(*Conn).RTT()
+		if rtt < 10*time.Millisecond {
+			t.Errorf("smoothed RTT %v on a 20ms-latency medium", rtt)
+		}
+		if rtt > 500*time.Millisecond {
+			t.Errorf("smoothed RTT %v absurdly high", rtt)
+		}
+	})
 }
 
 func TestSequentialConnections(t *testing.T) {

@@ -60,9 +60,10 @@ func (a *arpCache) send(nexthop Addr, pkt *block.Block) error {
 		a.request(nexthop)
 		// Re-request a few times in case the first broadcast was
 		// lost on a lossy medium; gives up silently like real ARP.
-		go func() {
+		ck := a.ifc.stack.clk
+		ck.Go(func() {
 			for range 3 {
-				time.Sleep(50 * time.Millisecond)
+				ck.Sleep(50 * time.Millisecond)
 				a.mu.Lock()
 				_, resolved := a.entries[nexthop]
 				waiting := len(a.pending[nexthop]) > 0
@@ -79,7 +80,7 @@ func (a *arpCache) send(nexthop Addr, pkt *block.Block) error {
 			for _, b := range abandoned {
 				b.Free()
 			}
-		}()
+		})
 	}
 	return nil
 }

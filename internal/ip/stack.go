@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/ether"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -18,6 +19,7 @@ type Handler func(src, dst Addr, payload []byte)
 // Stack is one machine's IP layer: bound interfaces, a routing table,
 // ARP, and the transport protocol dispatch table.
 type Stack struct {
+	clk      vclock.Clock
 	mu       sync.RWMutex
 	ifcs     []*Ifc
 	routes   []Route
@@ -54,10 +56,17 @@ type Route struct {
 	Gateway Addr
 }
 
-// NewStack returns an empty stack.
-func NewStack() *Stack {
-	return &Stack{handlers: make(map[uint8]Handler)}
+// NewStack returns an empty stack on the real clock.
+func NewStack() *Stack { return NewStackClock(nil) }
+
+// NewStackClock returns an empty stack whose timers (and those of the
+// transports built on it) run on ck; nil means the real clock.
+func NewStackClock(ck vclock.Clock) *Stack {
+	return &Stack{clk: vclock.Or(ck), handlers: make(map[uint8]Handler)}
 }
+
+// Clock returns the stack's clock.
+func (s *Stack) Clock() vclock.Clock { return s.clk }
 
 // SetForwarding enables relaying packets between interfaces, making
 // the machine an IP gateway.

@@ -58,13 +58,15 @@ func Main(m *testing.M) {
 // wait polls for the interesting set to drain, with exponential
 // backoff up to maxWait, and returns whatever is left.
 func wait() []string {
+	//netvet:ignore realtime polls the real runtime for goroutine exit
 	deadline := time.Now().Add(maxWait)
 	delay := time.Millisecond
 	for {
 		leaked := interesting()
-		if len(leaked) == 0 || time.Now().After(deadline) {
+		if len(leaked) == 0 || time.Now().After(deadline) { //netvet:ignore realtime polls the real runtime for goroutine exit
 			return leaked
 		}
+		//netvet:ignore realtime polls the real runtime for goroutine exit
 		time.Sleep(delay)
 		if delay < 100*time.Millisecond {
 			delay *= 2

@@ -5,36 +5,25 @@
 // transfer unit, and loss so benchmarks can reproduce the relative
 // speeds of the paper's media; the zero Profile delivers synchronously
 // at memory speed for tests.
+//
+// All waiting goes through the profile's vclock.Clock, so a pipe built
+// with a virtual clock simulates its latency and pacing in
+// discrete-event time: an hour of WAN traffic replays in wall-clock
+// milliseconds, deterministically.
 package medium
 
 import (
 	"errors"
-	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
-// SleepUntil waits until t with sub-millisecond precision: it sleeps
-// coarsely while far away and spins (yielding) for the final stretch,
-// because OS timers quantize at ~1ms — far coarser than the media
-// being simulated (an Ethernet frame serializes in ~1.2ms, a Cyclone
-// frame in microseconds).
-func SleepUntil(t time.Time) {
-	for {
-		d := time.Until(t)
-		if d <= 0 {
-			return
-		}
-		if d > 3*time.Millisecond {
-			time.Sleep(d - 2*time.Millisecond)
-			continue
-		}
-		for time.Now().Before(t) {
-			runtime.Gosched()
-		}
-		return
-	}
-}
+// SleepUntil parks until t on the real clock. Kept for callers outside
+// the clock-threaded engines; code holding a Profile should use its
+// clock instead.
+func SleepUntil(t time.Time) { vclock.Real.SleepUntil(t) }
 
 // Profile characterizes one direction of a link.
 type Profile struct {
@@ -47,6 +36,10 @@ type Profile struct {
 	// reordering, corruption, jitter, bursty loss, and scheduled
 	// partitions, all replayable from Seed. See Impairment.
 	Impair Impairment
+	// Clock schedules every sleep and timestamp; nil means the real
+	// clock. A vclock.Virtual here turns the pipe into a
+	// discrete-event component.
+	Clock vclock.Clock
 }
 
 // Errors.
@@ -58,13 +51,12 @@ var (
 // Pipe is a unidirectional ordered message pipe with medium effects.
 type Pipe struct {
 	profile Profile
+	ck      vclock.Clock
 	im      *Impairer // nil on an unimpaired, lossless link
 
-	mu     sync.Mutex
-	queue  chan []byte
-	sched  chan timedMsg
-	closed chan struct{}
-	once   sync.Once
+	mu    sync.Mutex
+	queue *vclock.Mailbox[[]byte]
+	sched *vclock.Mailbox[timedMsg]
 	// nextFree models the serialization point of the wire: the time
 	// at which the transmitter becomes free.
 	nextFree time.Time
@@ -77,10 +69,11 @@ type timedMsg struct {
 
 // NewPipe creates a pipe with the given profile.
 func NewPipe(p Profile) *Pipe {
+	ck := vclock.Or(p.Clock)
 	pipe := &Pipe{
 		profile: p,
-		queue:   make(chan []byte, 1024),
-		closed:  make(chan struct{}),
+		ck:      ck,
+		queue:   vclock.NewMailbox[[]byte](ck, 1024),
 	}
 	if p.Impair.Armed(p.Loss) {
 		pipe.im = NewImpairer(p.Seed+1, p.Loss, p.Impair)
@@ -88,24 +81,21 @@ func NewPipe(p Profile) *Pipe {
 	if p.Latency > 0 || p.Impair.Jitter > 0 {
 		// An ordered deliverer: messages arrive Latency (plus any
 		// jitter) after transmission, pipelined (many in flight).
-		pipe.sched = make(chan timedMsg, 1024)
-		go pipe.deliverer()
+		pipe.sched = vclock.NewMailbox[timedMsg](ck, 1024)
+		ck.Go(pipe.deliverer)
 	}
 	return pipe
 }
 
 func (p *Pipe) deliverer() {
 	for {
-		select {
-		case <-p.closed:
+		tm, ok := p.sched.Recv()
+		if !ok {
 			return
-		case tm := <-p.sched:
-			SleepUntil(tm.at)
-			select {
-			case p.queue <- tm.msg:
-			case <-p.closed:
-				return
-			}
+		}
+		p.ck.SleepUntil(tm.at)
+		if p.queue.Send(tm.msg) != nil {
+			return
 		}
 	}
 }
@@ -138,22 +128,20 @@ func (p *Pipe) send(msg []byte, owned bool) error {
 	if prof.MTU > 0 && len(msg) > prof.MTU {
 		return ErrTooLong
 	}
-	select {
-	case <-p.closed:
+	if p.queue.Closed() {
 		return ErrClosed
-	default:
 	}
 	if prof.Bandwidth > 0 {
 		d := transmitTime(len(msg), prof.Bandwidth)
 		p.mu.Lock()
-		now := time.Now()
+		now := p.ck.Now()
 		if p.nextFree.Before(now) {
 			p.nextFree = now
 		}
 		p.nextFree = p.nextFree.Add(d)
 		free := p.nextFree
 		p.mu.Unlock()
-		SleepUntil(free)
+		p.ck.SleepUntil(free)
 	}
 	if p.im != nil {
 		// The impairment path must copy even an owned buffer: the
@@ -172,25 +160,20 @@ func (p *Pipe) send(msg []byte, owned bool) error {
 	return p.emit(msg, 0)
 }
 
-// emit puts one wire copy on the delivery path. All channel sends
-// select on p.closed and the closed channel itself is never sent on,
-// so Send after Close returns ErrClosed deterministically — even
-// mid-impairment — rather than panicking on a closed channel.
+// emit puts one wire copy on the delivery path. Mailbox sends fail with
+// ErrClosed once the pipe is closed, so Send after Close returns
+// ErrClosed deterministically — even mid-impairment.
 func (p *Pipe) emit(msg []byte, extra time.Duration) error {
 	if p.sched != nil {
-		select {
-		case p.sched <- timedMsg{msg: msg, at: time.Now().Add(p.profile.Latency + extra)}:
-			return nil
-		case <-p.closed:
+		if p.sched.Send(timedMsg{msg: msg, at: p.ck.Now().Add(p.profile.Latency + extra)}) != nil {
 			return ErrClosed
 		}
-	}
-	select {
-	case p.queue <- msg:
 		return nil
-	case <-p.closed:
+	}
+	if p.queue.Send(msg) != nil {
 		return ErrClosed
 	}
+	return nil
 }
 
 // Schedule returns the pipe's recorded impairment decisions (requires
@@ -211,29 +194,23 @@ func (p *Pipe) ImpairCounts() Counts {
 	return p.im.Counts()
 }
 
-// Recv blocks for the next message.
+// Recv blocks for the next message. After Close it drains what was
+// already delivered, then fails.
 func (p *Pipe) Recv() ([]byte, error) {
-	select {
-	case m := <-p.queue:
-		return m, nil
-	default:
+	m, ok := p.queue.Recv()
+	if !ok {
+		return nil, ErrClosed
 	}
-	select {
-	case m := <-p.queue:
-		return m, nil
-	case <-p.closed:
-		select {
-		case m := <-p.queue:
-			return m, nil
-		default:
-			return nil, ErrClosed
-		}
-	}
+	return m, nil
 }
 
-// Close tears the pipe down; blocked receivers fail.
+// Close tears the pipe down; blocked receivers fail once the delivered
+// backlog drains.
 func (p *Pipe) Close() {
-	p.once.Do(func() { close(p.closed) })
+	if p.sched != nil {
+		p.sched.Close()
+	}
+	p.queue.Close()
 }
 
 // Duplex is a bidirectional message link built from two pipes.
@@ -273,6 +250,9 @@ func (d *Duplex) Close() {
 
 // MTU reports the link MTU (0 = unlimited).
 func (d *Duplex) MTU() int { return d.tx.profile.MTU }
+
+// Clock returns the clock the link waits on.
+func (d *Duplex) Clock() vclock.Clock { return d.tx.ck }
 
 // ImpairCounts sums the impairment counters of both directions of the
 // link (tx and rx are the two pipes of the circuit, so either end

@@ -100,6 +100,12 @@ var (
 
 func newNode(fid *ninep.Fid, cfg Config) *node {
 	n := &node{fid: fid, cfg: cfg}
+	if fid.Client().Clock().Virtual() {
+		// Finalizers run on GC goroutines the virtual scheduler has
+		// no hold on; under a simulated clock the client dies with
+		// its world, so stray fids need no clunk.
+		return n
+	}
 	runtime.SetFinalizer(n, func(n *node) {
 		// Once the client is closed or failed there is no
 		// connection to clunk over; firing the RPC would only spawn

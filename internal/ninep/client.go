@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/obs"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -50,6 +51,9 @@ type ClientConfig struct {
 	// served tree holds plain files (mnt.FileConfig does), never for
 	// an imported device tree.
 	WindowedTransfers bool
+	// Clock drives the client's goroutines and latency measurements;
+	// nil means the real clock.
+	Clock vclock.Clock
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -74,19 +78,19 @@ func (c ClientConfig) withDefaults() ClientConfig {
 type Client struct {
 	conn MsgConn
 	cfg  ClientConfig
+	ck   vclock.Clock
 
 	mu      sync.Mutex
-	tagFree *sync.Cond // signaled whenever a tag is released
-	// tags holds one entry per outstanding tag. A non-nil channel
+	tagFree vclock.Cond // signaled whenever a tag is released
+	// tags holds one entry per outstanding tag. A non-nil mailbox
 	// is a process waiting for the reply; a nil value is a tag
 	// abandoned by Tflush but still reserved until the flush
 	// completes, so the server's late reply (if any) is dropped on
 	// the floor instead of reaching a recycled tag's new owner.
-	tags    map[uint16]chan *Fcall
+	tags    map[uint16]*vclock.Mailbox[*Fcall]
 	nextTag uint16
 	nextFid uint32
 	err     error
-	done    chan struct{}
 
 	// Mount-driver observability: RPC count and latency, Tflush count,
 	// and the in-flight window high-water mark. The mnt device renders
@@ -110,16 +114,16 @@ func NewClientConfig(conn MsgConn, cfg ClientConfig) (*Client, error) {
 	cl := &Client{
 		conn: conn,
 		cfg:  cfg.withDefaults(),
-		tags: make(map[uint16]chan *Fcall),
-		done: make(chan struct{}),
+		ck:   vclock.Or(cfg.Clock),
+		tags: make(map[uint16]*vclock.Mailbox[*Fcall]),
 	}
-	cl.tagFree = sync.NewCond(&cl.mu)
+	cl.tagFree.Init(cl.ck, &cl.mu)
 	cl.stats = new(obs.Group).
 		AddCounter("rpcs", &cl.RPCs).
 		AddCounter("flushes", &cl.Flushes).
 		Add("window-max", cl.WindowHW.Load).
 		AddHist("rpc", &cl.RPCHist)
-	go cl.demux()
+	cl.ck.Go(cl.demux)
 	if _, err := cl.RPC(&Fcall{Type: Tsession, Chal: "repro"}); err != nil {
 		cl.Close()
 		return nil, err
@@ -129,6 +133,9 @@ func NewClientConfig(conn MsgConn, cfg ClientConfig) (*Client, error) {
 
 // Window reports the configured fragment window.
 func (cl *Client) Window() int { return cl.cfg.Window }
+
+// Clock returns the clock the client runs on.
+func (cl *Client) Clock() vclock.Clock { return cl.ck }
 
 // StatsGroup exposes the client's counters and RPC latency histogram.
 func (cl *Client) StatsGroup() *obs.Group { return cl.stats }
@@ -167,9 +174,11 @@ func (cl *Client) demux() {
 		}
 		cl.mu.Unlock()
 		// ch == nil: the tag was flushed; the reply raced the
-		// Tflush and is discarded.
+		// Tflush and is discarded. TrySend cannot find the
+		// one-slot mailbox full — each tag gets one reply — so a
+		// refusal only means the client already failed.
 		if ch != nil {
-			ch <- f
+			ch.TrySend(f)
 		}
 	}
 }
@@ -178,15 +187,14 @@ func (cl *Client) fail(err error) {
 	cl.mu.Lock()
 	if cl.err == nil {
 		cl.err = err
-		close(cl.done)
 	}
 	pending := cl.tags
-	cl.tags = make(map[uint16]chan *Fcall)
+	cl.tags = make(map[uint16]*vclock.Mailbox[*Fcall])
 	cl.tagFree.Broadcast()
 	cl.mu.Unlock()
 	for _, ch := range pending {
 		if ch != nil {
-			close(ch)
+			ch.Close()
 		}
 	}
 }
@@ -202,7 +210,7 @@ func (cl *Client) Close() error {
 // window is full or the tag space is exhausted. Tflush is exempt from
 // the in-flight cap (flushExempt): a flush must be able to proceed
 // even when the cap is saturated by the very requests it abandons.
-func (cl *Client) allocTag(ch chan *Fcall, flushExempt bool) (uint16, error) {
+func (cl *Client) allocTag(ch *vclock.Mailbox[*Fcall], flushExempt bool) (uint16, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	limit := cl.cfg.MaxInFlight
@@ -245,7 +253,7 @@ type Pending struct {
 	cl    *Client
 	tag   uint16
 	req   uint8
-	ch    chan *Fcall
+	ch    *vclock.Mailbox[*Fcall]
 	start time.Time
 }
 
@@ -258,7 +266,7 @@ func (cl *Client) RPCAsync(t *Fcall) (*Pending, error) {
 }
 
 func (cl *Client) sendAsync(t *Fcall, flushExempt bool) (*Pending, error) {
-	ch := make(chan *Fcall, 1)
+	ch := vclock.NewMailbox[*Fcall](cl.ck, 1)
 	tag, err := cl.allocTag(ch, flushExempt)
 	if err != nil {
 		return nil, err
@@ -274,13 +282,13 @@ func (cl *Client) sendAsync(t *Fcall, flushExempt bool) (*Pending, error) {
 		return nil, err
 	}
 	cl.RPCs.Inc()
-	return &Pending{cl: cl, tag: tag, req: t.Type, ch: ch, start: time.Now()}, nil
+	return &Pending{cl: cl, tag: tag, req: t.Type, ch: ch, start: cl.ck.Now()}, nil
 }
 
 // Wait blocks for the reply. On an Rerror response it returns the
 // error string as an error.
 func (p *Pending) Wait() (*Fcall, error) {
-	r, ok := <-p.ch
+	r, ok := p.ch.Recv()
 	if !ok {
 		p.cl.mu.Lock()
 		err := p.cl.err
@@ -290,7 +298,7 @@ func (p *Pending) Wait() (*Fcall, error) {
 		}
 		return nil, err
 	}
-	p.cl.RPCHist.Observe(time.Since(p.start))
+	p.cl.RPCHist.Observe(p.cl.ck.Since(p.start))
 	if r.Type == Rerror {
 		return nil, errors.New(r.Ename)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -71,7 +72,7 @@ func TestFlushAbandonsBlockedRead(t *testing.T) {
 	readDone := make(chan *Fcall, 1)
 	const readTag = 77
 	cl.mu.Lock()
-	cl.tags[readTag] = make(chan *Fcall, 1)
+	cl.tags[readTag] = vclock.NewMailbox[*Fcall](nil, 1)
 	respCh := cl.tags[readTag]
 	cl.mu.Unlock()
 	msg, _ := MarshalFcall(&Fcall{Type: Tread, Tag: readTag, Fid: 2, Count: 64})
@@ -79,7 +80,7 @@ func TestFlushAbandonsBlockedRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	go func() {
-		if r, ok := <-respCh; ok {
+		if r, ok := respCh.Recv(); ok {
 			readDone <- r
 		}
 	}()
@@ -141,7 +142,7 @@ func TestFlushedTagReuse(t *testing.T) {
 	// A hand-tagged read parks in the server...
 	const tag = 99
 	cl.mu.Lock()
-	cl.tags[tag] = make(chan *Fcall, 1)
+	cl.tags[tag] = vclock.NewMailbox[*Fcall](nil, 1)
 	cl.mu.Unlock()
 	msg, _ := MarshalFcall(&Fcall{Type: Tread, Tag: tag, Fid: 2, Count: 64})
 	if err := cl.conn.WriteMsg(msg); err != nil {
@@ -159,7 +160,7 @@ func TestFlushedTagReuse(t *testing.T) {
 	// still parked. Its reply must come back — a server that keyed
 	// flush state by tag alone would consume the stale mark here and
 	// drop it.
-	reuse := make(chan *Fcall, 1)
+	reuse := vclock.NewMailbox[*Fcall](nil, 1)
 	cl.mu.Lock()
 	cl.tags[tag] = reuse
 	cl.mu.Unlock()
@@ -167,8 +168,14 @@ func TestFlushedTagReuse(t *testing.T) {
 	if err := cl.conn.WriteMsg(msg); err != nil {
 		t.Fatal(err)
 	}
+	reuseDone := make(chan *Fcall, 1)
+	go func() {
+		if r, ok := reuse.Recv(); ok {
+			reuseDone <- r
+		}
+	}()
 	select {
-	case r := <-reuse:
+	case r := <-reuseDone:
 		if r.Type != Rstat {
 			t.Fatalf("recycled tag answered with %s, want Rstat", TypeName(r.Type))
 		}
@@ -178,15 +185,14 @@ func TestFlushedTagReuse(t *testing.T) {
 
 	// Release the parked read: its stale reply must stay suppressed
 	// even though the tag has moved on.
-	stale := make(chan *Fcall, 1)
+	stale := vclock.NewMailbox[*Fcall](nil, 1)
 	cl.mu.Lock()
 	cl.tags[tag] = stale
 	cl.mu.Unlock()
 	close(fs.release)
-	select {
-	case r := <-stale:
+	time.Sleep(100 * time.Millisecond)
+	if r, ok := stale.TryRecv(); ok {
 		t.Fatalf("stale flushed reply surfaced under recycled tag: %+v", r)
-	case <-time.After(100 * time.Millisecond):
 	}
 	cl.mu.Lock()
 	delete(cl.tags, tag)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/block"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -23,6 +24,7 @@ type AttachFunc func(uname, aname string) (vfs.Node, error)
 type Server struct {
 	conn   MsgConn
 	attach AttachFunc
+	ck     vclock.Clock
 
 	wmu sync.Mutex // serializes response writes
 
@@ -65,7 +67,8 @@ type srvFid struct {
 // wait your turn, done when finished.
 type ticketQ struct {
 	mu         sync.Mutex
-	cond       *sync.Cond
+	cond       vclock.Cond
+	inited     bool
 	next, turn uint64
 }
 
@@ -77,12 +80,13 @@ func (q *ticketQ) take() uint64 {
 	return t
 }
 
-func (q *ticketQ) wait(t uint64) {
+func (q *ticketQ) wait(t uint64, ck vclock.Clock) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.turn != t {
-		if q.cond == nil {
-			q.cond = sync.NewCond(&q.mu)
+		if !q.inited {
+			q.cond.Init(ck, &q.mu)
+			q.inited = true
 		}
 		q.cond.Wait()
 	}
@@ -91,7 +95,7 @@ func (q *ticketQ) wait(t uint64) {
 func (q *ticketQ) done() {
 	q.mu.Lock()
 	q.turn++
-	if q.cond != nil {
+	if q.inited {
 		q.cond.Broadcast()
 	}
 	q.mu.Unlock()
@@ -101,9 +105,16 @@ func (q *ticketQ) done() {
 // client goes away. It returns the transport error (io.EOF for a
 // clean close).
 func Serve(conn MsgConn, attach AttachFunc) error {
+	return ServeClock(conn, attach, nil)
+}
+
+// ServeClock is Serve with an explicit clock driving the per-request
+// goroutines; nil means the real clock.
+func ServeClock(conn MsgConn, attach AttachFunc, ck vclock.Clock) error {
 	s := &Server{
 		conn:   conn,
 		attach: attach,
+		ck:     vclock.Or(ck),
 		fids:   make(map[uint32]*srvFid),
 		reqs:   make(map[uint16]*srvReq),
 	}
@@ -157,10 +168,10 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 			s.mu.Lock()
 			s.reqs[f.Tag] = st
 			s.mu.Unlock()
-			go func(f *Fcall, st *srvReq) {
+			s.ck.Go(func() {
 				var r *Fcall
 				if tq != nil {
-					tq.wait(ticket)
+					tq.wait(ticket, s.ck)
 					// A request flushed while queued must not
 					// touch the handle: on a delimited or
 					// stream device the read would consume
@@ -180,7 +191,7 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 					delete(s.reqs, f.Tag)
 				}
 				s.mu.Unlock()
-			}(f, st)
+			})
 		}
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/block"
+	"repro/internal/vclock"
 )
 
 // MsgConn is a duplex transport that preserves message delimiters, the
@@ -33,9 +35,9 @@ var ErrConnClosed = errors.New("9P: connection closed")
 // pipe is an in-process MsgConn pair, the analogue of mounting a pipe
 // to a user-level file server.
 type pipe struct {
-	in     <-chan []byte
-	out    chan<- []byte
-	closed chan struct{}
+	in     *vclock.Mailbox[[]byte]
+	out    *vclock.Mailbox[[]byte]
+	closed atomic.Bool
 	peer   *pipe
 	once   sync.Once
 }
@@ -45,64 +47,52 @@ type pipe struct {
 // itself crosses the pipe: WriteMsg transfers ownership of its argument
 // to the reading side, with no copy in between.
 func NewPipe() (MsgConn, MsgConn) {
-	ab := make(chan []byte, 32)
-	ba := make(chan []byte, 32)
-	a := &pipe{in: ba, out: ab, closed: make(chan struct{})}
-	b := &pipe{in: ab, out: ba, closed: make(chan struct{})}
+	return NewPipeClock(nil)
+}
+
+// NewPipeClock is NewPipe on an explicit clock; nil means the real
+// clock.
+func NewPipeClock(ck vclock.Clock) (MsgConn, MsgConn) {
+	ab := vclock.NewMailbox[[]byte](ck, 32)
+	ba := vclock.NewMailbox[[]byte](ck, 32)
+	a := &pipe{in: ba, out: ab}
+	b := &pipe{in: ab, out: ba}
 	a.peer, b.peer = b, a
 	return a, b
 }
 
-// ReadMsg implements MsgConn.
+// ReadMsg implements MsgConn. Messages already queued when an end
+// closes are drained before the close is reported.
 func (p *pipe) ReadMsg() ([]byte, error) {
-	select {
-	case m := <-p.in:
+	m, ok := p.in.Recv()
+	if ok {
 		return m, nil
-	default:
 	}
-	select {
-	case m := <-p.in:
-		return m, nil
-	case <-p.closed:
-		// Drain anything already queued before reporting close.
-		select {
-		case m := <-p.in:
-			return m, nil
-		default:
-			return nil, ErrConnClosed
-		}
-	case <-p.peer.closed:
-		select {
-		case m := <-p.in:
-			return m, nil
-		default:
-			return nil, io.EOF
-		}
+	if p.closed.Load() {
+		return nil, ErrConnClosed
 	}
+	return nil, io.EOF
 }
 
 // WriteMsg implements MsgConn: m itself is handed to the reader.
 func (p *pipe) WriteMsg(m []byte) error {
-	select { // closed ends win over a ready buffer
-	case <-p.closed:
+	if p.closed.Load() || p.peer.closed.Load() {
 		return ErrConnClosed
-	case <-p.peer.closed:
-		return ErrConnClosed
-	default:
 	}
-	select {
-	case <-p.closed:
+	if err := p.out.Send(m); err != nil {
 		return ErrConnClosed
-	case <-p.peer.closed:
-		return ErrConnClosed
-	case p.out <- m:
-		return nil
 	}
+	return nil
 }
 
-// Close implements MsgConn.
+// Close implements MsgConn: both directions close, so the peer's
+// reads drain and report EOF and its writes fail.
 func (p *pipe) Close() error {
-	p.once.Do(func() { close(p.closed) })
+	p.once.Do(func() {
+		p.closed.Store(true)
+		p.out.Close()
+		p.in.Close()
+	})
 	return nil
 }
 

@@ -106,6 +106,7 @@ type slot struct {
 type Ring struct {
 	enabled atomic.Bool
 	epoch   atomic.Int64 // wall nanoseconds at Enable
+	nowFn   atomic.Pointer[func() int64]
 	head    atomic.Uint64
 	slots   [RingSize]slot
 }
@@ -117,10 +118,30 @@ type Tracer interface {
 	Trace() *Ring
 }
 
+// SetNow replaces the ring's time source (wall nanoseconds) — how a
+// virtual-time world stamps traces with simulated time so same-seed
+// runs produce byte-identical trace files. nil restores the real
+// clock.
+func (r *Ring) SetNow(now func() int64) {
+	if now == nil {
+		r.nowFn.Store(nil)
+		return
+	}
+	r.nowFn.Store(&now)
+}
+
+func (r *Ring) now() int64 {
+	if fn := r.nowFn.Load(); fn != nil {
+		return (*fn)()
+	}
+	//netvet:ignore realtime the pluggable time source defaults to the real clock
+	return time.Now().UnixNano()
+}
+
 // Enable arms the ring and resets its epoch. Events already recorded
 // remain readable; their When is relative to the previous epoch.
 func (r *Ring) Enable() {
-	r.epoch.Store(time.Now().UnixNano())
+	r.epoch.Store(r.now())
 	r.enabled.Store(true)
 }
 
@@ -137,7 +158,7 @@ func (r *Ring) Emit(k Kind, a, b int64) {
 	if !r.enabled.Load() {
 		return
 	}
-	when := time.Now().UnixNano() - r.epoch.Load()
+	when := r.now() - r.epoch.Load()
 	seq := r.head.Add(1) // 1-based
 	s := &r.slots[(seq-1)%RingSize]
 	s.seq.Store(0) // mark torn while the fields change

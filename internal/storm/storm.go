@@ -1,0 +1,220 @@
+// Package storm boots large Datakit worlds and drives the registry
+// storm: every machine in the hierarchy repeatedly calls one registry
+// service, the way a building full of terminals hammers the connection
+// machinery after a power cut. On the virtual clock the whole
+// exercise — a thousand kernels booting, tens of thousands of calls
+// over the switch — is a discrete-event simulation: simulated hours
+// cost wall-clock seconds, and a seed pins every impairment decision.
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dialer"
+	"repro/internal/medium"
+	"repro/internal/ns"
+	"repro/internal/vclock"
+)
+
+// Datakit hierarchy the machines spread over: area/exchange pairs in
+// the style of the paper's nj/astro.
+var (
+	areas     = []string{"nj", "mh", "il", "dk"}
+	exchanges = []string{"astro", "coma", "lyra", "vega"}
+)
+
+// Config sizes one storm.
+type Config struct {
+	// Machines is the number of calling machines booted besides the
+	// registry itself.
+	Machines int
+	// Sim is the simulated duration each machine keeps calling for.
+	Sim time.Duration
+	// Interval is the mean pause between one machine's calls; 0
+	// derives Sim/8.
+	Interval time.Duration
+	// Seed pins the call pacing and payload sizes (and, through the
+	// medium, any impairment decisions).
+	Seed int64
+	// Virtual runs the world on a discrete-event clock; otherwise the
+	// storm burns real time.
+	Virtual bool
+	// Latency and Bandwidth shape the switch's circuits; zero means
+	// a 2ms / 1 MB/s WAN-ish profile.
+	Latency   time.Duration
+	Bandwidth int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines == 0 {
+		c.Machines = 1000
+	}
+	if c.Sim == 0 {
+		c.Sim = 75 * time.Second
+	}
+	if c.Interval == 0 {
+		c.Interval = c.Sim / 8
+	}
+	if c.Latency == 0 {
+		c.Latency = 2 * time.Millisecond
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1 << 20
+	}
+	return c
+}
+
+// Result is what the storm did.
+type Result struct {
+	Machines  int
+	Calls     int64 // registry calls that completed, echo verified
+	Errors    int64 // dials refused or conversations cut short
+	Bytes     int64 // payload bytes echoed back
+	Simulated time.Duration
+	Wall      time.Duration
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("storm: %d machines, %d calls (%d errors), %d bytes echoed, simulated %v in %v wall",
+		r.Machines, r.Calls, r.Errors, r.Bytes,
+		r.Simulated.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
+}
+
+// ndbText writes the database for n machines plus the registry,
+// spread across the area/exchange hierarchy.
+func ndbText(n int) string {
+	var b strings.Builder
+	b.WriteString("sys=registry\n\tdk=nj/astro/registry\n")
+	for i := range n {
+		name := machineName(i)
+		fmt.Fprintf(&b, "sys=%s\n\tdk=%s\n", name, dkName(i))
+	}
+	return b.String()
+}
+
+func machineName(i int) string { return fmt.Sprintf("m%04d", i) }
+
+func dkName(i int) string {
+	area := areas[i%len(areas)]
+	exch := exchanges[(i/len(areas))%len(exchanges)]
+	return area + "/" + exch + "/" + machineName(i)
+}
+
+// Run boots the world and drives the storm to completion.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Machines: cfg.Machines}
+	wall := time.Now() //netvet:ignore realtime wall-clock half of the simulation report
+	var err error
+	if cfg.Virtual {
+		v := vclock.NewVirtual()
+		v.Run(func() { err = run(v, cfg, res) })
+	} else {
+		err = run(vclock.Real, cfg, res)
+	}
+	res.Wall = time.Since(wall) //netvet:ignore realtime wall-clock half of the simulation report
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func run(ck vclock.Clock, cfg Config, res *Result) error {
+	w, err := core.NewWorldClock(ndbText(cfg.Machines), ck)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	w.AddDatakit(medium.Profile{
+		Latency:   cfg.Latency,
+		Bandwidth: cfg.Bandwidth,
+		MTU:       2048,
+		Seed:      cfg.Seed,
+	})
+
+	reg, err := w.NewMachine(core.MachineConfig{Name: "registry", Datakit: true}) //netvet:ignore unclosed-resource the world closes its machines
+	if err != nil {
+		return fmt.Errorf("storm: boot registry: %w", err)
+	}
+	if _, err := reg.ServeEcho("dk!*!registry"); err != nil {
+		return fmt.Errorf("storm: announce registry: %w", err)
+	}
+
+	machines := make([]*core.Machine, cfg.Machines)
+	for i := range machines {
+		m, err := w.NewMachine(core.MachineConfig{Name: machineName(i), Datakit: true})
+		if err != nil {
+			return fmt.Errorf("storm: boot %s: %w", machineName(i), err)
+		}
+		machines[i] = m
+	}
+
+	var calls, errors, bytes atomic.Int64
+	wg := vclock.NewWaitGroup(ck)
+	for i, m := range machines {
+		wg.Add(1)
+		m := m
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		ck.Go(func() {
+			defer wg.Done()
+			stormClient(ck, cfg, m.NS, rng, &calls, &errors, &bytes)
+		})
+	}
+	wg.Wait()
+	res.Calls = calls.Load()
+	res.Errors = errors.Load()
+	res.Bytes = bytes.Load()
+	res.Simulated = cfg.Sim
+	return nil
+}
+
+// stormClient is one machine's life during the storm: stagger in,
+// then call the registry, verify the echo, and pause until the
+// simulated duration has elapsed.
+func stormClient(ck vclock.Clock, cfg Config, nsp *ns.Namespace, rng *rand.Rand,
+	calls, errors, bytes *atomic.Int64) {
+	start := ck.Now()
+	// Stagger the boot flood across the first interval.
+	ck.Sleep(time.Duration(rng.Int63n(int64(cfg.Interval))))
+	buf := make([]byte, 512)
+	for ck.Since(start) < cfg.Sim {
+		conn, err := dialer.Dial(nsp, "dk!nj/astro/registry!registry")
+		if err != nil {
+			errors.Add(1)
+			ck.Sleep(cfg.Interval / 4)
+			continue
+		}
+		n := 64 + rng.Intn(192)
+		msg := make([]byte, n)
+		rng.Read(msg)
+		ok := false
+		if _, err := conn.Write(msg); err == nil {
+			got := buf[:0]
+			for len(got) < n {
+				k, err := conn.Read(buf[len(got):n])
+				if k > 0 {
+					got = buf[:len(got)+k]
+				}
+				if err != nil {
+					break
+				}
+			}
+			ok = len(got) == n && string(got) == string(msg)
+		}
+		conn.Close()
+		if ok {
+			calls.Add(1)
+			bytes.Add(int64(n))
+		} else {
+			errors.Add(1)
+		}
+		// Jittered pause: mean Interval, spread ±50%.
+		pause := cfg.Interval/2 + time.Duration(rng.Int63n(int64(cfg.Interval)))
+		ck.Sleep(pause)
+	}
+}

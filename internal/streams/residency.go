@@ -15,6 +15,8 @@ import (
 //
 // Tracking is opt-in: stamping every block costs a clock read per
 // DeviceUp, so the hot path stays untouched until someone asks.
+// Stamps come from the stream's own clock, so a virtual-clock stream
+// records virtual residency.
 var (
 	residencyOn atomic.Bool
 
@@ -29,16 +31,16 @@ func EnableResidency(on bool) { residencyOn.Store(on) }
 func ResidencyEnabled() bool { return residencyOn.Load() }
 
 // stampUp marks a block entering the stream at the device end.
-func stampUp(b *Block) {
+func (s *Stream) stampUp(b *Block) {
 	if residencyOn.Load() {
-		b.stamp = time.Now().UnixNano()
+		b.stamp = s.clk.Now().UnixNano()
 	}
 }
 
 // observeResidency records the block's residency at first consumption.
-func observeResidency(b *Block) {
+func (s *Stream) observeResidency(b *Block) {
 	if b.stamp != 0 {
-		Residency.Observe(time.Duration(time.Now().UnixNano() - b.stamp))
+		Residency.Observe(time.Duration(s.clk.Now().UnixNano() - b.stamp))
 		b.stamp = 0
 	}
 }

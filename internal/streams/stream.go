@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/block"
+	"repro/internal/vclock"
 )
 
 // Stream is a bidirectional channel between a device and user
@@ -21,6 +22,7 @@ import (
 //	device receive/transmit
 type Stream struct {
 	limit int
+	clk   vclock.Clock
 
 	cfg      sync.RWMutex // guards module list changes vs. traffic
 	topRead  *Queue       // up direction terminator: user reads here
@@ -42,11 +44,17 @@ type DeviceFunc func(b *Block)
 
 // New creates a stream whose device end delivers downstream blocks to
 // dev. limit <= 0 selects DefaultLimit.
-func New(limit int, dev DeviceFunc) *Stream {
+func New(limit int, dev DeviceFunc) *Stream { return NewClock(limit, nil, dev) }
+
+// NewClock is New with an explicit clock: flow-control waits and
+// residency stamps go through ck, so a virtual-clock stream parks
+// cooperatively with the simulation scheduler. nil means the real
+// clock.
+func NewClock(limit int, ck vclock.Clock, dev DeviceFunc) *Stream {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	s := &Stream{limit: limit}
+	s := &Stream{limit: limit, clk: vclock.Or(ck)}
 	s.topRead = newQueue(s, nil, true, PutQ)
 	s.topWrite = newQueue(s, nil, false, PassPut)
 	s.devUp = newQueue(s, nil, true, PassPut)
@@ -239,7 +247,7 @@ func (s *Stream) Read(p []byte) (int, error) {
 			b.Free()
 			continue // control information is not data
 		}
-		observeResidency(b)
+		s.observeResidency(b)
 		n := copy(p[total:], b.Buf)
 		total += n
 		if n < len(b.Buf) {
@@ -270,7 +278,7 @@ func (s *Stream) Read(p []byte) (int, error) {
 //
 //netvet:owns b
 func (s *Stream) DeviceUp(b *Block) {
-	stampUp(b)
+	s.stampUp(b)
 	s.cfg.RLock()
 	entry := s.devUp
 	s.cfg.RUnlock()

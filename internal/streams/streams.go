@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/block"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -177,8 +178,8 @@ type Queue struct {
 	other *Queue // reverse-direction queue of the same instance
 
 	mu     sync.Mutex
-	rwait  *sync.Cond // readers waiting for blocks
-	wwait  *sync.Cond // writers waiting for space
+	rwait  vclock.Cond // readers waiting for blocks
+	wwait  vclock.Cond // writers waiting for space
 	first  *Block
 	last   *Block
 	nbytes int
@@ -190,8 +191,8 @@ type Queue struct {
 
 func newQueue(s *Stream, qi *Qinfo, up bool, put PutFunc) *Queue {
 	q := &Queue{s: s, qi: qi, up: up, put: put, limit: s.limit}
-	q.rwait = sync.NewCond(&q.mu)
-	q.wwait = sync.NewCond(&q.mu)
+	q.rwait.Init(s.clk, &q.mu)
+	q.wwait.Init(s.clk, &q.mu)
 	return q
 }
 

@@ -118,6 +118,7 @@ func MeasureLatency(p Path, pings int) (time.Duration, error) {
 	if _, err := io.ReadFull(conn, buf[:1]); err != nil {
 		return 0, err
 	}
+	//netvet:ignore realtime measures real wall-clock throughput by design
 	start := time.Now()
 	for range pings {
 		if _, err := conn.Write(buf[:1]); err != nil {
@@ -127,6 +128,7 @@ func MeasureLatency(p Path, pings int) (time.Duration, error) {
 			return 0, err
 		}
 	}
+	//netvet:ignore realtime measures real wall-clock throughput by design
 	return time.Since(start) / time.Duration(pings), nil
 }
 
@@ -139,6 +141,7 @@ func MeasureThroughput(p Path, writeSize, total int) (float64, error) {
 	}
 	defer conn.Close()
 	payload := make([]byte, writeSize)
+	//netvet:ignore realtime measures real wall-clock throughput by design
 	start := time.Now()
 	sent := 0
 	for sent < total {
@@ -156,6 +159,7 @@ func MeasureThroughput(p Path, writeSize, total int) (float64, error) {
 	if _, err := io.ReadFull(conn, one); err != nil {
 		return 0, err
 	}
+	//netvet:ignore realtime measures real wall-clock throughput by design
 	el := time.Since(start).Seconds()
 	return float64(total) / el / 1e6, nil
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/obs"
 	"repro/internal/streams"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -73,6 +74,7 @@ const (
 // Proto is a machine's TCP protocol device.
 type Proto struct {
 	stack *ip.Stack
+	ck    vclock.Clock
 
 	mu        sync.Mutex
 	conns     map[connKey]*Conn
@@ -100,12 +102,14 @@ var _ xport.Proto = (*Proto)(nil)
 
 // New creates the TCP device on a stack and registers its demux.
 func New(stack *ip.Stack) *Proto {
+	ck := stack.Clock()
 	p := &Proto{
 		stack:     stack,
+		ck:        ck,
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[uint16]*Conn),
 		nextEphem: 5000,
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:       rand.New(rand.NewSource(ck.Now().UnixNano())),
 	}
 	p.stats = new(obs.Group).
 		AddAtomic("segs-sent", &p.SegsSent).
@@ -141,9 +145,8 @@ func (p *Proto) Close() {
 	p.mu.Unlock()
 	for _, c := range all {
 		c.mu.Lock()
-		if c.state == Listen && !c.acceptClosed {
-			c.acceptClosed = true
-			close(c.accepted)
+		if c.state == Listen {
+			c.accepted.Close()
 		}
 		if c.err == nil {
 			c.err = vfs.ErrHungup
@@ -158,9 +161,9 @@ func (p *Proto) NewConn() (xport.Conn, error) { return p.newConn(), nil }
 
 func (p *Proto) newConn() *Conn {
 	c := &Conn{proto: p, state: Closed}
-	c.cond = sync.NewCond(&c.mu)
-	c.rstream = streams.New(1<<22, nil)
-	c.accepted = make(chan *Conn, 8)
+	c.cond.Init(p.ck, &c.mu)
+	c.rstream = streams.NewClock(1<<22, p.ck, nil)
+	c.accepted = vclock.NewMailbox[*Conn](p.ck, 8)
 	return c
 }
 
@@ -302,7 +305,7 @@ func (p *Proto) spawnLocked(l *Conn, src ip.Addr, h header) *Conn {
 	c.sndUna, c.sndNxt = c.iss, c.iss+1
 	c.rcvNxt = h.seq + 1
 	p.conns[connKey{raddr: src, rport: h.src, lport: h.dst}] = c
-	go c.timer()
+	p.ck.Go(c.timer)
 	c.sendSegLocked(flagSYN|flagACK, c.iss, nil)
 	return c
 }
@@ -325,7 +328,7 @@ type Conn struct {
 	rstream *streams.Stream
 
 	mu   sync.Mutex
-	cond *sync.Cond
+	cond vclock.Cond
 
 	state      int
 	localAddr  ip.Addr
@@ -359,10 +362,7 @@ type Conn struct {
 	lastProgress time.Time
 
 	listener *Conn
-	accepted chan *Conn
-	// acceptClosed guards accepted against send-after-close; set
-	// under the listener's own mu.
-	acceptClosed bool
+	accepted *vclock.Mailbox[*Conn]
 
 	closed bool
 	err    error
@@ -404,13 +404,13 @@ func (c *Conn) Connect(addr string) error {
 	c.iss = p.rng.Uint32() & 0xffffff
 	c.sndUna, c.sndNxt = c.iss, c.iss+1
 	c.state = SynSent
-	c.lastProgress = time.Now()
+	c.lastProgress = p.ck.Now()
 	p.conns[connKey{raddr: a, rport: port, lport: c.localPort}] = c
 	c.sendSegLocked(flagSYN, c.iss, nil)
 	c.mu.Unlock()
 	p.mu.Unlock()
 
-	go c.timer()
+	p.ck.Go(c.timer)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for c.state == SynSent || c.state == SynRcvd {
@@ -468,9 +468,9 @@ func (c *Conn) Listen() (xport.Conn, error) {
 		c.mu.Unlock()
 		return nil, xport.ErrNotAnnounced
 	}
-	ch := c.accepted
+	mb := c.accepted
 	c.mu.Unlock()
-	nc, ok := <-ch
+	nc, ok := mb.Recv()
 	if !ok {
 		return nil, streams.ErrClosed
 	}
@@ -501,10 +501,10 @@ func (c *Conn) sendSegLocked(flags byte, seq uint32, data []byte) {
 	// data (which may alias sndBuf) is not touched by the goroutine.
 	pkt := marshalBlock(h, data)
 	src, dst := c.localAddr, c.remoteAddr
-	go func() {
+	c.proto.ck.Go(func() {
 		c.proto.SegsSent.Add(1)
 		c.proto.stack.SendBlock(ip.ProtoTCP, src, dst, pkt)
-	}()
+	})
 }
 
 // Write implements xport.Conn: bytes enter the send buffer and are
@@ -579,10 +579,10 @@ func (c *Conn) pumpLocked() {
 		if !c.timing {
 			c.timing = true
 			c.timedSeq = seq + n
-			c.timedAt = time.Now()
+			c.timedAt = c.proto.ck.Now()
 		}
 		if c.sndUna == c.sndNxt {
-			c.oldestTx = time.Now()
+			c.oldestTx = c.proto.ck.Now()
 		}
 		c.sndNxt += n
 		c.sendSegLocked(0, seq, append([]byte(nil), data...))
@@ -604,7 +604,7 @@ func (c *Conn) segment(h header, data []byte) {
 	if c.closed && c.state == Closed {
 		return
 	}
-	c.lastProgress = time.Now()
+	c.lastProgress = c.proto.ck.Now()
 	if h.flags&flagRST != 0 {
 		c.err = vfs.ErrConnRef
 		c.dieLocked()
@@ -632,17 +632,9 @@ func (c *Conn) segment(h header, data []byte) {
 			c.trace.Emit(obs.EvAccept, 0, 0)
 			if l := c.listener; l != nil {
 				c.listener = nil
-				ok := false
-				//netvet:ignore lock-across-send listener code never takes a conn's mu, so conn-then-listener cannot invert
-				l.mu.Lock()
-				if !l.acceptClosed {
-					select {
-					case l.accepted <- c:
-						ok = true
-					default:
-					}
-				}
-				l.mu.Unlock()
+				// TrySend refuses on a full backlog or a closed
+				// listener, exactly the cases the RST below covers.
+				ok := l.accepted.TrySend(c)
 				if !ok {
 					// Listener gone or backlog full: refuse.
 					c.err = vfs.ErrConnRef
@@ -658,7 +650,7 @@ func (c *Conn) segment(h header, data []byte) {
 	if h.flags&flagACK != 0 && h.ack > c.sndUna && h.ack <= c.sndNxt {
 		acked := h.ack - c.sndUna
 		if c.timing && h.ack >= c.timedSeq {
-			rtt := time.Since(c.timedAt)
+			rtt := c.proto.ck.Since(c.timedAt)
 			c.proto.RTTHist.Observe(rtt)
 			if c.srtt == 0 {
 				c.srtt, c.mdev = rtt, rtt/2
@@ -682,7 +674,7 @@ func (c *Conn) segment(h header, data []byte) {
 		}
 		c.sndBuf = c.sndBuf[bufAcked:]
 		c.sndUna = h.ack
-		c.oldestTx = time.Now()
+		c.oldestTx = c.proto.ck.Now()
 		c.cond.Broadcast()
 		// State transitions on FIN acknowledgement.
 		if c.finSent && h.ack > c.finSeq {
@@ -776,7 +768,7 @@ func (c *Conn) maybeFinLocked() {
 func (c *Conn) enterTimeWaitLocked() {
 	c.state = TimeWait
 	c.cond.Broadcast()
-	time.AfterFunc(timeWaitDur, func() {
+	c.proto.ck.AfterFunc(timeWaitDur, func() {
 		c.mu.Lock()
 		c.dieLocked()
 		c.mu.Unlock()
@@ -792,7 +784,7 @@ func (c *Conn) dieLocked() {
 	c.cond.Broadcast()
 	c.trace.Emit(obs.EvHangup, 0, 0)
 	c.rstream.HangupUp()
-	go c.proto.remove(c)
+	c.proto.ck.Go(func() { c.proto.remove(c) })
 }
 
 func (c *Conn) rtoLocked() time.Duration {
@@ -812,15 +804,15 @@ func (c *Conn) rtoLocked() time.Duration {
 // timer is the connection's helper process: SYN retries, go-back-N
 // retransmission, FIN retries, death timer.
 func (c *Conn) timer() {
-	tick := time.NewTicker(tickInterval)
-	defer tick.Stop()
-	for range tick.C {
+	ck := c.proto.ck
+	for {
+		ck.Sleep(tickInterval)
 		c.mu.Lock()
 		if c.state == Closed {
 			c.mu.Unlock()
 			return
 		}
-		now := time.Now()
+		now := ck.Now()
 		if now.Sub(c.lastProgress) > deathTime {
 			c.err = vfs.ErrTimedOut
 			c.dieLocked()
@@ -831,12 +823,12 @@ func (c *Conn) timer() {
 		case SynSent:
 			c.sendSegLocked(flagSYN, c.iss, nil)
 			c.mu.Unlock()
-			time.Sleep(synRetry)
+			ck.Sleep(synRetry)
 			continue
 		case SynRcvd:
 			c.sendSegLocked(flagSYN|flagACK, c.iss, nil)
 			c.mu.Unlock()
-			time.Sleep(synRetry)
+			ck.Sleep(synRetry)
 			continue
 		}
 		// Retransmission: go-back-N from sndUna.
@@ -930,8 +922,7 @@ func (c *Conn) Close() error {
 		c.queueFinLocked()
 	case Listen:
 		c.state = Closed
-		c.acceptClosed = true
-		close(c.accepted)
+		c.accepted.Close()
 		c.mu.Unlock()
 		c.proto.remove(c)
 		c.rstream.Close()
@@ -944,7 +935,7 @@ func (c *Conn) Close() error {
 	}
 	c.mu.Unlock()
 	// Don't linger forever waiting for the FIN exchange.
-	time.AfterFunc(2*time.Second, func() {
+	c.proto.ck.AfterFunc(2*time.Second, func() {
 		c.mu.Lock()
 		c.dieLocked()
 		c.mu.Unlock()
@@ -957,7 +948,7 @@ func (c *Conn) sendFinLocked() {
 	c.finSent = true
 	c.finSeq = c.sndNxt
 	c.sndNxt++
-	c.oldestTx = time.Now()
+	c.oldestTx = c.proto.ck.Now()
 	c.sendSegLocked(flagFIN, c.finSeq, nil)
 }
 

@@ -1,0 +1,47 @@
+package torture
+
+import (
+	"time"
+
+	"repro/internal/medium"
+)
+
+// Chaos builds the standard impairment cocktail for one protocol of
+// the torture matrix — the scenario `netsim -chaos` runs and the
+// deterministic regression suite replays. Every fault class the
+// protocol's medium can express is on; the per-protocol adjustments
+// track the contracts of the real hardware (§2.3, §7): Datakit
+// circuits deliver cells ordered or not at all, and the Cyclone
+// boards are reliable, so only delay variation reaches them.
+func Chaos(proto string, seed int64, msgs int) Scenario {
+	s := Scenario{
+		Proto:  proto,
+		Seed:   seed,
+		Msgs:   msgs,
+		Back:   msgs / 2,
+		MaxMsg: 700,
+		Loss:   0.02,
+		Impair: medium.Impairment{
+			Duplicate:    0.03,
+			Reorder:      0.05,
+			ReorderDepth: 3,
+			Corrupt:      0.05,
+			CorruptBits:  2,
+			BurstP:       0.004,
+			BurstR:       0.4,
+			Partitions:   []medium.Window{{From: 120, To: 140}, {From: 300, To: 315}},
+		},
+		Timeout: 25 * time.Second,
+	}
+	switch proto {
+	case ProtoURP:
+		s.Impair.Reorder = 0
+		s.Impair.ReorderDepth = 0
+		s.Impair.Duplicate = 0
+		s.Impair.Partitions = []medium.Window{{From: 80, To: 95}}
+	case ProtoCyclone:
+		s.Loss = 0
+		s.Impair = medium.Impairment{Jitter: 200 * time.Microsecond}
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package torture
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChaosDeterminism is the same-seed identity gate for the virtual
+// clock: each chaos scenario runs twice on its own discrete-event
+// clock, and everything observable must be bit-identical — the
+// recorded impairment schedule (the decision stream is a pure function
+// of seed and wire index, and virtual time makes the wire indices
+// themselves deterministic), the wire counters, both direction
+// checksums, the retransmission count, the simulated elapsed time, and
+// the rendered report.
+func TestChaosDeterminism(t *testing.T) {
+	for _, proto := range Protos {
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			s := Chaos(proto, 7, 24)
+			s.Virtual = true
+			s.Impair.Record = true
+			a := Run(s)
+			b := Run(s)
+			if a.Failed() {
+				t.Fatalf("first run failed:\n%s", a)
+			}
+			if b.Failed() {
+				t.Fatalf("second run failed:\n%s", b)
+			}
+			if !reflect.DeepEqual(a.Schedule, b.Schedule) {
+				t.Errorf("impairment schedules differ: %d vs %d decisions", len(a.Schedule), len(b.Schedule))
+			}
+			if !reflect.DeepEqual(a.Wire, b.Wire) {
+				t.Errorf("wire counts differ:\n  %v\n  %v", a.Wire, b.Wire)
+			}
+			if a.Forward != b.Forward || a.Backward != b.Backward {
+				t.Errorf("direction stats differ:\n  %+v %+v\n  %+v %+v", a.Forward, a.Backward, b.Forward, b.Backward)
+			}
+			if a.Retransmits != b.Retransmits {
+				t.Errorf("retransmits differ: %d vs %d", a.Retransmits, b.Retransmits)
+			}
+			if a.Elapsed != b.Elapsed {
+				t.Errorf("simulated elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+			}
+			if a.String() != b.String() {
+				t.Errorf("rendered reports differ:\n%s\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestChaosVirtualMatchesReal checks the virtual clock does not change
+// what the protocols deliver: a chaos scenario passes its invariants
+// identically under both clocks (the wire schedules differ — real time
+// makes wire indices racy — but the end-to-end promises must hold).
+func TestChaosVirtualMatchesReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock half is slow; covered by the virtual half elsewhere")
+	}
+	for _, proto := range Protos {
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			s := Chaos(proto, 3, 16)
+			real := Run(s)
+			if real.Failed() {
+				t.Fatalf("real-clock run failed:\n%s", real)
+			}
+			s.Virtual = true
+			virt := Run(s)
+			if virt.Failed() {
+				t.Fatalf("virtual-clock run failed:\n%s", virt)
+			}
+		})
+	}
+}

@@ -3,8 +3,6 @@ package torture
 import (
 	"bytes"
 	"encoding/binary"
-	"sync"
-	"time"
 
 	"repro/internal/cyclone"
 	"repro/internal/datakit"
@@ -15,6 +13,7 @@ import (
 	"repro/internal/ninep"
 	"repro/internal/ramfs"
 	"repro/internal/tcp"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -32,39 +31,39 @@ type conv struct {
 
 // drive runs the two-directional traffic over an established
 // conversation, then closes everything and fills the report.
-func drive(s Scenario, rep *Report, c *conv) {
-	watchdog := time.AfterFunc(s.Timeout, func() {
+func drive(ck vclock.Clock, s Scenario, rep *Report, c *conv) {
+	watchdog := ck.AfterFunc(s.Timeout, func() {
 		rep.violate("timeout", "conversation did not finish in %v", s.Timeout)
 		// Unblock every reader and writer; the run then drains.
 		c.dial.Close()
 		c.acc.Close()
 	})
-	var wg sync.WaitGroup
+	wg := vclock.NewWaitGroup(ck)
 	wg.Add(4)
-	go func() {
+	ck.Go(func() {
 		defer wg.Done()
 		sendMsgs(s, rep, c.dial, 0, s.Msgs, &rep.Forward)
-	}()
-	go func() {
+	})
+	ck.Go(func() {
 		defer wg.Done()
 		if c.stream {
 			recvStream(s, rep, c.acc, 0, s.Msgs, &rep.Forward)
 		} else {
 			recvMsgs(s, rep, c.acc, 0, s.Msgs, &rep.Forward)
 		}
-	}()
-	go func() {
+	})
+	ck.Go(func() {
 		defer wg.Done()
 		sendMsgs(s, rep, c.acc, 1, s.Back, &rep.Backward)
-	}()
-	go func() {
+	})
+	ck.Go(func() {
 		defer wg.Done()
 		if c.stream {
 			recvStream(s, rep, c.dial, 1, s.Back, &rep.Backward)
 		} else {
 			recvMsgs(s, rep, c.dial, 1, s.Back, &rep.Backward)
 		}
-	}()
+	})
 	wg.Wait()
 	watchdog.Stop()
 	c.dial.Close()
@@ -201,7 +200,7 @@ func recvStream(s Scenario, rep *Report, r xport.Conn, dir byte, count int, stat
 // dialAccept establishes a conversation: announce+listen on lp, dial
 // from dp. The listen runs concurrently and is always joined; a dial
 // failure closes the listener to unblock it.
-func dialAccept(rep *Report, dp, lp xport.Proto, announce, dialAddr string) (dialc, accc xport.Conn, ok bool) {
+func dialAccept(ck vclock.Clock, rep *Report, dp, lp xport.Proto, announce, dialAddr string) (dialc, accc xport.Conn, ok bool) {
 	lc, err := lp.NewConn()
 	if err != nil {
 		rep.violate("connect", "listener clone: %v", err)
@@ -212,15 +211,15 @@ func dialAccept(rep *Report, dp, lp xport.Proto, announce, dialAddr string) (dia
 		lc.Close()
 		return nil, nil, false
 	}
-	accCh := make(chan xport.Conn, 1)
-	go func() {
+	accCh := vclock.NewMailbox[xport.Conn](ck, 1)
+	ck.Go(func() {
 		nc, err := lc.Listen()
 		if err != nil {
-			accCh <- nil
+			accCh.TrySend(nil)
 			return
 		}
-		accCh <- nc
-	}()
+		accCh.TrySend(nc)
+	})
 	dc, err := dp.NewConn()
 	if err == nil {
 		err = dc.Connect(dialAddr)
@@ -228,7 +227,7 @@ func dialAccept(rep *Report, dp, lp xport.Proto, announce, dialAddr string) (dia
 	if err != nil {
 		rep.violate("connect", "dial %q: %v", dialAddr, err)
 		lc.Close() // unblocks the pending Listen
-		if nc := <-accCh; nc != nil {
+		if nc, _ := accCh.Recv(); nc != nil {
 			nc.Close()
 		}
 		if dc != nil {
@@ -236,7 +235,7 @@ func dialAccept(rep *Report, dp, lp xport.Proto, announce, dialAddr string) (dia
 		}
 		return nil, nil, false
 	}
-	nc := <-accCh
+	nc, _ := accCh.Recv()
 	lc.Close()
 	if nc == nil {
 		rep.violate("connect", "listen returned no conversation for %q", dialAddr)
@@ -254,7 +253,7 @@ type etherWorld struct {
 	a1, a2   ip.Addr
 }
 
-func newEtherWorld(s Scenario) (*etherWorld, error) {
+func newEtherWorld(ck vclock.Clock, s Scenario) (*etherWorld, error) {
 	w := &etherWorld{
 		seg: ether.NewSegment("torture0", ether.Profile{
 			Latency:   s.Latency,
@@ -262,9 +261,10 @@ func newEtherWorld(s Scenario) (*etherWorld, error) {
 			Loss:      s.Loss,
 			Seed:      s.Seed,
 			Impair:    s.Impair,
+			Clock:     ck,
 		}),
-		st1: ip.NewStack(),
-		st2: ip.NewStack(),
+		st1: ip.NewStackClock(ck),
+		st2: ip.NewStackClock(ck),
 		a1:  ip.Addr{135, 104, 9, 1},
 		a2:  ip.Addr{135, 104, 9, 2},
 	}
@@ -286,21 +286,21 @@ func (w *etherWorld) close() {
 	w.seg.Close()
 }
 
-func runIL(s Scenario, rep *Report) {
-	w, err := newEtherWorld(s)
+func runIL(ck vclock.Clock, s Scenario, rep *Report) {
+	w, err := newEtherWorld(ck, s)
 	if err != nil {
 		rep.violate("connect", "ether world: %v", err)
 		return
 	}
 	p1, p2 := il.New(w.st1, il.Config{}), il.New(w.st2, il.Config{})
-	dc, ac, ok := dialAccept(rep, p1, p2, "17008", ip.HostPort(w.a2, 17008))
+	dc, ac, ok := dialAccept(ck, rep, p1, p2, "17008", ip.HostPort(w.a2, 17008))
 	if !ok {
 		p1.Close()
 		p2.Close()
 		w.close()
 		return
 	}
-	drive(s, rep, &conv{
+	drive(ck, s, rep, &conv{
 		dial:     dc,
 		acc:      ac,
 		retrans:  func() int64 { return p1.Retransmits.Load() + p2.Retransmits.Load() },
@@ -314,21 +314,21 @@ func runIL(s Scenario, rep *Report) {
 	})
 }
 
-func runTCP(s Scenario, rep *Report) {
-	w, err := newEtherWorld(s)
+func runTCP(ck vclock.Clock, s Scenario, rep *Report) {
+	w, err := newEtherWorld(ck, s)
 	if err != nil {
 		rep.violate("connect", "ether world: %v", err)
 		return
 	}
 	p1, p2 := tcp.New(w.st1), tcp.New(w.st2)
-	dc, ac, ok := dialAccept(rep, p1, p2, "564", ip.HostPort(w.a2, 564))
+	dc, ac, ok := dialAccept(ck, rep, p1, p2, "564", ip.HostPort(w.a2, 564))
 	if !ok {
 		p1.Close()
 		p2.Close()
 		w.close()
 		return
 	}
-	drive(s, rep, &conv{
+	drive(ck, s, rep, &conv{
 		dial:     dc,
 		acc:      ac,
 		stream:   true,
@@ -343,7 +343,7 @@ func runTCP(s Scenario, rep *Report) {
 	})
 }
 
-func runURP(s Scenario, rep *Report) {
+func runURP(ck vclock.Clock, s Scenario, rep *Report) {
 	sw := datakit.NewSwitch(medium.Profile{
 		Latency:   s.Latency,
 		Bandwidth: s.Bandwidth,
@@ -351,6 +351,7 @@ func runURP(s Scenario, rep *Report) {
 		Loss:      s.Loss,
 		Seed:      s.Seed,
 		Impair:    s.Impair,
+		Clock:     ck,
 	})
 	h1, err := sw.NewHost("nj/astro/torture-a")
 	var h2 *datakit.Host
@@ -363,12 +364,12 @@ func runURP(s Scenario, rep *Report) {
 		return
 	}
 	p1, p2 := datakit.NewProto(h1), datakit.NewProto(h2)
-	dc, ac, ok := dialAccept(rep, p1, p2, "torture", "nj/astro/torture-b!torture")
+	dc, ac, ok := dialAccept(ck, rep, p1, p2, "torture", "nj/astro/torture-b!torture")
 	if !ok {
 		sw.Close()
 		return
 	}
-	drive(s, rep, &conv{
+	drive(ck, s, rep, &conv{
 		dial:     dc,
 		acc:      ac,
 		retrans:  func() int64 { return p1.Stats.Retransmits.Load() + p2.Stats.Retransmits.Load() },
@@ -376,7 +377,7 @@ func runURP(s Scenario, rep *Report) {
 	})
 }
 
-func runCyclone(s Scenario, rep *Report) {
+func runCyclone(ck vclock.Clock, s Scenario, rep *Report) {
 	// The Cyclone boards are hardware-reliable (§7): the link
 	// contract admits delay variation but not loss, duplication, or
 	// damage, so only jitter (and the pacing knobs) applies.
@@ -385,14 +386,15 @@ func runCyclone(s Scenario, rep *Report) {
 		Bandwidth: s.Bandwidth,
 		Seed:      s.Seed,
 		Impair:    medium.Impairment{Jitter: s.Impair.Jitter, Record: s.Impair.Record},
+		Clock:     ck,
 	})
 	ea, eb := link.Ends()
-	dc, ac, ok := dialAccept(rep, ea, eb, "*", "")
+	dc, ac, ok := dialAccept(ck, rep, ea, eb, "*", "")
 	if !ok {
 		link.Close()
 		return
 	}
-	drive(s, rep, &conv{
+	drive(ck, s, rep, &conv{
 		dial:     dc,
 		acc:      ac,
 		teardown: link.Close,
@@ -403,17 +405,17 @@ func runCyclone(s Scenario, rep *Report) {
 // impaired Ethernet, a client writing deterministic blocks through the
 // mount protocol and reading them back. Msgs counts write blocks; the
 // read-back pass covers the backward direction.
-func run9P(s Scenario, rep *Report) {
+func run9P(ck vclock.Clock, s Scenario, rep *Report) {
 	// A 9P message carries at most MaxFData of file data; keep blocks
 	// well under it.
 	blockMax := min(s.MaxMsg, 4096)
-	w, err := newEtherWorld(s)
+	w, err := newEtherWorld(ck, s)
 	if err != nil {
 		rep.violate("connect", "ether world: %v", err)
 		return
 	}
 	p1, p2 := il.New(w.st1, il.Config{}), il.New(w.st2, il.Config{})
-	dc, ac, ok := dialAccept(rep, p1, p2, "17008", ip.HostPort(w.a2, 17008))
+	dc, ac, ok := dialAccept(ck, rep, p1, p2, "17008", ip.HostPort(w.a2, 17008))
 	teardown := func() {
 		p1.Close()
 		p2.Close()
@@ -424,25 +426,26 @@ func run9P(s Scenario, rep *Report) {
 		return
 	}
 	fs := ramfs.New("torture")
-	srvDone := make(chan struct{})
-	go func() {
-		defer close(srvDone)
+	srvDone := vclock.NewWaitGroup(ck)
+	srvDone.Add(1)
+	ck.Go(func() {
+		defer srvDone.Done()
 		// Serve returns when the transport hangs up; the error is the
 		// hangup itself, not a violation.
-		ninep.Serve(ninep.NewDelimConn(ac), func(uname, aname string) (vfs.Node, error) {
+		ninep.ServeClock(ninep.NewDelimConn(ac), func(uname, aname string) (vfs.Node, error) {
 			return fs.Attach(aname)
-		})
-	}()
-	watchdog := time.AfterFunc(s.Timeout, func() {
+		}, ck)
+	})
+	watchdog := ck.AfterFunc(s.Timeout, func() {
 		rep.violate("timeout", "9p session did not finish in %v", s.Timeout)
 		dc.Close()
 		ac.Close()
 	})
-	torture9P(s, rep, dc, blockMax)
+	torture9P(ck, s, rep, dc, blockMax)
 	watchdog.Stop()
 	dc.Close()
 	ac.Close()
-	<-srvDone
+	srvDone.Wait()
 	rep.Retransmits = p1.Retransmits.Load() + p2.Retransmits.Load()
 	rep.Wire = w.seg.ImpairCounts()
 	rep.Schedule = w.seg.Schedule()
@@ -452,8 +455,8 @@ func run9P(s Scenario, rep *Report) {
 // torture9P is the client side of the 9P scenario. The served tree is
 // a ramfs of plain files, so the client opts into windowed transfers —
 // the windowed pass below must exercise the real fan-out path.
-func torture9P(s Scenario, rep *Report, dc xport.Conn, blockMax int) {
-	cl, err := ninep.NewClientConfig(ninep.NewDelimConn(dc), ninep.ClientConfig{WindowedTransfers: true})
+func torture9P(ck vclock.Clock, s Scenario, rep *Report, dc xport.Conn, blockMax int) {
+	cl, err := ninep.NewClientConfig(ninep.NewDelimConn(dc), ninep.ClientConfig{WindowedTransfers: true, Clock: ck})
 	if err != nil {
 		rep.violate("9p", "version: %v", err)
 		return

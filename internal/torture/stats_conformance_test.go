@@ -29,6 +29,7 @@ import (
 	"repro/internal/ninep"
 	"repro/internal/obs"
 	"repro/internal/ramfs"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -137,11 +138,11 @@ func TestStatsConformanceIL(t *testing.T) {
 	}()
 
 	rep := &Report{Scenario: s}
-	dc, ac, ok := dialAccept(rep, p1, p2, "17100", ip.HostPort(a2, 17100))
+	dc, ac, ok := dialAccept(vclock.Real, rep, p1, p2, "17100", ip.HostPort(a2, 17100))
 	if !ok {
 		t.Fatalf("connect: %v", rep.Violations)
 	}
-	drive(s, rep, &conv{dial: dc, acc: ac})
+	drive(vclock.Real, s, rep, &conv{dial: dc, acc: ac})
 	for _, v := range rep.Violations {
 		t.Errorf("traffic violation: %s", v)
 	}
@@ -265,12 +266,12 @@ func TestStatsConformanceDatakit(t *testing.T) {
 	p1, p2 := datakit.NewProto(h1), datakit.NewProto(h2)
 
 	rep := &Report{Scenario: s}
-	dc, ac, ok := dialAccept(rep, p1, p2, "conf", "nj/astro/conf-b!conf")
+	dc, ac, ok := dialAccept(vclock.Real, rep, p1, p2, "conf", "nj/astro/conf-b!conf")
 	if !ok {
 		t.Fatalf("connect: %v", rep.Violations)
 	}
 	wires, _ := dc.(*datakit.Conn)
-	drive(s, rep, &conv{dial: dc, acc: ac})
+	drive(vclock.Real, s, rep, &conv{dial: dc, acc: ac})
 	for _, v := range rep.Violations {
 		t.Errorf("traffic violation: %s", v)
 	}
@@ -349,7 +350,7 @@ func TestStatsConformanceMnt(t *testing.T) {
 	}()
 
 	rep := &Report{Scenario: s}
-	dc, ac, ok := dialAccept(rep, p1, p2, "17101", ip.HostPort(a2, 17101))
+	dc, ac, ok := dialAccept(vclock.Real, rep, p1, p2, "17101", ip.HostPort(a2, 17101))
 	if !ok {
 		t.Fatalf("connect: %v", rep.Violations)
 	}

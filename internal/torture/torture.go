@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/medium"
+	"repro/internal/vclock"
 )
 
 // Protocols the harness can drive.
@@ -63,11 +64,21 @@ type Scenario struct {
 	MaxRetrans int64
 	// Timeout is the watchdog for the whole conversation; 0 = 20s.
 	Timeout time.Duration
+
+	// Virtual runs the scenario on a discrete-event clock: the wire's
+	// latency and pacing, the protocols' timers, and the watchdog all
+	// advance in simulated time, so an hour-long WAN scenario finishes
+	// in wall-clock milliseconds and same-seed runs are bit-identical.
+	Virtual bool
 }
 
 func (s Scenario) String() string {
-	return fmt.Sprintf("proto=%s seed=%d msgs=%d back=%d maxmsg=%d loss=%g impair={%s} lat=%v bw=%d",
-		s.Proto, s.Seed, s.Msgs, s.Back, s.MaxMsg, s.Loss, s.Impair, s.Latency, s.Bandwidth)
+	mode := ""
+	if s.Virtual {
+		mode = " virtual"
+	}
+	return fmt.Sprintf("proto=%s seed=%d msgs=%d back=%d maxmsg=%d loss=%g impair={%s} lat=%v bw=%d%s",
+		s.Proto, s.Seed, s.Msgs, s.Back, s.MaxMsg, s.Loss, s.Impair, s.Latency, s.Bandwidth, mode)
 }
 
 // withDefaults fills the zero traffic knobs.
@@ -170,27 +181,39 @@ func (r *Report) String() string {
 
 // Run executes one scenario and reports. It never panics on protocol
 // misbehavior: everything the stack does wrong lands in Violations.
+// With Scenario.Virtual set, the whole conversation — media, protocol
+// engines, watchdog — runs inside one discrete-event clock and
+// Elapsed is simulated time.
 func Run(s Scenario) *Report {
 	s = s.withDefaults()
 	rep := &Report{Scenario: s}
-	start := time.Now()
+	if s.Virtual {
+		v := vclock.NewVirtual()
+		v.Run(func() { runScenario(v, s, rep) })
+	} else {
+		runScenario(vclock.Real, s, rep)
+	}
+	checkInvariants(s, rep)
+	return rep
+}
+
+func runScenario(ck vclock.Clock, s Scenario, rep *Report) {
+	start := ck.Now()
 	switch s.Proto {
 	case ProtoIL:
-		runIL(s, rep)
+		runIL(ck, s, rep)
 	case ProtoTCP:
-		runTCP(s, rep)
+		runTCP(ck, s, rep)
 	case ProtoURP:
-		runURP(s, rep)
+		runURP(ck, s, rep)
 	case Proto9P:
-		run9P(s, rep)
+		run9P(ck, s, rep)
 	case ProtoCyclone:
-		runCyclone(s, rep)
+		runCyclone(ck, s, rep)
 	default:
 		rep.violate("scenario", "unknown proto %q", s.Proto)
 	}
-	rep.Elapsed = time.Since(start)
-	checkInvariants(s, rep)
-	return rep
+	rep.Elapsed = ck.Since(start)
 }
 
 // checkInvariants applies the run-independent checks: end-to-end

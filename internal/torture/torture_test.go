@@ -7,19 +7,26 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/medium"
+	"repro/internal/vclock"
 	"repro/internal/xport"
 )
 
 // nasty is the full fault cocktail at rates the protocols are
 // expected to survive: every class of impairment is on, including two
-// scheduled partitions that heal.
+// scheduled partitions that heal. The heavy runs all ride the virtual
+// clock: simulated seconds of WAN recovery cost wall-clock
+// milliseconds, and the checks below pin the simulated duration too
+// (a protocol that needs more virtual time than the budget is
+// thrashing, even if the wall-clock bill is invisible). The real
+// clock keeps its own coverage in TestRealClockSmoke.
 func nasty(seed int64) Scenario {
 	return Scenario{
-		Seed:   seed,
-		Msgs:   60,
-		Back:   30,
-		MaxMsg: 700,
-		Loss:   0.02,
+		Virtual: true,
+		Seed:    seed,
+		Msgs:    60,
+		Back:    30,
+		MaxMsg:  700,
+		Loss:    0.02,
 		Impair: medium.Impairment{
 			Duplicate:    0.03,
 			Reorder:      0.05,
@@ -44,11 +51,23 @@ func checkSurvives(t *testing.T, rep *Report) {
 	}
 }
 
+// checkVirtualBudget pins the simulated duration of a virtual run.
+func checkVirtualBudget(t *testing.T, rep *Report, budget time.Duration) {
+	t.Helper()
+	if !rep.Scenario.Virtual {
+		t.Fatalf("scenario unexpectedly on the real clock: %s", rep.Scenario)
+	}
+	if rep.Elapsed > budget {
+		t.Fatalf("conversation took %v of simulated time, budget %v:\n%s", rep.Elapsed, budget, rep)
+	}
+}
+
 func TestILSurvivesImpairment(t *testing.T) {
 	s := nasty(42)
 	s.Proto = ProtoIL
 	rep := Run(s)
 	checkSurvives(t, rep)
+	checkVirtualBudget(t, rep, 10*time.Second)
 	if rep.Wire.Dropped == 0 || rep.Wire.Corrupted == 0 || rep.Wire.Duplicated == 0 {
 		t.Fatalf("impairment never fired: wire %s", rep.Wire)
 	}
@@ -62,6 +81,7 @@ func TestTCPSurvivesImpairment(t *testing.T) {
 	s.Proto = ProtoTCP
 	rep := Run(s)
 	checkSurvives(t, rep)
+	checkVirtualBudget(t, rep, 10*time.Second)
 	if rep.Backward.RecvSum != rep.Backward.SentSum {
 		t.Fatalf("backward stream not byte-identical:\n%s", rep)
 	}
@@ -80,6 +100,7 @@ func TestURPSurvivesImpairment(t *testing.T) {
 	s.Impair.Partitions = []medium.Window{{From: 80, To: 95}}
 	rep := Run(s)
 	checkSurvives(t, rep)
+	checkVirtualBudget(t, rep, 15*time.Second)
 	if rep.Retransmits == 0 {
 		t.Fatalf("URP survived loss+corruption without retransmitting?\n%s", rep)
 	}
@@ -91,6 +112,7 @@ func Test9PSurvivesImpairment(t *testing.T) {
 	s.Msgs = 40
 	rep := Run(s)
 	checkSurvives(t, rep)
+	checkVirtualBudget(t, rep, 20*time.Second)
 	if rep.Forward.SentBytes != rep.Forward.RecvBytes {
 		t.Fatalf("9p read back %d bytes of %d:\n%s", rep.Forward.RecvBytes, rep.Forward.SentBytes, rep)
 	}
@@ -118,26 +140,59 @@ func TestPoolingArmedDuringTorture(t *testing.T) {
 
 func TestCycloneSurvivesJitter(t *testing.T) {
 	s := Scenario{
-		Proto:  ProtoCyclone,
-		Seed:   46,
-		Msgs:   80,
-		Back:   40,
-		MaxMsg: 8192,
-		Impair: medium.Impairment{Jitter: 200 * time.Microsecond},
+		Proto:   ProtoCyclone,
+		Seed:    46,
+		Msgs:    80,
+		Back:    40,
+		MaxMsg:  8192,
+		Impair:  medium.Impairment{Jitter: 200 * time.Microsecond},
+		Virtual: true,
 	}
 	rep := Run(s)
 	checkSurvives(t, rep)
+	checkVirtualBudget(t, rep, 5*time.Second)
 	if rep.Backward.RecvSum != rep.Backward.SentSum {
 		t.Fatalf("backward stream not byte-identical:\n%s", rep)
 	}
 }
 
+// TestRealClockSmoke keeps the passthrough clock honest: one small
+// real-time conversation per engine, mild impairment, so a regression
+// that only bites outside the discrete-event scheduler (a real timer
+// misarmed, a wall-clock race) still has coverage. Gated out of
+// -short runs: the virtual suite above carries the protocol logic.
+func TestRealClockSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-clock smoke skipped in -short; virtual suite covers the protocols")
+	}
+	for _, proto := range Protos {
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			s := Scenario{
+				Proto:  proto,
+				Seed:   11,
+				Msgs:   8,
+				Back:   4,
+				MaxMsg: 400,
+				Loss:   0.01,
+			}
+			if proto == ProtoCyclone {
+				s.Loss = 0
+				s.Impair = medium.Impairment{Jitter: 50 * time.Microsecond}
+			}
+			rep := Run(s)
+			checkSurvives(t, rep)
+		})
+	}
+}
+
 // TestTortureReplaysFromSeed is the acceptance check: the same seed
 // reproduces the identical packet schedule. The wire's decision at
-// index i is a pure function of (seed, i), so two runs of the same
-// scenario agree on every index both of them reached (the total count
-// can differ only because protocol timers fire against the wall
-// clock), and both deliver byte-identical streams.
+// index i is a pure function of (seed, i), and on the virtual clock
+// the goroutine interleaving — hence which frame occupies which wire
+// index — is deterministic too, so the two runs must agree on the
+// WHOLE schedule, total count and flipped bits included, and deliver
+// byte-identical streams.
 func TestTortureReplaysFromSeed(t *testing.T) {
 	s := nasty(47)
 	s.Proto = ProtoIL
@@ -151,19 +206,17 @@ func TestTortureReplaysFromSeed(t *testing.T) {
 	if len(r1.Schedule) == 0 || len(r2.Schedule) == 0 {
 		t.Fatalf("no schedule recorded: %d vs %d decisions", len(r1.Schedule), len(r2.Schedule))
 	}
-	// The fault decision at an index is pure in (seed, index). The
-	// one physical exception is the exact bit a corruption flips: it
-	// is the pure draw reduced modulo the victim frame's length, and
-	// which station's frame occupies an index depends on goroutine
-	// interleaving. Normalize Bits away and every decision must
-	// replay exactly.
-	sched1, sched2 := normalize(r1.Schedule), normalize(r2.Schedule)
-	n := min(len(sched1), len(sched2))
-	for i := range n {
-		if !reflect.DeepEqual(sched1[i], sched2[i]) {
-			t.Fatalf("schedules diverge at index %d: %s vs %s", i, r1.Schedule[i], r2.Schedule[i])
+	if !reflect.DeepEqual(r1.Schedule, r2.Schedule) {
+		n := min(len(r1.Schedule), len(r2.Schedule))
+		for i := range n {
+			if !reflect.DeepEqual(r1.Schedule[i], r2.Schedule[i]) {
+				t.Fatalf("schedules diverge at index %d: %s vs %s", i, r1.Schedule[i], r2.Schedule[i])
+			}
 		}
+		t.Fatalf("schedules diverge in length: %d vs %d decisions", len(r1.Schedule), len(r2.Schedule))
 	}
+	sched1 := normalize(r1.Schedule)
+	n := len(sched1)
 	// A different seed must not replay the same schedule.
 	s2 := s
 	s2.Seed = 48
@@ -196,7 +249,7 @@ func TestHarnessDetectsBrokenTransport(t *testing.T) {
 	a2b := make(chan []byte, 64)
 	dial := &hostileConn{tx: a2b, corrupt: 3}
 	acc := &hostileConn{rx: a2b}
-	drive(s, rep, &conv{dial: dial, acc: acc, teardown: func() {}})
+	drive(vclock.Real, s, rep, &conv{dial: dial, acc: acc, teardown: func() {}})
 	checkInvariants(s, rep)
 	if !rep.Failed() {
 		t.Fatal("harness passed a transport that corrupts messages")

@@ -22,8 +22,8 @@ import (
 	"time"
 
 	"repro/internal/devtree"
-	"repro/internal/medium"
 	"repro/internal/streams"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -37,9 +37,15 @@ type Line struct {
 
 // NewLine creates a line; both ends start at DefaultBaud.
 func NewLine() *Line {
+	return NewLineClock(nil)
+}
+
+// NewLineClock is NewLine with the ends' pacing on an explicit clock;
+// nil means the real clock.
+func NewLineClock(ck vclock.Clock) *Line {
 	l := &Line{}
-	l.a = newEnd()
-	l.b = newEnd()
+	l.a = newEnd(ck)
+	l.b = newEnd(ck)
 	l.a.peer, l.b.peer = l.b, l.a
 	return l
 }
@@ -56,6 +62,7 @@ func (l *Line) Close() {
 // End is one machine's UART.
 type End struct {
 	peer *End
+	ck   vclock.Clock
 	baud atomic.Int64
 
 	mu     sync.Mutex
@@ -68,10 +75,10 @@ type End struct {
 	outBytes atomic.Int64
 }
 
-func newEnd() *End {
-	e := &End{}
+func newEnd(ck vclock.Clock) *End {
+	e := &End{ck: vclock.Or(ck)}
 	e.baud.Store(DefaultBaud)
-	e.stream = streams.New(0, e.transmit)
+	e.stream = streams.NewClock(0, ck, e.transmit)
 	return e
 }
 
@@ -105,7 +112,7 @@ func (e *End) transmit(b *streams.Block) {
 	bits := int64(n) * 10
 	d := time.Duration(bits * int64(time.Second) / e.baud.Load())
 	e.mu.Lock()
-	now := time.Now()
+	now := e.ck.Now()
 	if e.txFree.Before(now) {
 		e.txFree = now
 	}
@@ -117,7 +124,7 @@ func (e *End) transmit(b *streams.Block) {
 		b.Free()
 		return
 	}
-	medium.SleepUntil(free)
+	e.ck.SleepUntil(free)
 	e.outBytes.Add(int64(n))
 	peer := e.peer
 	peer.mu.Lock()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/ip"
 	"repro/internal/streams"
+	"repro/internal/vclock"
 	"repro/internal/xport"
 )
 
@@ -47,10 +48,13 @@ func New(stack *ip.Stack) *Proto {
 // Name implements xport.Proto.
 func (p *Proto) Name() string { return "udp" }
 
+// Clock returns the clock of the stack the device runs on.
+func (p *Proto) Clock() vclock.Clock { return p.stack.Clock() }
+
 // NewConn implements xport.Proto.
 func (p *Proto) NewConn() (xport.Conn, error) {
 	c := &Conn{proto: p}
-	c.rstream = streams.New(0, nil)
+	c.rstream = streams.NewClock(0, p.stack.Clock(), nil)
 	return c, nil
 }
 

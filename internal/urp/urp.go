@@ -19,6 +19,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/obs"
 	"repro/internal/streams"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -80,10 +81,11 @@ type Stats struct {
 // Conn runs URP over a wire. Both ends are symmetric.
 type Conn struct {
 	wire  Wire
+	ck    vclock.Clock
 	stats *Stats
 
 	mu   sync.Mutex
-	cond *sync.Cond
+	cond vclock.Cond
 
 	// Sender: blocks [sndUna, sndNxt) are in flight (mod-8).
 	sndUna   int
@@ -128,20 +130,26 @@ type sentBlock struct {
 	data  []byte
 }
 
-// New starts URP on a wire. stats may be nil.
-func New(wire Wire, stats *Stats) *Conn {
+// New starts URP on a wire, on the real clock. stats may be nil.
+func New(wire Wire, stats *Stats) *Conn { return NewClock(wire, stats, nil) }
+
+// NewClock is New with an explicit clock for the protocol timers
+// (enquiry, retransmit, death); nil means the real clock.
+func NewClock(wire Wire, stats *Stats, ck vclock.Clock) *Conn {
 	if stats == nil {
 		stats = &Stats{}
 	}
+	ck = vclock.Or(ck)
 	c := &Conn{
 		wire:         wire,
+		ck:           ck,
 		stats:        stats,
-		rstream:      streams.New(1<<22, nil),
-		lastProgress: time.Now(),
+		rstream:      streams.NewClock(1<<22, ck, nil),
+		lastProgress: ck.Now(),
 	}
-	c.cond = sync.NewCond(&c.mu)
-	go c.reader()
-	go c.timer()
+	c.cond.Init(ck, &c.mu)
+	ck.Go(c.reader)
+	ck.Go(c.timer)
 	return c
 }
 
@@ -199,7 +207,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 		copy(data, p[total:total+n])
 		c.unacked = append(c.unacked, sentBlock{seq: seq, flags: flags, data: data})
 		cell := makeCell(cellData, seq, flags, data)
-		c.lastSend = time.Now()
+		c.lastSend = c.ck.Now()
 		c.stats.Blocks.Add(1)
 		c.trace.Emit(obs.EvSend, int64(seq), int64(n))
 		c.mu.Unlock()
@@ -276,7 +284,7 @@ func (c *Conn) reader() {
 // next block in sequence, reject anything else.
 func (c *Conn) recvData(seq int, flags byte, data []byte) {
 	c.mu.Lock()
-	c.lastProgress = time.Now()
+	c.lastProgress = c.ck.Now()
 	if seq != c.rcvNext {
 		// Out of order: REJ asks for retransmission from the block
 		// we expect — once per gap, or every duplicate cell of the
@@ -331,7 +339,7 @@ func (c *Conn) recvData(seq int, flags byte, data []byte) {
 func (c *Conn) recvAck(seq int) (stalled bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.lastProgress = time.Now()
+	c.lastProgress = c.ck.Now()
 	c.trace.Emit(obs.EvAck, int64(seq), 0)
 	wasEnq := c.enqSent
 	c.enqSent = false
@@ -372,7 +380,7 @@ func (c *Conn) retransmit() {
 		c.trace.Emit(obs.EvRetransmit, int64(b.seq), 0)
 		cells = append(cells, makeCell(cellData, b.seq, b.flags, b.data))
 	}
-	c.lastSend = time.Now()
+	c.lastSend = c.ck.Now()
 	c.mu.Unlock()
 	for _, cell := range cells {
 		c.stats.Retransmits.Add(1)
@@ -384,17 +392,16 @@ func (c *Conn) retransmit() {
 // through the close linger so the final blocks still get retransmitted
 // if their acks are lost.
 func (c *Conn) timer() {
-	tick := time.NewTicker(tickInterval)
-	defer tick.Stop()
-	for range tick.C {
+	for {
+		c.ck.Sleep(tickInterval)
 		c.mu.Lock()
 		if c.dead {
 			c.mu.Unlock()
 			return
 		}
 		needResend := c.retransNeeded && len(c.unacked) > 0
-		stalled := len(c.unacked) > 0 && time.Since(c.lastSend) > enqTimeout
-		dead := len(c.unacked) > 0 && time.Since(c.lastProgress) > deathTime
+		stalled := len(c.unacked) > 0 && c.ck.Since(c.lastSend) > enqTimeout
+		dead := len(c.unacked) > 0 && c.ck.Since(c.lastProgress) > deathTime
 		if dead {
 			c.mu.Unlock()
 			c.hangup()
@@ -406,7 +413,7 @@ func (c *Conn) timer() {
 			continue
 		}
 		if stalled {
-			c.lastSend = time.Now()
+			c.lastSend = c.ck.Now()
 			c.enqSent = true
 			c.stats.Enquiries.Add(1)
 			c.trace.Emit(obs.EvQuery, 0, 0)
@@ -444,19 +451,19 @@ func (c *Conn) Close() error {
 	c.closed = true
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	deadline := time.Now().Add(500 * time.Millisecond)
-	for time.Now().Before(deadline) {
+	deadline := c.ck.Now().Add(500 * time.Millisecond)
+	for c.ck.Now().Before(deadline) {
 		c.mu.Lock()
 		drained := len(c.unacked) == 0 || c.dead
 		c.mu.Unlock()
 		if drained {
 			break
 		}
-		time.Sleep(tickInterval)
+		c.ck.Sleep(tickInterval)
 	}
 	c.sendCell(cellHup, 0, 0, nil)
 	// Let the hangup propagate before unplugging.
-	time.AfterFunc(250*time.Millisecond, func() {
+	c.ck.AfterFunc(250*time.Millisecond, func() {
 		c.mu.Lock()
 		c.dead = true
 		c.cond.Broadcast()

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/medium"
 	"repro/internal/obs"
+	"repro/internal/vclock"
 )
 
 // Deeper URP behavior at the protocol's edges: the mod-8 sequence
@@ -19,88 +20,109 @@ import (
 // window admits them), and the eighth write must stall — the pacing
 // edge the mod-8 numbering forces.
 func TestWindowSevenEdge(t *testing.T) {
-	tx := medium.NewPipe(medium.Profile{})
-	silent := medium.NewPipe(medium.Profile{})
-	a := New(wire{d: duplexOf(tx, silent)}, nil)
-	defer a.Close()
-	a.Trace().Enable()
+	// Runs on the virtual clock: a simulated second is proof the writer
+	// finished (or stalled), with no real-time stake. Inside Run every
+	// assertion is t.Error + return — t.Fatal's Goexit would strand the
+	// scheduler token.
+	v := vclock.NewVirtual()
+	v.Run(func() {
+		tx := medium.NewPipe(medium.Profile{Clock: v})
+		silent := medium.NewPipe(medium.Profile{Clock: v})
+		a := NewClock(wire{d: duplexOf(tx, silent)}, nil, v)
+		defer a.Close()
+		a.Trace().Enable()
 
-	sent := make(chan int, 1)
-	go func() {
-		for i := range Window {
-			if _, err := a.Write(bytes.Repeat([]byte{byte(i)}, BlockSize)); err != nil {
-				sent <- i
+		sent := make(chan int, 1)
+		v.Go(func() {
+			for i := range Window {
+				if _, err := a.Write(bytes.Repeat([]byte{byte(i)}, BlockSize)); err != nil {
+					sent <- i
+					return
+				}
+			}
+			sent <- Window
+		})
+		v.Sleep(time.Second)
+		select {
+		case n := <-sent:
+			if n != Window {
+				t.Errorf("only %d of %d window blocks went out", n, Window)
+				return
+			}
+		default:
+			t.Error("writer blocked inside the window")
+			return
+		}
+
+		// The eighth block must wait for an ack that never comes: two
+		// more simulated seconds and it still has not returned.
+		blocked := make(chan struct{}, 1)
+		v.Go(func() {
+			a.Write([]byte("eighth"))
+			blocked <- struct{}{}
+		})
+		v.Sleep(2 * time.Second)
+		select {
+		case <-blocked:
+			t.Error("write past the window did not block")
+			return
+		default:
+		}
+
+		// The trace starts with seven sends, sequence-numbered in order
+		// (the enquiries the stalled ack path provoked trail after).
+		evs := a.Trace().Events()
+		if len(evs) < Window {
+			t.Errorf("trace has %d events, want at least %d", len(evs), Window)
+			return
+		}
+		for i := 0; i < Window; i++ {
+			if evs[i].Kind != obs.EvSend || evs[i].A != int64(i) {
+				t.Errorf("trace[%d] = %v seq %d, want send seq %d", i, evs[i].Kind, evs[i].A, i)
 				return
 			}
 		}
-		sent <- Window
-	}()
-	select {
-	case n := <-sent:
-		if n != Window {
-			t.Fatalf("only %d of %d window blocks went out", n, Window)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("writer blocked inside the window")
-	}
-
-	// The eighth block must wait for an ack that never comes.
-	blocked := make(chan struct{}, 1)
-	go func() {
-		a.Write([]byte("eighth"))
-		blocked <- struct{}{}
-	}()
-	select {
-	case <-blocked:
-		t.Fatal("write past the window did not block")
-	case <-time.After(200 * time.Millisecond):
-	}
-
-	// The trace recorded seven sends, sequence-numbered in order.
-	evs := a.Trace().Events()
-	if len(evs) < Window {
-		t.Fatalf("trace has %d events, want at least %d", len(evs), Window)
-	}
-	for i := 0; i < Window; i++ {
-		if evs[i].Kind != obs.EvSend || evs[i].A != int64(i) {
-			t.Fatalf("trace[%d] = %v seq %d, want send seq %d", i, evs[i].Kind, evs[i].A, i)
-		}
-	}
+	})
 }
 
 // TestEnquiryTimeout stalls the ack path and waits: the timer must
 // send enquiries (counted and traced) rather than retransmit blindly.
 func TestEnquiryTimeout(t *testing.T) {
-	tx := medium.NewPipe(medium.Profile{})
-	silent := medium.NewPipe(medium.Profile{})
-	stats := &Stats{}
-	a := New(wire{d: duplexOf(tx, silent)}, stats)
-	defer a.Close()
-	a.Trace().Enable()
+	// Virtual clock: one simulated second covers twenty enquiry
+	// timeouts, so the "wait for the timer" half costs nothing real.
+	v := vclock.NewVirtual()
+	v.Run(func() {
+		tx := medium.NewPipe(medium.Profile{Clock: v})
+		silent := medium.NewPipe(medium.Profile{Clock: v})
+		stats := &Stats{}
+		a := NewClock(wire{d: duplexOf(tx, silent)}, stats, v)
+		defer a.Close()
+		a.Trace().Enable()
 
-	if _, err := a.Write([]byte("lonely block")); err != nil {
-		t.Fatal(err)
-	}
-	deadline := time.Now().Add(3 * time.Second)
-	for stats.Enquiries.Load() == 0 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if stats.Enquiries.Load() == 0 {
-		t.Fatal("no enquiry after the ack stalled")
-	}
-	ks := a.Trace().Kinds()
-	if len(ks) < 2 || ks[0] != obs.EvSend {
-		t.Fatalf("trace %v: want send first", ks)
-	}
-	sawQuery := false
-	for _, k := range ks[1:] {
-		if k == obs.EvQuery {
-			sawQuery = true
+		if _, err := a.Write([]byte("lonely block")); err != nil {
+			t.Error(err)
+			return
 		}
-	}
-	if !sawQuery {
-		t.Fatalf("trace %v records no enquiry", ks)
-	}
+		v.Sleep(time.Second)
+		if stats.Enquiries.Load() == 0 {
+			t.Error("no enquiry after the ack stalled")
+			return
+		}
+		ks := a.Trace().Kinds()
+		if len(ks) < 2 || ks[0] != obs.EvSend {
+			t.Errorf("trace %v: want send first", ks)
+			return
+		}
+		sawQuery := false
+		for _, k := range ks[1:] {
+			if k == obs.EvQuery {
+				sawQuery = true
+			}
+		}
+		if !sawQuery {
+			t.Errorf("trace %v records no enquiry", ks)
+		}
+	})
 }
 
 // TestTraceOrderUnderLoss drives a lossy wire and checks both ends'

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/medium"
+	"repro/internal/vclock"
 )
 
 type wire struct{ d *medium.Duplex }
@@ -43,27 +44,35 @@ func TestEcho(t *testing.T) {
 func TestWindowBlocksSender(t *testing.T) {
 	// With the receiver's pipe stalled (no reads by anyone — use a
 	// one-way wire that swallows acks), the sender must block after
-	// Window blocks.
-	tx := medium.NewPipe(medium.Profile{})
-	silent := medium.NewPipe(medium.Profile{}) // acks never come back
-	a := New(wire{d: duplexOf(tx, silent)}, nil)
-	defer a.Close()
-	done := make(chan int, 1)
-	go func() {
-		n := 0
-		for range Window + 2 {
-			if _, err := a.Write(bytes.Repeat([]byte("x"), BlockSize)); err != nil {
-				break
+	// Window blocks. On the virtual clock "block" is provable cheaply:
+	// two full simulated seconds pass — forty enquiry timeouts, yet
+	// well under the thirty-second death timer — and the writer still
+	// has not finished. (t.Error, not t.Fatal, inside Run: Goexit from
+	// a machine goroutine would hang the scheduler.)
+	v := vclock.NewVirtual()
+	v.Run(func() {
+		tx := medium.NewPipe(medium.Profile{Clock: v})
+		silent := medium.NewPipe(medium.Profile{Clock: v}) // acks never come back
+		a := NewClock(wire{d: duplexOf(tx, silent)}, nil, v)
+		defer a.Close()
+		done := make(chan int, 1)
+		v.Go(func() {
+			n := 0
+			for range Window + 2 {
+				if _, err := a.Write(bytes.Repeat([]byte("x"), BlockSize)); err != nil {
+					break
+				}
+				n++
 			}
-			n++
+			done <- n
+		})
+		v.Sleep(2 * time.Second)
+		select {
+		case n := <-done:
+			t.Errorf("sender never blocked: wrote %d blocks", n)
+		default:
 		}
-		done <- n
-	}()
-	select {
-	case n := <-done:
-		t.Fatalf("sender never blocked: wrote %d blocks", n)
-	case <-time.After(200 * time.Millisecond):
-	}
+	})
 }
 
 // duplexOf builds a Duplex from raw pipes for asymmetric tests.

@@ -34,8 +34,15 @@ echo "== block discipline: AllocsPerRun gates (race off)"
 # creeping back into the hot paths fails the gate.
 go test -run '^TestAllocs' -count=1 ./internal/streams ./internal/ninep
 
-echo "== chaos: deterministic torture pass (fixed seed)"
+echo "== chaos: real-clock torture pass (fixed seed)"
 go run ./cmd/netsim -chaos -seed 1 -msgs 40
+
+echo "== chaos: 32-seed virtual-time sweep"
+# The discrete-event clock makes a whole seed sweep affordable: every
+# protocol crosses the impairment cocktail under 32 different
+# schedules in wall-clock seconds. A failure ddmin-shrinks to its
+# minimal scenario exactly as in the real-clock pass.
+go run ./cmd/netsim -chaos -virtual -seed 1 -seeds 32 -msgs 40
 
 echo "== stats conformance: /net files vs wire ground truth"
 # The conformance suite balances every /net/*/stats file against the
