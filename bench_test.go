@@ -17,17 +17,20 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sort"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dialer"
 	"repro/internal/ether"
+	"repro/internal/exportfs"
 	"repro/internal/il"
 	"repro/internal/ip"
 	"repro/internal/mnt"
 	"repro/internal/ninep"
 	"repro/internal/ns"
+	"repro/internal/ramfs"
 	"repro/internal/table1"
 	"repro/internal/vfs"
 )
@@ -487,6 +490,110 @@ func bench9PRelay(b *testing.B, window int) {
 
 func Benchmark9PRelayThroughGateway(b *testing.B)       { bench9PRelay(b, 0) }
 func Benchmark9PRelayThroughGatewaySerial(b *testing.B) { bench9PRelay(b, 1) }
+
+// Benchmark9PRelayThroughGateway1kClients measures the multi-tenant
+// gateway itself: one exportfs.Server, a thousand mounted tenants
+// taking turns reading a shared 8K file, plus one hot tenant
+// flooding windowed reads the whole time. The reported extras are the
+// acceptance gauges — hit-rate is the shared cache's fraction over
+// the run, and p99/p50 is the ratio across the thousand tenants'
+// mean request latencies, the round-robin dispatcher's fairness
+// under a hot neighbor.
+func Benchmark9PRelayThroughGateway1kClients(b *testing.B) {
+	const nclients = 1000
+	rfs := ramfs.New("gw")
+	payload := make([]byte, ninep.MaxFData)
+	if err := rfs.WriteFile("lib/shared", payload, 0664); err != nil {
+		b.Fatal(err)
+	}
+	srv := exportfs.NewServer(ns.New("gw", rfs.Root()), exportfs.Config{})
+	serve := func() ninep.MsgConn {
+		cend, send := ninep.NewPipe()
+		go srv.ServeConn(send)
+		return cend
+	}
+	openShared := func(uname string) (vfs.Handle, *ninep.Client) {
+		root, cl, err := mnt.MountConfig(serve(), uname, "", mnt.FileConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := root.Walk("lib")
+		if err == nil {
+			n, err = n.Walk("shared")
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := n.Open(vfs.OREAD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h, cl
+	}
+
+	handles := make([]vfs.Handle, nclients)
+	for i := range handles {
+		h, cl := openShared(fmt.Sprintf("c%04d", i))
+		handles[i] = h
+		b.Cleanup(func() { cl.Close() })
+	}
+
+	// The hot tenant floods for the whole timed window.
+	hotH, hotCl := openShared("hot")
+	b.Cleanup(func() { hotCl.Close() })
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, ninep.MaxFData)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				hotH.Read(buf, 0)
+			}
+		}
+	}()
+
+	buf := make([]byte, ninep.MaxFData)
+	b.SetBytes(ninep.MaxFData)
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		h := handles[i%nclients]
+		if n, err := h.Read(buf, 0); err != nil || n != ninep.MaxFData {
+			b.Fatalf("read %d, %v", n, err)
+		}
+		i++
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+
+	// Fairness across tenants: the distribution of per-connection
+	// mean latencies, hot tenant excluded.
+	means := make([]float64, 0, nclients)
+	for _, cs := range srv.Ninep().ConnStats() {
+		if cs.Uname == "hot" || cs.Lat.Count == 0 {
+			continue
+		}
+		means = append(means, float64(cs.Lat.SumNs)/float64(cs.Lat.Count))
+	}
+	sort.Float64s(means)
+	if len(means) > 0 {
+		p50 := means[len(means)/2]
+		p99 := means[len(means)*99/100]
+		if p50 > 0 {
+			b.ReportMetric(p99/p50, "p99/p50")
+		}
+	}
+	hits := float64(srv.Cache().Hits.Load())
+	misses := float64(srv.Cache().Misses.Load())
+	if hits+misses > 0 {
+		b.ReportMetric(hits/(hits+misses), "hit-rate")
+	}
+}
 
 // --- csquery and dial costs (the §4–§5 machinery) ---
 

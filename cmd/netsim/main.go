@@ -8,6 +8,10 @@
 //	netsim -chaos      torture IL, TCP, URP, 9P and Cyclone across impaired media
 //	netsim -virtual    boot a 1000-machine Datakit world on the discrete-event
 //	                   clock and run the registry storm (see -machines, -simtime)
+//	netsim -virtual -gateway
+//	                   same world, but every machine repeatedly imports one
+//	                   exporter's tree through the multi-tenant gateway and
+//	                   reads a shared file; reports the shared-cache bill
 package main
 
 import (
@@ -44,6 +48,7 @@ func main() {
 	msgs := flag.Int("msgs", 40, "with -chaos: messages per direction")
 	seeds := flag.Int("seeds", 1, "with -chaos: sweep this many consecutive seeds")
 	virtual := flag.Bool("virtual", false, "run on the discrete-event clock; alone, boots the -machines Datakit world and runs the registry storm")
+	gateway := flag.Bool("gateway", false, "with -virtual: run the gateway storm — every machine imports one exporter through the multi-tenant server")
 	nmach := flag.Int("machines", 1000, "with -virtual: machines to boot besides the registry")
 	simtime := flag.Duration("simtime", 75*time.Second, "with -virtual: simulated duration of the registry storm")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -103,12 +108,23 @@ func main() {
 		return
 	}
 	if *virtual {
-		res, err := storm.Run(storm.Config{
+		cfg := storm.Config{
 			Machines: *nmach,
 			Sim:      *simtime,
 			Seed:     *seed,
 			Virtual:  true,
-		})
+		}
+		if *gateway {
+			res, err := storm.RunGateway(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "netsim:", err)
+				exitCode = 1
+				return
+			}
+			fmt.Println(res)
+			return
+		}
+		res, err := storm.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
 			exitCode = 1

@@ -26,6 +26,8 @@ import (
 func main() {
 	window := flag.Int("window", ninep.DefaultWindow,
 		"9P fragment window for write-behind depth on the import's client")
+	clients := flag.Int("clients", 0,
+		"extra tenants: each imports helix's /lib/ndb through the gateway and reads the database; afterwards the per-connection bill is read from helix's /net/export/stats — through the import")
 	flag.Parse()
 
 	world, err := core.PaperWorld(core.FastProfiles())
@@ -107,5 +109,36 @@ func main() {
 	fmt.Printf("philw-gnot$ cat /net/mnt/stats   # the import's own RPC bill\n")
 	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
 		fmt.Printf("  %s\n", line)
+	}
+
+	// -clients N: the multi-tenant half of the story. N more tenants
+	// attach to the same gateway server, each over its own connection,
+	// and read the same file; the first fill populates the shared
+	// cache and every later tenant rides it. The gateway's stats file
+	// itemizes each connection — and since helix's /net/export/stats
+	// sits inside the imported /net, the bill itself arrives over the
+	// Datakit as 9P reads.
+	if *clients > 0 {
+		fmt.Printf("philw-gnot$ for i in `seq %d`; do import helix /lib/ndb /n/c$i && cat /n/c$i/local; done >/dev/null\n", *clients)
+		// The imports stay mounted while the bill is read, so every
+		// tenant shows as an open connection with its own line; the
+		// world's shutdown closes them.
+		for i := 0; i < *clients; i++ {
+			mp := fmt.Sprintf("/n/c%d", i)
+			if _, err := gnot.ImportConfig("dk!nj/astro/helix!exportfs", "/lib/ndb", mp, ns.MREPL, mnt.FileConfig()); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := gnot.NS.ReadFile(mp + "/local"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		b, err = gnot.NS.ReadFile("/net/export/stats")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("philw-gnot$ cat /net/export/stats   # helix's per-connection bill, over the import\n")
+		for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
 	}
 }

@@ -225,6 +225,69 @@ func reassembleInverted(q *queue, data []byte, eom bool) {
 	q.PutNext(msg)
 }
 
+// --- the shared-cache shapes: refcounted fan-out through a resident map ---
+
+type cacheFrag struct{ b *blk }
+
+type fragCache struct{ files map[uint64]*cacheFrag }
+
+// The cfs-style insert owns the incoming block. When a racing filler
+// already made the fragment resident the loser is freed and the
+// resident handed back under a fresh reference; otherwise the block
+// escapes into the cache, which owns it from then on. Every arm is
+// accounted for, so the whole function stays silent.
+//
+//netvet:owns b
+func cacheInsert(c *fragCache, key uint64, b *blk) *blk {
+	if fr, ok := c.files[key]; ok {
+		b.Free()
+		return fr.b.Ref()
+	}
+	c.files[key] = &cacheFrag{b: b}
+	return b.Ref()
+}
+
+// The hit path hands each concurrent reader its own reference while
+// the resident copy stays owned by the cache: no leak, no release.
+func cacheLookup(c *fragCache, key uint64) *blk {
+	fr, ok := c.files[key]
+	if !ok {
+		return nil
+	}
+	return fr.b.Ref()
+}
+
+// Losing the race and then reading the loser's bytes is still a
+// use-after-free; refcounting does not resurrect this block.
+//
+//netvet:owns b
+func cacheInsertBroken(c *fragCache, key uint64, b *blk) {
+	if _, ok := c.files[key]; ok {
+		b.Free()
+		consume(b.Buf) // want block-ownership "use of b after it was freed"
+		return
+	}
+	c.files[key] = &cacheFrag{b: b}
+}
+
+// An owning insert that forgets the racing-loser arm leaks it: the
+// block was stamped (live), the over-budget arm proves the function
+// does release, and the resident arm returns with b still owned.
+//
+//netvet:owns b
+func cacheInsertLeaky(c *fragCache, key uint64, full bool, b *blk) *blk {
+	b.Buf[0] = 1
+	if fr, ok := c.files[key]; ok {
+		return fr.b.Ref() // want block-ownership "b may leak"
+	}
+	if full {
+		b.Free()
+		return nil
+	}
+	c.files[key] = &cacheFrag{b: b}
+	return b.Ref()
+}
+
 // Guarding delivery on the wrong predicate is still a leak: urgent
 // says nothing about whether msg holds a block, so the quiet arm can
 // drop a filled-in buffer.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/devtree"
 	"repro/internal/dnssrv"
 	"repro/internal/ether"
+	"repro/internal/exportfs"
 	"repro/internal/il"
 	"repro/internal/ip"
 	"repro/internal/mnt"
@@ -70,7 +71,8 @@ type Machine struct {
 	closers []func()
 	nextCyc int
 	uartDev *uart.Dev
-	mntCls  []*ninep.Client // mount-driver clients, for /net/mnt/stats
+	mntCls  []*ninep.Client  // mount-driver clients, for /net/mnt/stats
+	export  *exportfs.Server // shared gateway server, for /net/export/stats
 }
 
 // addMntClient records a mount-driver client so /net/mnt/stats can

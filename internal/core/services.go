@@ -4,6 +4,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/devtree"
 	"repro/internal/dialer"
 	"repro/internal/exportfs"
 	"repro/internal/ftp"
@@ -94,13 +95,51 @@ func msgConnFor(conn *dialer.Conn) ninep.MsgConn {
 	return ninep.NewDelimConn(conn)
 }
 
-// ServeExportfs announces the exportfs service (§6.1): each call runs
-// a relay file server for this machine's name space. The attach name
-// selects the exported subtree.
+// ServeExportfs announces the exportfs service (§6.1): every accepted
+// call joins this machine's shared multi-tenant gateway server — one
+// name space, one worker pool, one cfs-style read cache — rather than
+// getting a private relay. The attach name selects the exported
+// subtree; /net/export/stats carries the per-connection bill.
 func (m *Machine) ServeExportfs(addr string) (func(), error) {
+	srv, err := m.exportSrv()
+	if err != nil {
+		return nil, err
+	}
 	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
-		exportfs.ServeClock(msgConnFor(conn), nsp, "/", m.World.Clock())
+		srv.ServeConn(msgConnFor(conn))
 	})
+}
+
+// exportSrv lazily builds the machine's shared export server and
+// mounts its stats file at /net/export/stats.
+func (m *Machine) exportSrv() (*exportfs.Server, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.export != nil {
+		return m.export, nil
+	}
+	srv := exportfs.NewServer(m.NS, exportfs.Config{Clock: m.World.Clock()})
+	if err := m.Root.MkdirAll("net/export", 0775); err != nil {
+		return nil, err
+	}
+	if err := m.Root.WriteFile("net/export/stats", nil, 0444); err != nil {
+		return nil, err
+	}
+	stats := devtree.TextFile(devtree.MkFile("stats", m.Name, 0444),
+		func() (string, error) { return srv.Stats(), nil })
+	if err := m.NS.MountNode(stats, "/net/export/stats", ns.MREPL); err != nil {
+		return nil, err
+	}
+	m.export = srv
+	return srv, nil
+}
+
+// Exportfs returns the machine's shared export server, nil before
+// ServeExportfs has announced it.
+func (m *Machine) Exportfs() *exportfs.Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.export
 }
 
 // Import dials the exportfs service on a remote machine and mounts
@@ -168,10 +207,16 @@ func (m *Machine) MountRemoteConfig(dest, aname, old string, flag int, cfg mnt.C
 }
 
 // Serve9P serves a subtree of this machine's name space as a plain 9P
-// file service (the "9fs" service a file server exposes).
+// file service (the "9fs" service a file server exposes). Like the
+// exportfs service, all calls share one multi-tenant server and its
+// read cache, re-rooted at root.
 func (m *Machine) Serve9P(addr, root string) (func(), error) {
+	srv := exportfs.NewServer(m.NS, exportfs.Config{
+		Root:  root,
+		Clock: m.World.Clock(),
+	})
 	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
-		exportfs.ServeClock(msgConnFor(conn), nsp, root, m.World.Clock())
+		srv.ServeConn(msgConnFor(conn))
 	})
 }
 

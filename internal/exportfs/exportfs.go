@@ -12,12 +12,112 @@
 package exportfs
 
 import (
+	"strings"
+
+	"repro/internal/ccache"
 	"repro/internal/mnt"
 	"repro/internal/ninep"
 	"repro/internal/ns"
 	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
+
+// Config sizes a multi-tenant export server; the zero value exports
+// "/" on the real clock with the default worker pool, budgets, and
+// cache.
+type Config struct {
+	// Root is the exported subtree; "" means "/". The attach name is
+	// joined beneath it.
+	Root string
+	// Clock drives the server's goroutines; nil means real time.
+	Clock vclock.Clock
+	// Workers bounds the shared dispatch pool; 0 means the ninep
+	// default.
+	Workers int
+	// ConnBudget bounds one connection's concurrently running
+	// requests; 0 means the ninep default.
+	ConnBudget int
+	// CacheBytes bounds the shared read cache; 0 means the ccache
+	// default, negative disables caching entirely.
+	CacheBytes int64
+}
+
+// Server is the multi-tenant gateway of §6.1: one exported name
+// space, many connections. Each connection gets private fid, tag, and
+// flush state; all of them dispatch through one bounded worker pool,
+// round-robin so a hot tenant cannot starve the rest; and a shared
+// cfs-style block cache sits between the protocol and the backing
+// tree, so a thousand imports of one file cost one fill.
+type Server struct {
+	nsp   *ns.Namespace
+	root  string
+	cache *ccache.Cache
+	srv   *ninep.Server
+}
+
+// NewServer returns a server exporting nsp per cfg. Connections are
+// attached with ServeConn.
+func NewServer(nsp *ns.Namespace, cfg Config) *Server {
+	s := &Server{nsp: nsp, root: ns.Clean(cfg.Root)}
+	if cfg.CacheBytes >= 0 {
+		s.cache = ccache.New(ccache.Config{
+			MaxBytes: cfg.CacheBytes,
+			FragSize: ninep.MaxFData,
+		})
+	}
+	s.srv = ninep.NewServer(s.attach, ninep.ServerConfig{
+		Clock:      cfg.Clock,
+		Workers:    cfg.Workers,
+		ConnBudget: cfg.ConnBudget,
+	})
+	return s
+}
+
+// attach resolves one tenant's attach: the attach name joined beneath
+// the exported root, resolved through the exporter's live name space,
+// with the cache interposed.
+func (s *Server) attach(uname, aname string) (vfs.Node, error) {
+	p := s.root
+	if aname != "" {
+		p = ns.Clean(s.root + "/" + aname)
+	}
+	// Verify the path exists before handing out a node.
+	if _, err := s.nsp.Walk(p); err != nil {
+		return nil, err
+	}
+	var node vfs.Node = ns.NodeAt(s.nsp, p)
+	if s.cache != nil {
+		node = s.cache.WrapNode(node)
+	}
+	return node, nil
+}
+
+// ServeConn serves one accepted transport, blocking until it fails.
+// Many ServeConn calls run concurrently against one Server; a
+// returning connection clunks only its own fids.
+func (s *Server) ServeConn(conn ninep.MsgConn) error {
+	return s.srv.ServeConn(conn)
+}
+
+// Cache exposes the shared read cache (nil when disabled), for stats
+// and tests.
+func (s *Server) Cache() *ccache.Cache { return s.cache }
+
+// Ninep exposes the underlying 9P server, for per-connection stats.
+func (s *Server) Ninep() *ninep.Server { return s.srv }
+
+// Stats renders the gateway's stats file: the 9P server's scalar
+// lines and per-connection bill, then the cache counters. Scalar
+// lines parse with obs.ParseStats; the bill lines carry a space in
+// the name field and are skipped, like per-conversation summaries.
+func (s *Server) Stats() string {
+	var b strings.Builder
+	b.WriteString(s.srv.Stats())
+	if s.cache != nil {
+		b.WriteString(s.cache.StatsGroup().Render())
+	}
+	return b.String()
+}
 
 // Serve exports the subtree of nsp rooted at root over conn, blocking
 // until the connection fails. The initial protocol that "establishes
@@ -28,21 +128,11 @@ func Serve(conn ninep.MsgConn, nsp *ns.Namespace, root string) error {
 }
 
 // ServeClock is Serve with an explicit clock driving the server's
-// per-request goroutines; nil means the real clock.
+// per-request goroutines; nil means the real clock. It is the
+// single-connection form: a throwaway Server per transport, the
+// pre-gateway shape callers like torture keep using.
 func ServeClock(conn ninep.MsgConn, nsp *ns.Namespace, root string, ck vclock.Clock) error {
-	root = ns.Clean(root)
-	attach := func(uname, aname string) (vfs.Node, error) {
-		p := root
-		if aname != "" {
-			p = ns.Clean(root + "/" + aname)
-		}
-		// Verify the path exists before handing out a node.
-		if _, err := nsp.Walk(p); err != nil {
-			return nil, err
-		}
-		return ns.NodeAt(nsp, p), nil
-	}
-	return ninep.ServeClock(conn, attach, ck)
+	return NewServer(nsp, Config{Root: root, Clock: ck}).ServeConn(conn)
 }
 
 // Import mounts the tree exported on conn at mountpoint old in nsp,

@@ -137,6 +137,12 @@ type Fcall struct {
 	// server does so after marshaling a response). It never crosses
 	// the wire.
 	recycle []byte
+
+	// blk, when non-nil, is a refcounted block backing Data — a cache
+	// fragment serving an Rread zero-copy. The final consumer (the
+	// server, after marshaling) drops the reference with Free; other
+	// holders of the block are unaffected. It never crosses the wire.
+	blk *block.Block
 }
 
 func (f *Fcall) String() string {

@@ -2,10 +2,14 @@ package ninep
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
@@ -16,21 +20,111 @@ import (
 // exporting process's name space.
 type AttachFunc func(uname, aname string) (vfs.Node, error)
 
-// Server serves a file tree over 9P. It is multithreaded in the way
-// the paper requires of exportfs (§6.1): each request runs in its own
-// goroutine because open, read, and write may block (a read on a
-// listen file blocks until a call arrives), and Tflush lets a client
-// abandon a blocked request.
+// Server defaults.
+const (
+	// DefaultWorkers bounds the shared request-dispatch pool.
+	DefaultWorkers = 16
+	// DefaultConnBudget bounds one connection's concurrently running
+	// requests. It is deliberately larger than a client engine's
+	// DefaultMaxInFlight (64): a well-behaved client can never fill
+	// its own budget, so the budget only bites when a connection
+	// floods past what the protocol engine would issue — the hot
+	// client the round-robin dispatcher is defending against.
+	DefaultConnBudget = 128
+)
+
+// ServerConfig tunes a multi-connection server; the zero value is
+// ready to use on the real clock.
+type ServerConfig struct {
+	// Clock drives the per-request goroutines; nil means real time.
+	Clock vclock.Clock
+	// Workers bounds the shared dispatch pool; 0 means DefaultWorkers.
+	Workers int
+	// ConnBudget bounds one connection's concurrently running
+	// requests; 0 means DefaultConnBudget.
+	ConnBudget int
+}
+
+// Server serves a file tree over 9P to many connections at once — the
+// multi-tenant gateway of §6.1. Each connection keeps a private fid
+// table, tag table, and flush state (ServeConn); requests from all
+// connections dispatch through one bounded worker pool, round-robin
+// over the connections so a hot client cannot starve the rest. It
+// stays multithreaded in the way the paper requires of exportfs: a
+// request that may block (open, create, read, and write may all block —
+// a read on a listen file blocks until a call arrives) escalates to
+// its own goroutine, and Tflush lets a client abandon it.
 type Server struct {
-	conn   MsgConn
-	attach AttachFunc
-	ck     vclock.Clock
+	attach  AttachFunc
+	ck      vclock.Clock
+	workers int
+	budget  int
 
-	wmu sync.Mutex // serializes response writes
+	// Dispatcher state: connections with queued, in-budget work wait
+	// in ready; pool workers take the front connection, run one of its
+	// requests, and re-append it — round-robin across tenants.
+	dmu      sync.Mutex
+	ready    []*SrvConn
+	nworkers int
+	npend    int // queued requests across all connections
 
-	mu   sync.Mutex
-	fids map[uint32]*srvFid
-	reqs map[uint16]*srvReq // requests in flight, by tag
+	cmu    sync.Mutex
+	conns  map[int64]*SrvConn
+	nextID int64
+
+	// Server-wide figures for the stats file.
+	Conns    obs.Counter   // connections accepted over the server's life
+	RPCs     obs.Counter   // non-control requests completed
+	WorkerHW obs.Watermark // most pool workers alive at once
+}
+
+// NewServer returns a server ready to accept connections; each
+// accepted transport is served by ServeConn.
+func NewServer(attach AttachFunc, cfg ServerConfig) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.ConnBudget <= 0 {
+		cfg.ConnBudget = DefaultConnBudget
+	}
+	return &Server{
+		attach:  attach,
+		ck:      vclock.Or(cfg.Clock),
+		workers: cfg.Workers,
+		budget:  cfg.ConnBudget,
+		conns:   make(map[int64]*SrvConn),
+	}
+}
+
+// SrvConn is one client's connection to a Server: a private fid table,
+// tag table, and flush state, so tenants with colliding fid or tag
+// numbers never see each other, and one connection's death clunks only
+// its own fids.
+type SrvConn struct {
+	s    *Server
+	id   int64
+	conn MsgConn
+
+	wmu wlock // serializes response writes
+
+	mu    sync.Mutex
+	uname string // first attach's uname, for the stats bill
+	fids  map[uint32]*srvFid
+	reqs  map[uint16]*srvReq // requests in flight, by tag
+
+	// Dispatcher state, guarded by s.dmu.
+	pend    []*srvReq // parsed requests not yet running
+	running int       // requests executing (inline or escalated)
+	inRing  bool      // queued in s.ready
+
+	// Per-connection figures for the stats bill.
+	rpcs       obs.Counter
+	reads      obs.Counter
+	writes     obs.Counter
+	flushes    obs.Counter
+	pendHW     obs.Watermark // deepest pend queue seen
+	inflightHW obs.Watermark // most requests running at once
+	lat        obs.Hist      // request latency, arrival to reply
 }
 
 // srvReq tracks one in-flight request. Flush state lives on the
@@ -42,6 +136,15 @@ type Server struct {
 // one's mark and the old request answer under the new one's tag.
 type srvReq struct {
 	flushed atomic.Bool
+	f       *Fcall
+	start   time.Time
+	tq      *ticketQ
+	ticket  uint64
+	// inline marks a request the pool worker may run on its own
+	// goroutine: metadata operations, and reads a blockReader handle
+	// serves from cache memory. Everything else may block
+	// indefinitely and escalates to a request goroutine.
+	inline bool
 }
 
 type srvFid struct {
@@ -101,9 +204,9 @@ func (q *ticketQ) done() {
 	q.mu.Unlock()
 }
 
-// Serve runs a 9P server on conn until the transport fails or the
-// client goes away. It returns the transport error (io.EOF for a
-// clean close).
+// Serve runs a single-connection 9P server on conn until the
+// transport fails or the client goes away. It returns the transport
+// error (io.EOF for a clean close).
 func Serve(conn MsgConn, attach AttachFunc) error {
 	return ServeClock(conn, attach, nil)
 }
@@ -111,14 +214,27 @@ func Serve(conn MsgConn, attach AttachFunc) error {
 // ServeClock is Serve with an explicit clock driving the per-request
 // goroutines; nil means the real clock.
 func ServeClock(conn MsgConn, attach AttachFunc, ck vclock.Clock) error {
-	s := &Server{
-		conn:   conn,
-		attach: attach,
-		ck:     vclock.Or(ck),
-		fids:   make(map[uint32]*srvFid),
-		reqs:   make(map[uint16]*srvReq),
+	return NewServer(attach, ServerConfig{Clock: ck}).ServeConn(conn)
+}
+
+// ServeConn serves one accepted transport, blocking until it fails or
+// the client goes away, and returns the transport error (io.EOF for a
+// clean close). Many ServeConn calls run against one Server at once;
+// when one returns, only that connection's fids are clunked.
+func (s *Server) ServeConn(conn MsgConn) error {
+	c := &SrvConn{
+		s:    s,
+		conn: conn,
+		fids: make(map[uint32]*srvFid),
+		reqs: make(map[uint16]*srvReq),
 	}
-	defer s.cleanup()
+	s.cmu.Lock()
+	s.nextID++
+	c.id = s.nextID
+	s.conns[c.id] = c
+	s.cmu.Unlock()
+	s.Conns.Inc()
+	defer s.teardown(c)
 	for {
 		msg, err := conn.ReadMsg()
 		if err != nil {
@@ -135,72 +251,196 @@ func ServeClock(conn MsgConn, attach AttachFunc, ck vclock.Clock) error {
 		case Tnop, Tsession, Tauth, Tflush:
 			// Control messages are answered synchronously so a
 			// Tflush can never be overtaken by the work it
-			// flushes.
-			s.respond(f.Tag, s.process(f), nil)
+			// flushes — it never waits behind the connection's
+			// queued requests.
+			c.respond(f.Tag, c.process(f), nil)
 		default:
+			st := &srvReq{f: f, start: s.ck.Now()}
 			// I/O requests take a per-fid, per-direction ticket
-			// here, in wire arrival order, so their goroutines
-			// reach the handle in the order the client issued
-			// them even when a windowed transfer has several in
-			// flight.
-			var tq *ticketQ
-			var ticket uint64
-			if f.Type == Tread || f.Type == Twrite {
-				s.mu.Lock()
-				if sf := s.fids[f.Fid]; sf != nil {
-					if f.Type == Tread {
-						tq = &sf.rq
-					} else {
-						tq = &sf.wq
+			// here, in wire arrival order, so they reach the
+			// handle in the order the client issued them even
+			// when a windowed transfer has several in flight.
+			// Reads a blockReader handle can serve from cache
+			// memory skip the ticket — offset-addressed reads of
+			// a plain file commute — and run inline on the pool.
+			switch f.Type {
+			case Tread:
+				c.reads.Inc()
+				c.mu.Lock()
+				if sf := c.fids[f.Fid]; sf != nil {
+					if sf.open {
+						if _, ok := sf.h.(blockReader); ok {
+							st.inline = true
+						}
+					}
+					if !st.inline {
+						st.tq = &sf.rq
 					}
 				}
-				s.mu.Unlock()
-				if tq != nil {
-					ticket = tq.take()
+				c.mu.Unlock()
+			case Twrite:
+				c.writes.Inc()
+				c.mu.Lock()
+				if sf := c.fids[f.Fid]; sf != nil {
+					st.tq = &sf.wq
 				}
+				c.mu.Unlock()
+			case Topen, Tcreate:
+				// May block (opening a device file can wait on
+				// the device); escalates to its own goroutine.
+			default:
+				// Metadata operations complete without blocking;
+				// the pool worker runs them inline.
+				st.inline = true
+			}
+			if st.tq != nil {
+				st.ticket = st.tq.take()
 			}
 			// Register the request instance. A stale instance may
 			// still occupy the tag (flushed, its goroutine not yet
 			// done); the client has seen its Rflush, so the tag is
 			// legitimately recycled and the new instance simply
 			// takes over the slot.
-			st := &srvReq{}
-			s.mu.Lock()
-			s.reqs[f.Tag] = st
-			s.mu.Unlock()
+			c.mu.Lock()
+			c.reqs[f.Tag] = st
+			c.mu.Unlock()
+			s.enqueue(c, st)
+		}
+	}
+}
+
+// enqueue queues one parsed request on its connection and makes the
+// connection eligible for dispatch if its budget allows. The read loop
+// never blocks here — a flood simply deepens the queue, where the
+// round-robin dispatcher holds it to its budget.
+func (s *Server) enqueue(c *SrvConn, st *srvReq) {
+	s.dmu.Lock()
+	c.pend = append(c.pend, st)
+	s.npend++
+	c.pendHW.Note(int64(len(c.pend)))
+	if !c.inRing && c.running < s.budget {
+		c.inRing = true
+		s.ready = append(s.ready, c)
+	}
+	spawn := s.nworkers < s.workers && s.nworkers < s.npend
+	if spawn {
+		s.nworkers++
+		s.WorkerHW.Note(int64(s.nworkers))
+	}
+	s.dmu.Unlock()
+	if spawn {
+		s.ck.Go(s.worker)
+	}
+}
+
+// worker is one pool goroutine: it repeatedly takes the front
+// connection of the ready ring, runs one of its requests, and puts
+// the connection back at the tail — round-robin over tenants, so
+// every connection advances one request per turn of the ring no
+// matter how deep any single queue is. Workers are spawned on demand
+// and exit when the ring empties; an idle server holds no goroutines.
+func (s *Server) worker() {
+	for {
+		s.dmu.Lock()
+		if len(s.ready) == 0 {
+			s.nworkers--
+			s.dmu.Unlock()
+			return
+		}
+		c := s.ready[0]
+		s.ready = s.ready[1:]
+		st := c.pend[0]
+		c.pend = c.pend[1:]
+		s.npend--
+		c.running++
+		c.inflightHW.Note(int64(c.running))
+		if len(c.pend) > 0 && c.running < s.budget {
+			s.ready = append(s.ready, c)
+		} else {
+			c.inRing = false
+		}
+		s.dmu.Unlock()
+		if st.inline {
+			c.run(st)
+			s.release(c)
+		} else {
+			// The request may block indefinitely (a read on a
+			// listen file waits for a call); it gets the paper's
+			// goroutine-per-request treatment, and counts against
+			// the connection's budget until it completes.
 			s.ck.Go(func() {
-				var r *Fcall
-				if tq != nil {
-					tq.wait(ticket, s.ck)
-					// A request flushed while queued must not
-					// touch the handle: on a delimited or
-					// stream device the read would consume
-					// data the client has already abandoned.
-					if !st.flushed.Load() {
-						r = s.process(f)
-					}
-					tq.done()
-				} else if !st.flushed.Load() {
-					r = s.process(f)
-				}
-				if r != nil {
-					s.respond(f.Tag, r, st)
-				}
-				s.mu.Lock()
-				if s.reqs[f.Tag] == st {
-					delete(s.reqs, f.Tag)
-				}
-				s.mu.Unlock()
+				c.run(st)
+				s.release(c)
 			})
 		}
 	}
 }
 
-func (s *Server) cleanup() {
-	s.mu.Lock()
-	fids := s.fids
-	s.fids = make(map[uint32]*srvFid)
-	s.mu.Unlock()
+// release returns one unit of a connection's budget and re-rings the
+// connection if that makes queued work dispatchable again.
+func (s *Server) release(c *SrvConn) {
+	s.dmu.Lock()
+	c.running--
+	spawn := false
+	if !c.inRing && len(c.pend) > 0 && c.running < s.budget {
+		c.inRing = true
+		s.ready = append(s.ready, c)
+		if s.nworkers < s.workers && s.nworkers < s.npend {
+			s.nworkers++
+			s.WorkerHW.Note(int64(s.nworkers))
+			spawn = true
+		}
+	}
+	s.dmu.Unlock()
+	if spawn {
+		s.ck.Go(s.worker)
+	}
+}
+
+// run executes one dispatched request to completion.
+func (c *SrvConn) run(st *srvReq) {
+	s := c.s
+	var r *Fcall
+	if st.tq != nil {
+		st.tq.wait(st.ticket, s.ck)
+		// A request flushed while queued must not touch the
+		// handle: on a delimited or stream device the read would
+		// consume data the client has already abandoned.
+		if !st.flushed.Load() {
+			r = c.process(st.f)
+		}
+		st.tq.done()
+	} else if !st.flushed.Load() {
+		r = c.process(st.f)
+	}
+	if r != nil {
+		c.respond(st.f.Tag, r, st)
+	}
+	c.mu.Lock()
+	if c.reqs[st.f.Tag] == st {
+		delete(c.reqs, st.f.Tag)
+	}
+	c.mu.Unlock()
+	c.rpcs.Inc()
+	s.RPCs.Inc()
+	c.lat.Observe(s.ck.Since(st.start))
+}
+
+// teardown unregisters a dead connection and clunks its fids — only
+// its own; other tenants' fid tables are untouched. Requests still
+// queued are marked flushed so they drain through the dispatcher (and
+// their ticket queues) without touching handles the teardown closed.
+func (s *Server) teardown(c *SrvConn) {
+	s.cmu.Lock()
+	delete(s.conns, c.id)
+	s.cmu.Unlock()
+	c.mu.Lock()
+	for _, st := range c.reqs {
+		st.flushed.Store(true)
+	}
+	fids := c.fids
+	c.fids = make(map[uint32]*srvFid)
+	c.mu.Unlock()
 	for _, sf := range fids {
 		sf.mu.Lock()
 		if sf.open && sf.h != nil {
@@ -208,6 +448,52 @@ func (s *Server) cleanup() {
 		}
 		sf.mu.Unlock()
 	}
+}
+
+// blockReader is the structural interface a handle implements to
+// serve reads zero-copy from pooled, refcounted cache memory (the
+// ccache layer's handles do). ReadBlock returns a reference the
+// caller must Free and the sub-window of the block's bytes answering
+// the read; returning a nil block with a nil error declines, and the
+// server falls back to the copy path.
+type blockReader interface {
+	ReadBlock(count int, off int64) (*block.Block, []byte, error)
+}
+
+// wlock is mutual exclusion whose waiters park through the clock. A
+// plain mutex here would wedge the virtual scheduler: a response write
+// can hold the lock across a virtual-time sleep (a bandwidth-paced
+// medium send), and a second writer blocked in sync.Mutex.Lock never
+// yields its scheduler token, so virtual time could not advance to
+// finish the first write. Waiters on a vclock.Cond park properly on
+// either clock.
+type wlock struct {
+	mu     sync.Mutex
+	cond   vclock.Cond
+	inited bool
+	held   bool
+}
+
+func (l *wlock) lock(ck vclock.Clock) {
+	l.mu.Lock()
+	for l.held {
+		if !l.inited {
+			l.cond.Init(ck, &l.mu)
+			l.inited = true
+		}
+		l.cond.Wait()
+	}
+	l.held = true
+	l.mu.Unlock()
+}
+
+func (l *wlock) unlock() {
+	l.mu.Lock()
+	l.held = false
+	if l.inited {
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
 }
 
 // respond writes r under tag. st, non-nil for I/O requests, carries
@@ -218,7 +504,7 @@ func (s *Server) cleanup() {
 // visible and the reply is suppressed. A reply for a flushed tag can
 // therefore never follow its Rflush onto the wire, which is what lets
 // the client recycle a tag the moment Rflush is delivered.
-func (s *Server) respond(tag uint16, r *Fcall, st *srvReq) {
+func (c *SrvConn) respond(tag uint16, r *Fcall, st *srvReq) {
 	r.Tag = tag
 	msg, err := MarshalFcall(r)
 	if err != nil {
@@ -230,15 +516,87 @@ func (s *Server) respond(tag uint16, r *Fcall, st *srvReq) {
 		block.PutBytes(r.recycle)
 		r.recycle, r.Data = nil, nil
 	}
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
+	if r.blk != nil {
+		// MarshalFcall copied the cache fragment's window into msg
+		// (the one mandatory copy); the reply's reference drops
+		// here, and the fragment lives on for the next tenant.
+		r.blk.Free()
+		r.blk, r.Data = nil, nil
+	}
+	c.wmu.lock(c.s.ck)
+	defer c.wmu.unlock()
 	if st != nil && st.flushed.Load() {
 		// The reply of a flushed request is dropped; its pooled
 		// wire buffer is not.
 		block.PutBytes(msg)
 		return
 	}
-	s.conn.WriteMsg(msg)
+	c.conn.WriteMsg(msg)
+}
+
+// ConnStat is one connection's line of the stats bill.
+type ConnStat struct {
+	ID                           int64
+	Uname                        string
+	RPCs, Reads, Writes, Flushes int64
+	PendHW, InflightHW           int64
+	Lat                          obs.HistSnap
+}
+
+// ConnStats returns the live connections' bills, ordered by
+// connection id (arrival order), so the rendering is deterministic.
+func (s *Server) ConnStats() []ConnStat {
+	s.cmu.Lock()
+	conns := make([]*SrvConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.cmu.Unlock()
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+	out := make([]ConnStat, 0, len(conns))
+	for _, c := range conns {
+		c.mu.Lock()
+		uname := c.uname
+		c.mu.Unlock()
+		out = append(out, ConnStat{
+			ID:         c.id,
+			Uname:      uname,
+			RPCs:       c.rpcs.Load(),
+			Reads:      c.reads.Load(),
+			Writes:     c.writes.Load(),
+			Flushes:    c.flushes.Load(),
+			PendHW:     c.pendHW.Load(),
+			InflightHW: c.inflightHW.Load(),
+			Lat:        c.lat.SnapshotHist(),
+		})
+	}
+	return out
+}
+
+// Stats renders the server's stats file: scalar server-wide lines in
+// the obs "name: value" shape, then one bill line per live connection.
+// The per-connection lines carry a space in their name field so
+// obs.ParseStats skips them, like the per-conversation summaries in
+// the protocol devices' stats files.
+func (s *Server) Stats() string {
+	var b strings.Builder
+	conns := s.ConnStats()
+	fmt.Fprintf(&b, "conns: %d\nconns-open: %d\nrpcs: %d\nworkers-max: %d\n",
+		s.Conns.Load(), len(conns), s.RPCs.Load(), s.WorkerHW.Load())
+	for _, cs := range conns {
+		uname := cs.Uname
+		if uname == "" {
+			uname = "-"
+		}
+		avg := time.Duration(0)
+		if cs.Lat.Count > 0 {
+			avg = time.Duration(cs.Lat.SumNs / cs.Lat.Count)
+		}
+		fmt.Fprintf(&b, "conn %d %s: rpcs %d reads %d writes %d flushes %d pend-hw %d inflight-hw %d avg %s p99 %s\n",
+			cs.ID, uname, cs.RPCs, cs.Reads, cs.Writes, cs.Flushes,
+			cs.PendHW, cs.InflightHW, avg, cs.Lat.Quantile(0.99))
+	}
+	return b.String()
 }
 
 func rerror(err error) *Fcall {
@@ -249,17 +607,17 @@ func rerror(err error) *Fcall {
 	return &Fcall{Type: Rerror, Ename: e}
 }
 
-func (s *Server) getFid(fid uint32) (*srvFid, *Fcall) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sf, ok := s.fids[fid]
+func (c *SrvConn) getFid(fid uint32) (*srvFid, *Fcall) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sf, ok := c.fids[fid]
 	if !ok {
 		return nil, rerror(fmt.Errorf("unknown fid %d", fid))
 	}
 	return sf, nil
 }
 
-func (s *Server) process(t *Fcall) *Fcall {
+func (c *SrvConn) process(t *Fcall) *Fcall {
 	switch t.Type {
 	case Tnop:
 		return &Fcall{Type: Rnop}
@@ -275,15 +633,16 @@ func (s *Server) process(t *Fcall) *Fcall {
 		// already answered, there is nothing to abort; if it is still
 		// blocked in a handle, its eventual reply is suppressed and
 		// its slot in reqs is reclaimed by comparing instances.
-		s.mu.Lock()
-		st := s.reqs[t.Oldtag]
-		s.mu.Unlock()
+		c.flushes.Inc()
+		c.mu.Lock()
+		st := c.reqs[t.Oldtag]
+		c.mu.Unlock()
 		if st != nil {
 			st.flushed.Store(true)
 		}
 		return &Fcall{Type: Rflush}
 	case Tattach:
-		root, err := s.attach(t.Uname, t.Aname)
+		root, err := c.s.attach(t.Uname, t.Aname)
 		if err != nil {
 			return rerror(err)
 		}
@@ -291,16 +650,19 @@ func (s *Server) process(t *Fcall) *Fcall {
 		if err != nil {
 			return rerror(err)
 		}
-		s.mu.Lock()
-		if _, dup := s.fids[t.Fid]; dup {
-			s.mu.Unlock()
+		c.mu.Lock()
+		if _, dup := c.fids[t.Fid]; dup {
+			c.mu.Unlock()
 			return rerror(vfs.ErrInUse)
 		}
-		s.fids[t.Fid] = &srvFid{node: root}
-		s.mu.Unlock()
+		if c.uname == "" {
+			c.uname = t.Uname
+		}
+		c.fids[t.Fid] = &srvFid{node: root}
+		c.mu.Unlock()
 		return &Fcall{Type: Rattach, Fid: t.Fid, Qid: d.Qid}
 	case Tclone:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -311,16 +673,16 @@ func (s *Server) process(t *Fcall) *Fcall {
 		}
 		node := sf.node
 		sf.mu.Unlock()
-		s.mu.Lock()
-		if _, dup := s.fids[t.Newfid]; dup {
-			s.mu.Unlock()
+		c.mu.Lock()
+		if _, dup := c.fids[t.Newfid]; dup {
+			c.mu.Unlock()
 			return rerror(vfs.ErrInUse)
 		}
-		s.fids[t.Newfid] = &srvFid{node: node}
-		s.mu.Unlock()
+		c.fids[t.Newfid] = &srvFid{node: node}
+		c.mu.Unlock()
 		return &Fcall{Type: Rclone, Fid: t.Fid}
 	case Twalk:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -340,7 +702,7 @@ func (s *Server) process(t *Fcall) *Fcall {
 		sf.node = n
 		return &Fcall{Type: Rwalk, Fid: t.Fid, Qid: d.Qid}
 	case Tclwalk:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -358,16 +720,16 @@ func (s *Server) process(t *Fcall) *Fcall {
 		if err != nil {
 			return rerror(err)
 		}
-		s.mu.Lock()
-		if _, dup := s.fids[t.Newfid]; dup {
-			s.mu.Unlock()
+		c.mu.Lock()
+		if _, dup := c.fids[t.Newfid]; dup {
+			c.mu.Unlock()
 			return rerror(vfs.ErrInUse)
 		}
-		s.fids[t.Newfid] = &srvFid{node: n}
-		s.mu.Unlock()
+		c.fids[t.Newfid] = &srvFid{node: n}
+		c.mu.Unlock()
 		return &Fcall{Type: Rclwalk, Fid: t.Newfid, Qid: d.Qid}
 	case Topen:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -388,7 +750,7 @@ func (s *Server) process(t *Fcall) *Fcall {
 		sf.h, sf.open, sf.mode = h, true, int(t.Mode)
 		return &Fcall{Type: Ropen, Fid: t.Fid, Qid: d.Qid}
 	case Tcreate:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -413,7 +775,7 @@ func (s *Server) process(t *Fcall) *Fcall {
 		sf.node, sf.h, sf.open, sf.mode = n, h, true, int(t.Mode)
 		return &Fcall{Type: Rcreate, Fid: t.Fid, Qid: d.Qid}
 	case Tread:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -426,6 +788,18 @@ func (s *Server) process(t *Fcall) *Fcall {
 		if t.Count > MaxFData {
 			return rerror(ErrDataLen)
 		}
+		if br, ok := h.(blockReader); ok {
+			blk, data, err := br.ReadBlock(int(t.Count), t.Offset)
+			if err != nil {
+				return rerror(err)
+			}
+			if blk != nil {
+				// The reply aliases the cache fragment; respond
+				// drops the reference after marshaling.
+				return &Fcall{Type: Rread, Fid: t.Fid, Data: data, blk: blk}
+			}
+			// Declined (unaligned or uncacheable); copy path below.
+		}
 		buf := block.GetBytes(int(t.Count))
 		n, err := h.Read(buf, t.Offset)
 		if err != nil {
@@ -434,7 +808,7 @@ func (s *Server) process(t *Fcall) *Fcall {
 		}
 		return &Fcall{Type: Rread, Fid: t.Fid, Data: buf[:n], recycle: buf}
 	case Twrite:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -450,10 +824,10 @@ func (s *Server) process(t *Fcall) *Fcall {
 		}
 		return &Fcall{Type: Rwrite, Fid: t.Fid, Count: uint16(n)}
 	case Tclunk, Tremove:
-		s.mu.Lock()
-		sf, ok := s.fids[t.Fid]
-		delete(s.fids, t.Fid)
-		s.mu.Unlock()
+		c.mu.Lock()
+		sf, ok := c.fids[t.Fid]
+		delete(c.fids, t.Fid)
+		c.mu.Unlock()
 		if !ok {
 			return rerror(fmt.Errorf("unknown fid %d", t.Fid))
 		}
@@ -478,7 +852,7 @@ func (s *Server) process(t *Fcall) *Fcall {
 		}
 		return &Fcall{Type: Rclunk, Fid: t.Fid}
 	case Tstat:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}
@@ -491,7 +865,7 @@ func (s *Server) process(t *Fcall) *Fcall {
 		}
 		return &Fcall{Type: Rstat, Fid: t.Fid, Stat: d}
 	case Twstat:
-		sf, e := s.getFid(t.Fid)
+		sf, e := c.getFid(t.Fid)
 		if e != nil {
 			return e
 		}

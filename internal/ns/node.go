@@ -74,7 +74,19 @@ type fdHandle struct{ fd *FD }
 var (
 	_ vfs.Handle    = fdHandle{}
 	_ vfs.DirReader = fdHandle{}
+	_ vfs.Stable    = fdHandle{}
 )
+
+// Stable forwards vfs.Stable from the resolved handle, so a cache
+// above a PathNode (exportfs's ccache layer) can tell stored bytes
+// from live device files through the name-space indirection. A handle
+// that doesn't declare itself defaults to unstable — the safe side.
+func (h fdHandle) Stable() bool {
+	if s, ok := h.fd.Handle().(vfs.Stable); ok {
+		return s.Stable()
+	}
+	return false
+}
 
 // Read implements vfs.Handle.
 func (h fdHandle) Read(p []byte, off int64) (int, error) { return h.fd.ReadAt(p, off) }

@@ -230,6 +230,30 @@ func (s *HistSnap) Merge(o HistSnap) {
 	}
 }
 
+// Quantile returns the upper bound of the bucket holding the q'th
+// quantile observation (0 < q <= 1) — a log2-granular percentile, the
+// resolution the histogram actually has. An empty snapshot returns 0.
+func (s HistSnap) Quantile(q float64) time.Duration {
+	if s.Count <= 0 {
+		return 0
+	}
+	want := int64(q * float64(s.Count))
+	if want < 1 {
+		want = 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= want {
+			if i == NHistBuckets-1 {
+				return time.Duration(1 << (NHistBuckets - 2))
+			}
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return time.Duration(1 << (NHistBuckets - 2))
+}
+
 // Render formats the snapshot in the Hist.Render file shape.
 func (s HistSnap) Render(name string) string {
 	var b strings.Builder

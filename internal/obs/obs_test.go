@@ -103,6 +103,43 @@ func TestHistBuckets(t *testing.T) {
 	}
 }
 
+func TestHistQuantile(t *testing.T) {
+	var empty HistSnap
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	// 90 observations in the 1µs bucket, 10 in the 1ms bucket: the
+	// median sits in the fast bucket, the p99 in the slow one. Bucket
+	// k holds [2^(k-1), 2^k), so the returned upper bound is 2^k ns.
+	var h Hist
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.SnapshotHist()
+	p50 := s.Quantile(0.50)
+	p99 := s.Quantile(0.99)
+	if p50 >= time.Millisecond || p99 < time.Millisecond {
+		t.Errorf("p50 %v p99 %v: want p50 in the µs bucket, p99 in the ms bucket", p50, p99)
+	}
+	if p50 != time.Duration(1<<uint(bucketFor(time.Microsecond))) {
+		t.Errorf("p50 %v is not its bucket's upper bound", p50)
+	}
+	// A quantile so small it rounds below one observation still
+	// answers from the first occupied bucket.
+	if got := s.Quantile(0.0001); got != p50 {
+		t.Errorf("tiny quantile = %v, want first bucket bound %v", got, p50)
+	}
+	// The overflow bucket answers with the top bound.
+	var top Hist
+	top.Observe(time.Hour)
+	if got := top.SnapshotHist().Quantile(1); got != time.Duration(1<<(NHistBuckets-2)) {
+		t.Errorf("overflow quantile = %v", got)
+	}
+}
+
 func TestBucketLabel(t *testing.T) {
 	if BucketLabel(0) != "≤1ns" {
 		t.Fatalf("label 0 = %q", BucketLabel(0))

@@ -355,7 +355,15 @@ type fileHandle struct {
 	closed bool
 }
 
-var _ vfs.Handle = (*fileHandle)(nil)
+var (
+	_ vfs.Handle = (*fileHandle)(nil)
+	_ vfs.Stable = (*fileHandle)(nil)
+)
+
+// Stable implements vfs.Stable: ram files are stored bytes whose
+// Qid.Vers moves on every mutation, so a (qid.path, qid.vers)-keyed
+// read cache may hold their data.
+func (h *fileHandle) Stable() bool { return true }
 
 // Read implements vfs.Handle.
 func (h *fileHandle) Read(p []byte, off int64) (int, error) {

@@ -163,6 +163,16 @@ type Handle interface {
 	Close() error
 }
 
+// Stable is implemented by handles whose contents are stored bytes:
+// a read at an offset is repeatable, and the contents change only
+// when the file's Qid.Vers moves. A read cache keyed by (qid.path,
+// qid.vers) may hold such a handle's data. Live device files —
+// streams, ctl files, synthesized stats — must not implement it (or
+// must report false): their reads consume or compute.
+type Stable interface {
+	Stable() bool
+}
+
 // DirReader is implemented by handles of directories: it returns the
 // full list of entries; the caller (name space or 9P server) handles
 // offsets and marshaling.

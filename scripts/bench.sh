@@ -1,10 +1,10 @@
 #!/bin/sh
 # bench.sh — run the repo's headline benchmarks and record them as
-# BENCH_PR5.json: one object per benchmark with name, ns/op, B/op and
+# BENCH_PR8.json: one object per benchmark with name, ns/op, B/op and
 # allocs/op, so a future PR can diff performance against this one
 # mechanically. Usage:
 #
-#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR5.json
+#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR8.json
 #   scripts/bench.sh -smoke       # quick pass (benchtime 100ms), writes nothing,
 #                                 # fails only if a benchmark fails to run
 set -eu
@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 benchtime=2s
-out=BENCH_PR5.json
+out=BENCH_PR8.json
 smoke=0
 if [ "${1:-}" = "-smoke" ]; then
     benchtime=100ms
@@ -31,6 +31,7 @@ Benchmark9PReadOverILWANSerial
 Benchmark9PReadSmallOverIL
 Benchmark9PWriteOverIL
 Benchmark9PRelayThroughGateway
+Benchmark9PRelayThroughGateway1kClients
 '
 
 if [ "$smoke" = 1 ]; then

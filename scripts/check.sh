@@ -68,6 +68,33 @@ if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
 fi
 echo "internal/analysis coverage ${cov}%"
 
+echo "== exportfs coverage floor (>= 80%)"
+# The multi-tenant gateway is the serving stack's front door; its
+# attach/serve/stats plumbing stays above the same floor.
+cov=$(go test -cover ./internal/exportfs | awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") print $(i+1) }' | tr -d '%')
+if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
+    echo "internal/exportfs coverage ${cov:-unknown}% < 80%" >&2
+    exit 1
+fi
+echo "internal/exportfs coverage ${cov}%"
+
+echo "== ccache coverage floor (>= 80%)"
+# The shared block cache sits on the gateway's hot path and hands out
+# refcounted memory; every branch of its invalidation and refcount
+# logic is load-bearing.
+cov=$(go test -cover ./internal/ccache | awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") print $(i+1) }' | tr -d '%')
+if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
+    echo "internal/ccache coverage ${cov:-unknown}% < 80%" >&2
+    exit 1
+fi
+echo "internal/ccache coverage ${cov}%"
+
+echo "== gateway storm smoke (60 tenants on the virtual clock)"
+# A fixed-seed run of the multi-tenant import storm: one exporter,
+# sixty machines importing through the shared gateway server and its
+# cache, on the discrete-event clock so the pass is deterministic.
+go run ./cmd/netsim -virtual -gateway -machines 60 -simtime 10s -seed 1
+
 echo "== bench smoke (benchmarks still run)"
 sh scripts/bench.sh -smoke
 
