@@ -12,6 +12,11 @@
 //	                   same world, but every machine repeatedly imports one
 //	                   exporter's tree through the multi-tenant gateway and
 //	                   reads a shared file; reports the shared-cache bill
+//	netsim -virtual -registry
+//	                   same world, but with no stagger: every machine dials
+//	                   the registry by symbolic name at t=0, several dialers
+//	                   apiece, and the run reports the merged /net/cs books
+//	                   (hit rates, negative cache, query-latency p50/p99)
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "with -chaos: sweep this many consecutive seeds")
 	virtual := flag.Bool("virtual", false, "run on the discrete-event clock; alone, boots the -machines Datakit world and runs the registry storm")
 	gateway := flag.Bool("gateway", false, "with -virtual: run the gateway storm — every machine imports one exporter through the multi-tenant server")
+	registry := flag.Bool("registry", false, "with -virtual: run the t=0 dial storm — every machine dials the registry by name through /net/cs at once")
 	nmach := flag.Int("machines", 1000, "with -virtual: machines to boot besides the registry")
 	simtime := flag.Duration("simtime", 75*time.Second, "with -virtual: simulated duration of the registry storm")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -116,6 +122,16 @@ func main() {
 		}
 		if *gateway {
 			res, err := storm.RunGateway(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "netsim:", err)
+				exitCode = 1
+				return
+			}
+			fmt.Println(res)
+			return
+		}
+		if *registry {
+			res, err := storm.RunRegistry(cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "netsim:", err)
 				exitCode = 1

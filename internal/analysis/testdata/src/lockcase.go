@@ -4,6 +4,7 @@ package lockcase
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -112,4 +113,36 @@ func sendInNestedLiteral(b *box) func() {
 	return func() {
 		b.ch <- 1 // runs after the region; analyzed as its own body
 	}
+}
+
+// The read-mostly snapshot idiom: writers rebuild the map under mu
+// and republish it with an atomic store; readers never lock. The
+// store cannot block, so holding mu across it is fine — but parking
+// on a channel during the republish is the jam that froze a whole
+// switch's worth of dialers.
+
+type snapTable struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[map[int]int]
+	note chan struct{}
+}
+
+func republishUnderLock(st *snapTable) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.snap.Load()
+	next := make(map[int]int, len(*old))
+	for k, v := range *old {
+		next[k] = v
+	}
+	next[1] = 1
+	st.snap.Store(&next) // atomic store is non-blocking: silent
+}
+
+func republishThenNotifyLocked(st *snapTable) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	next := map[int]int{1: 1}
+	st.snap.Store(&next)
+	st.note <- struct{}{} // want lock-across-send "channel send while holding st.mu"
 }

@@ -273,8 +273,9 @@ func (w *World) NewMachine(cfg MachineConfig) (*Machine, error) {
 			return err == nil
 		},
 		Resolve: resolve,
+		Clock:   w.clock,
 	})
-	m.Root.WriteFile("net/cs", nil, 0666)
+	m.Root.MkdirAll("net/cs", 0775)
 	if err := m.NS.MountNode(m.CS.Node(cfg.Name), "/net/cs", ns.MREPL); err != nil {
 		return nil, err
 	}
@@ -365,7 +366,7 @@ func (m *Machine) LsNet() []string {
 
 // NdbQuery runs a csquery-style translation on this machine.
 func (m *Machine) NdbQuery(q string) ([]string, error) {
-	fd, err := m.NS.Open("/net/cs", vfs.ORDWR)
+	fd, err := m.NS.Open("/net/cs/cs", vfs.ORDWR)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/devtree"
 	"repro/internal/dialer"
@@ -34,7 +36,20 @@ func (m *Machine) Serve(addr string, handler Handler) (func(), error) {
 		for {
 			call, err := l.Listen()
 			if err != nil {
-				return
+				// A full conversation table is transient — a dial
+				// storm has every slot busy until handlers hang up.
+				// Back off and keep listening; anything else means
+				// the announcement itself is gone.
+				if !errors.Is(err, vfs.ErrInUse) {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ck.Sleep(time.Millisecond)
+				continue
 			}
 			select {
 			case <-done:

@@ -19,11 +19,11 @@ func TestRepeatedQueryHitsCacheSameOrder(t *testing.T) {
 	s := newServer(t, nil)
 	s.Trace().Enable()
 
-	first, err := s.Translate("net!helix!9fs")
+	first, err := tr(s, "net!helix!9fs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := s.Translate("net!helix!9fs")
+	second, err := tr(s, "net!helix!9fs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +55,12 @@ func TestRepeatedQueryHitsCacheSameOrder(t *testing.T) {
 
 func TestCallerCannotPoisonCache(t *testing.T) {
 	s := newServer(t, nil)
-	lines, err := s.Translate("tcp!helix!echo")
+	lines, err := tr(s, "tcp!helix!echo")
 	if err != nil {
 		t.Fatal(err)
 	}
 	lines[0] = "scribbled"
-	again, err := s.Translate("tcp!helix!echo")
+	again, err := tr(s, "tcp!helix!echo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestCacheKeysOnReachableNetworks(t *testing.T) {
 	reachable := map[string]bool{"/net/dk/clone": true}
 	s := newServer(t, func(clone string) bool { return reachable[clone] })
 
-	before, err := s.Translate("net!helix!9fs")
+	before, err := tr(s, "net!helix!9fs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestCacheKeysOnReachableNetworks(t *testing.T) {
 
 	// The import lands: IL becomes dialable.
 	reachable["/net/il/clone"] = true
-	after, err := s.Translate("net!helix!9fs")
+	after, err := tr(s, "net!helix!9fs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestCacheKeysOnReachableNetworks(t *testing.T) {
 	}
 
 	// Same reachable set again: now it may (and should) hit.
-	if _, err := s.Translate("net!helix!9fs"); err != nil {
+	if _, err := tr(s, "net!helix!9fs"); err != nil {
 		t.Fatal(err)
 	}
 	if s.CacheHits.Load() != 1 {
@@ -112,7 +112,7 @@ func TestCacheKeysOnReachableNetworks(t *testing.T) {
 func TestFailedQueryCountsError(t *testing.T) {
 	s := newServer(t, nil)
 	s.Trace().Enable()
-	if _, err := s.Translate("fddi!helix!echo"); err == nil {
+	if _, err := tr(s, "fddi!helix!echo"); err == nil {
 		t.Fatal("unknown network translated")
 	}
 	if s.Errors.Load() != 1 {
@@ -123,7 +123,7 @@ func TestFailedQueryCountsError(t *testing.T) {
 		t.Errorf("trace kinds %v, want [query error]", got)
 	}
 	// Failures are never cached: the same query asks again.
-	s.Translate("fddi!helix!echo")
+	tr(s, "fddi!helix!echo")
 	if s.CacheHits.Load() != 0 {
 		t.Errorf("a failed answer was cached")
 	}
@@ -131,14 +131,14 @@ func TestFailedQueryCountsError(t *testing.T) {
 
 func TestStatsFileAgreesWithCounters(t *testing.T) {
 	s := newServer(t, nil)
-	s.Translate("net!helix!9fs")
-	s.Translate("net!helix!9fs")
-	s.Translate("fddi!helix!echo")
+	tr(s, "net!helix!9fs")
+	tr(s, "net!helix!9fs")
+	tr(s, "fddi!helix!echo")
 	parsed := obs.ParseStats(s.StatsGroup().Render())
 	for name, want := range map[string]int64{
 		"queries":    s.Queries.Load(),
 		"cache-hits": s.CacheHits.Load(),
-		"answers":    s.Answers.Load(),
+		"misses":     s.Misses.Load(),
 		"errors":     s.Errors.Load(),
 	} {
 		if parsed[name] != want {

@@ -43,7 +43,7 @@ func newServer(t *testing.T, probe func(string) bool) *Server {
 
 func TestNetWildcardOrdersByPreference(t *testing.T) {
 	s := newServer(t, nil)
-	lines, err := s.Translate("net!helix!9fs")
+	lines, err := tr(s, "net!helix!9fs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,23 +60,23 @@ func TestNetWildcardOrdersByPreference(t *testing.T) {
 
 func TestSpecificNetwork(t *testing.T) {
 	s := newServer(t, nil)
-	lines, err := s.Translate("tcp!helix!echo")
+	lines, err := tr(s, "tcp!helix!echo")
 	if err != nil || len(lines) != 1 || lines[0] != "/net/tcp/clone 135.104.9.31!7" {
 		t.Errorf("tcp translate: %v, %v", lines, err)
 	}
-	if _, err := s.Translate("fddi!helix!echo"); !vfs.SameError(err, vfs.ErrNoNet) {
+	if _, err := tr(s, "fddi!helix!echo"); !vfs.SameError(err, vfs.ErrNoNet) {
 		t.Errorf("unknown network error = %v", err)
 	}
 }
 
 func TestLiteralAddressesPassThrough(t *testing.T) {
 	s := newServer(t, nil)
-	lines, err := s.Translate("tcp!135.104.117.5!513")
+	lines, err := tr(s, "tcp!135.104.117.5!513")
 	if err != nil || lines[0] != "/net/tcp/clone 135.104.117.5!513" {
 		t.Errorf("literal IP: %v, %v", lines, err)
 	}
 	// Literal Datakit path.
-	lines, err = s.Translate("dk!nj/astro/unlisted!login")
+	lines, err = tr(s, "dk!nj/astro/unlisted!login")
 	if err != nil || lines[0] != "/net/dk/clone nj/astro/unlisted!login" {
 		t.Errorf("literal dk: %v, %v", lines, err)
 	}
@@ -84,7 +84,7 @@ func TestLiteralAddressesPassThrough(t *testing.T) {
 
 func TestMetaNameDollarAttr(t *testing.T) {
 	s := newServer(t, nil)
-	lines, err := s.Translate("net!$auth!rexauth")
+	lines, err := tr(s, "net!$auth!rexauth")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,18 +95,18 @@ func TestMetaNameDollarAttr(t *testing.T) {
 	if !strings.Contains(joined, "/net/dk/clone nj/astro/p9auth!rexauth") {
 		t.Errorf("$auth dk line missing: %v", lines)
 	}
-	if _, err := s.Translate("net!$nosuch!echo"); err == nil {
+	if _, err := tr(s, "net!$nosuch!echo"); err == nil {
 		t.Error("unknown attribute resolved")
 	}
 }
 
 func TestAnnounceForm(t *testing.T) {
 	s := newServer(t, nil)
-	lines, err := s.Translate("tcp!*!echo")
+	lines, err := tr(s, "tcp!*!echo")
 	if err != nil || len(lines) != 1 || lines[0] != "/net/tcp/clone *!7" {
 		t.Errorf("announce translate: %v, %v", lines, err)
 	}
-	lines, err = s.Translate("dk!*!9fs")
+	lines, err = tr(s, "dk!*!9fs")
 	if err != nil || lines[0] != "/net/dk/clone *!9fs" {
 		t.Errorf("dk announce: %v, %v", lines, err)
 	}
@@ -115,7 +115,7 @@ func TestAnnounceForm(t *testing.T) {
 func TestHostsNotOnNetworkAreSkipped(t *testing.T) {
 	s := newServer(t, nil)
 	// dkonly has no ip=: only the dk line appears.
-	lines, err := s.Translate("net!dkonly!9fs")
+	lines, err := tr(s, "net!dkonly!9fs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,23 +124,23 @@ func TestHostsNotOnNetworkAreSkipped(t *testing.T) {
 			t.Errorf("dk-only host offered on IP: %v", lines)
 		}
 	}
-	if _, err := s.Translate("tcp!dkonly!echo"); err == nil {
+	if _, err := tr(s, "tcp!dkonly!echo"); err == nil {
 		t.Error("dk-only host translated on tcp")
 	}
 }
 
 func TestUnknownServiceAndHost(t *testing.T) {
 	s := newServer(t, nil)
-	if _, err := s.Translate("tcp!helix!frobnicate"); err == nil {
+	if _, err := tr(s, "tcp!helix!frobnicate"); err == nil {
 		t.Error("unknown service translated")
 	}
-	if _, err := s.Translate("tcp!ghost!echo"); err == nil {
+	if _, err := tr(s, "tcp!ghost!echo"); err == nil {
 		t.Error("unknown host translated")
 	}
-	if _, err := s.Translate("justonepart"); err == nil {
+	if _, err := tr(s, "justonepart"); err == nil {
 		t.Error("malformed query accepted")
 	}
-	if _, err := s.Translate("tcp!!echo"); err == nil {
+	if _, err := tr(s, "tcp!!echo"); err == nil {
 		t.Error("empty host accepted")
 	}
 }
@@ -150,14 +150,14 @@ func TestProbeFiltersNetworks(t *testing.T) {
 	s := newServer(t, func(clone string) bool {
 		return strings.HasPrefix(clone, "/net/dk/")
 	})
-	lines, err := s.Translate("net!helix!9fs")
+	lines, err := tr(s, "net!helix!9fs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lines) != 1 || lines[0] != "/net/dk/clone nj/astro/helix!9fs" {
 		t.Errorf("probed lines %v", lines)
 	}
-	if _, err := s.Translate("tcp!helix!echo"); !vfs.SameError(err, vfs.ErrNoNet) {
+	if _, err := tr(s, "tcp!helix!echo"); !vfs.SameError(err, vfs.ErrNoNet) {
 		t.Errorf("probed-out network error = %v", err)
 	}
 }
@@ -175,14 +175,14 @@ func TestDNSFallbackForDomains(t *testing.T) {
 		},
 	})
 	// A name in the database resolves without DNS.
-	if _, err := s.Translate("tcp!helix.research.bell-labs.com!echo"); err != nil {
+	if _, err := tr(s, "tcp!helix.research.bell-labs.com!echo"); err != nil {
 		t.Fatal(err)
 	}
 	if resolved != "" {
 		t.Error("database name went to DNS")
 	}
 	// A name only DNS knows goes through Resolve.
-	lines, err := s.Translate("tcp!ai.mit.edu!echo")
+	lines, err := tr(s, "tcp!ai.mit.edu!echo")
 	if err != nil || lines[0] != "/net/tcp/clone 1.2.3.4!7" {
 		t.Errorf("dns-resolved translate: %v, %v", lines, err)
 	}
@@ -195,7 +195,7 @@ func TestNetCsFileInterface(t *testing.T) {
 	s := newServer(t, nil)
 	nsp := ns.New("self", ramfs.New("self").Root())
 	nsp.MountNode(s.Node("self"), "/net/cs", ns.MREPL)
-	fd, err := nsp.Open("/net/cs", vfs.ORDWR)
+	fd, err := nsp.Open("/net/cs/cs", vfs.ORDWR)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,11 +230,17 @@ func TestMultiHomedHostGetsAllAddresses(t *testing.T) {
 		DB:       ndb.New(f),
 		Networks: []Network{{Name: "tcp", Clone: "/net/tcp/clone", Kind: KindIP}},
 	})
-	lines, err := s.Translate("tcp!gateway!login")
+	lines, err := tr(s, "tcp!gateway!login")
 	if err != nil || len(lines) != 2 {
 		t.Fatalf("multihomed lines %v, %v", lines, err)
 	}
 	if lines[0] != "/net/tcp/clone 135.104.9.60!513" || lines[1] != "/net/tcp/clone 18.26.0.1!513" {
 		t.Errorf("multihomed addresses %v", lines)
 	}
+}
+
+// tr flattens a translation for the []string-shaped assertions above.
+func tr(s *Server, q string) ([]string, error) {
+	a, err := s.Translate(q)
+	return a.Lines(), err
 }

@@ -74,7 +74,7 @@ func (c *Conn) RemoteAddr(nsp *ns.Namespace) string {
 // csLines asks /net/cs to translate dest, returning "clone message"
 // lines.
 func csLines(nsp *ns.Namespace, dest string) ([]string, error) {
-	fd, err := nsp.Open("/net/cs", vfs.ORDWR)
+	fd, err := nsp.Open("/net/cs/cs", vfs.ORDWR)
 	if err != nil {
 		// No connection server: fall back to a direct translation
 		// "proto!addr!service" -> /net/proto/clone addr!service.

@@ -76,6 +76,76 @@ func BenchmarkNdbLookupStaleHash(b *testing.B) {
 	}
 }
 
+// The experiment at 10× scale: 130,000 entries (~430,000 lines) — the
+// global file a network ten times Bell Labs' would carry. The hashed
+// path must stay flat (it is O(1) in the entry count) while the scan
+// path grows linearly, which is the paper's whole argument for hash
+// files.
+func BenchmarkNdbLookupHashed10x(b *testing.B) {
+	db, _ := globalDB(b, 130000)
+	db.HashAll("sys", "dom", "ip")
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		name := fmt.Sprintf("host%d", i%130000)
+		if _, ok := db.QueryOne("sys", name); !ok {
+			b.Fatalf("missing %s", name)
+		}
+		i++
+	}
+}
+
+func BenchmarkNdbLookupScan10x(b *testing.B) {
+	db, _ := globalDB(b, 130000)
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		name := fmt.Sprintf("host%d", i%130000)
+		if _, ok := db.QueryOne("sys", name); !ok {
+			b.Fatalf("missing %s", name)
+		}
+		i++
+	}
+}
+
+func BenchmarkNdbLookupStaleHash10x(b *testing.B) {
+	db, f := globalDB(b, 130000)
+	db.HashAll("sys")
+	f.Replace(append(f.Entries, Entry{{Attr: "sys", Val: "fresh"}}))
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		name := fmt.Sprintf("host%d", i%130000)
+		if _, ok := db.QueryOne("sys", name); !ok {
+			b.Fatalf("missing %s", name)
+		}
+		i++
+	}
+	b.StopTimer()
+	if h, _ := db.Counters(); h != 0 {
+		b.Fatalf("stale hash was used %d times", h)
+	}
+}
+
+func BenchmarkNdbParse430kLines(b *testing.B) {
+	data := GenerateGlobal(130000, 1)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := Parse("global", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNdbBuildHash10x(b *testing.B) {
+	_, f := globalDB(b, 130000)
+	b.ResetTimer()
+	for b.Loop() {
+		f.BuildHash("sys")
+	}
+}
+
 func BenchmarkNdbParse43kLines(b *testing.B) {
 	data := GenerateGlobal(13000, 1)
 	b.SetBytes(int64(len(data)))

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Tuple is one attr=value pair.
@@ -83,13 +84,20 @@ func (e Entry) String() string {
 type File struct {
 	Name    string
 	Entries []Entry
-	// Version stands in for the file's modification time: hash
-	// tables remember the version they were built against.
-	Version int64
+	// version stands in for the file's modification time: hash
+	// tables remember the version they were built against, and the
+	// connection server keys cached answers to it so Replace can
+	// never serve a stale translation. Atomic so readers on lock-free
+	// hot paths (the CS answer cache) can validate without taking mu.
+	version atomic.Int64
 
 	mu     sync.RWMutex
 	hashes map[string]*hashTable
 }
+
+// Version returns the file's current version stamp. It is safe to call
+// concurrently with Replace and never blocks.
+func (f *File) Version() int64 { return f.version.Load() }
 
 // hashTable is the per-attribute index: the in-memory form of the
 // paper's hash files, including the mtime stamp used for staleness.
@@ -113,7 +121,8 @@ func (e *ParseError) Error() string {
 // Parse reads database text. Entries begin at the left margin;
 // indented lines continue the current entry; # starts a comment.
 func Parse(name string, data []byte) (*File, error) {
-	f := &File{Name: name, Version: 1, hashes: make(map[string]*hashTable)}
+	f := &File{Name: name, hashes: make(map[string]*hashTable)}
+	f.version.Store(1)
 	var cur Entry
 	flush := func() {
 		if len(cur) > 0 {
@@ -209,7 +218,7 @@ func parseTuples(s string) ([]Tuple, error) {
 func (f *File) BuildHash(attr string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	h := &hashTable{attr: attr, version: f.Version, chains: make(map[string][]int)}
+	h := &hashTable{attr: attr, version: f.version.Load(), chains: make(map[string][]int)}
 	for i, e := range f.Entries {
 		for _, t := range e {
 			if t.Attr == attr {
@@ -226,7 +235,7 @@ func (f *File) Replace(entries []Entry) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.Entries = entries
-	f.Version++
+	f.version.Add(1)
 }
 
 // lookup returns the indices of entries with attr=val and whether the
@@ -234,7 +243,7 @@ func (f *File) Replace(entries []Entry) {
 func (f *File) lookup(attr, val string) ([]int, bool) {
 	f.mu.RLock()
 	h := f.hashes[attr]
-	version := f.Version
+	version := f.version.Load()
 	f.mu.RUnlock()
 	if h != nil && h.version == version {
 		return h.chains[val], true
@@ -288,6 +297,18 @@ func (db *DB) HashAll(attrs ...string) {
 			f.BuildHash(a)
 		}
 	}
+}
+
+// Version combines the version stamps of every file in the database.
+// Any Replace on any file changes the result, so a consumer holding
+// answers derived from the database (the connection server's cache)
+// can validate them with a few atomic loads and no locks.
+func (db *DB) Version() int64 {
+	var v int64
+	for _, f := range db.Files {
+		v += f.version.Load()
+	}
+	return v
 }
 
 // Counters returns (hash-path searches, scan-path searches).

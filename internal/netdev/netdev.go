@@ -107,7 +107,6 @@ func (d *Dev) alloc() (*conv, error) {
 // connection a listen returns).
 func (d *Dev) adopt(conn xport.Conn) (*conv, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for id := range MaxConvs {
 		c := d.convs[id]
 		if c == nil {
@@ -123,9 +122,13 @@ func (d *Dev) adopt(conn xport.Conn) (*conv, error) {
 		}
 		c.mu.Unlock()
 		if free {
+			d.mu.Unlock()
 			return c, nil
 		}
 	}
+	d.mu.Unlock()
+	// Hang up outside the device lock: closing a conversation can park
+	// on the wire, and the device must stay walkable meanwhile.
 	conn.Close()
 	return nil, vfs.ErrInUse
 }

@@ -148,6 +148,52 @@ func ParseStats(text string) map[string]int64 {
 	return m
 }
 
+// ParseHistSnap reconstructs a histogram snapshot from the lines
+// Hist.Render(name) wrote into a stats file — the inverse ParseStats
+// skips. Bucket lines are matched by their BucketLabel; SumNs is
+// recovered from the rendered average (rounded to the duration-format
+// precision, close enough for merged quantiles). A stats file without
+// the named histogram parses as the empty snapshot.
+func ParseHistSnap(text, name string) HistSnap {
+	var s HistSnap
+	countPrefix := name + ": count "
+	bucketPrefix := name + " "
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, countPrefix); ok {
+			cstr, avgstr, ok := strings.Cut(rest, " avg ")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(cstr, 10, 64)
+			if err != nil {
+				continue
+			}
+			s.Count = n
+			if avg, err := time.ParseDuration(avgstr); err == nil {
+				s.SumNs = n * avg.Nanoseconds()
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, bucketPrefix); ok {
+			label, val, ok := strings.Cut(rest, ": ")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				continue
+			}
+			for i := 0; i < NHistBuckets; i++ {
+				if BucketLabel(i) == label {
+					s.Buckets[i] = n
+					break
+				}
+			}
+		}
+	}
+	return s
+}
+
 // NHistBuckets is the number of log2 latency buckets: bucket k counts
 // observations with 2^(k-1) ns < d <= 2^k - 1 ns (bucket 0 is <= 1ns),
 // covering up to ~9s in bucket 33 and everything longer in the last.

@@ -38,6 +38,7 @@ const (
 	EvCacheHit         // answer served from cache
 	EvAnswer           // query answered (A: number of answer lines)
 	EvError            // operation failed
+	EvWait             // joined another caller's in-flight computation
 	nKinds
 )
 
@@ -64,6 +65,7 @@ var kindNames = [nKinds]string{
 	EvCacheHit:    "cache-hit",
 	EvAnswer:      "answer",
 	EvError:       "error",
+	EvWait:        "wait",
 }
 
 // String returns the stable ASCII name of the kind, as trace files

@@ -1,0 +1,157 @@
+package torture
+
+// The connection-server half of the stats-conformance suite: /net/cs
+// is only a diagnostic tool if its books balance. Every query must
+// land in exactly one outcome column — cache hit (negative hits are a
+// subset), singleflight wait, miss, or error — and the latency
+// histogram must have observed every one of them. The test drives
+// mixed traffic through the mounted file tree the way a user would
+// (write the query, read the answers, cat the stats) and reconciles
+// the file against the engine counters.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cs"
+	"repro/internal/ndb"
+	"repro/internal/obs"
+	"repro/internal/vfs"
+)
+
+func confCS(t *testing.T) *cs.Server {
+	t.Helper()
+	text := "il=9fs port=17008\ntcp=9fs port=564\ntcp=echo port=7\n"
+	for i := 0; i < 64; i++ {
+		text += fmt.Sprintf("sys=conf%02d ip=10.9.0.%d dk=nj/astro/conf%02d\n", i, i+1, i)
+	}
+	f, err := ndb.Parse("conf", []byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ndb.New(f)
+	db.HashAll("sys", "ip", "dk")
+	return cs.New(cs.Config{
+		SysName: "conf00",
+		DB:      db,
+		Networks: []cs.Network{
+			{Name: "il", Clone: "/net/il/clone", Kind: cs.KindIP},
+			{Name: "tcp", Clone: "/net/tcp/clone", Kind: cs.KindIP},
+			{Name: "dk", Clone: "/net/dk/clone", Kind: cs.KindDatakit},
+		},
+	})
+}
+
+// csQuery runs one translation through the device file tree: open the
+// query file, write the name, read the answer lines back.
+func csQuery(t *testing.T, root vfs.Node, q string) ([]string, error) {
+	t.Helper()
+	n, err := root.Walk("cs")
+	if err != nil {
+		t.Fatalf("walk cs: %v", err)
+	}
+	h, err := n.Open(vfs.ORDWR)
+	if err != nil {
+		t.Fatalf("open cs: %v", err)
+	}
+	defer h.Close()
+	if _, err := h.Write([]byte(q), 0); err != nil {
+		return nil, err
+	}
+	var lines []string
+	buf := make([]byte, 512)
+	for {
+		k, err := h.Read(buf, 0)
+		if k == 0 || err != nil {
+			return lines, nil
+		}
+		lines = append(lines, string(buf[:k]))
+	}
+}
+
+func TestStatsConformanceCS(t *testing.T) {
+	s := confCS(t)
+	root := s.Node("conformance")
+
+	// Mixed traffic from several workers: hot names (hits), a spread
+	// of cold names (misses), dead names asked twice (an error, then
+	// negative-cache hits), and malformed queries (errors that must
+	// never be cached).
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0, 1:
+					csQuery(t, root, "net!conf01!9fs")
+				case 2:
+					csQuery(t, root, fmt.Sprintf("net!conf%02d!9fs", (w*200+i)%64))
+				case 3:
+					csQuery(t, root, "net!no-such-host!9fs")
+				case 4:
+					csQuery(t, root, "malformed")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	text := readNodeText(t, root, "stats")
+	file := obs.ParseStats(text)
+
+	// Ground truth 1: the books balance. Every query took exactly one
+	// exit — and the traffic above exercised every column we can force
+	// deterministically (waits need a concurrent miss collision, so
+	// they are allowed, not required).
+	if file["queries"] == 0 {
+		t.Fatalf("no queries recorded:\n%s", text)
+	}
+	if got := file["cache-hits"] + file["singleflight-waits"] + file["misses"] + file["errors"]; got != file["queries"] {
+		t.Errorf("books do not balance: queries %d != hits %d + waits %d + misses %d + errors %d",
+			file["queries"], file["cache-hits"], file["singleflight-waits"],
+			file["misses"], file["errors"])
+	}
+	for name, want := range map[string]string{
+		"cache-hits": "repeated names never hit the cache",
+		"neg-hits":   "repeated dead names never hit the negative cache",
+		"misses":     "cold names never missed",
+		"errors":     "malformed and dead queries raised no errors",
+	} {
+		if file[name] == 0 {
+			t.Errorf("%s = 0: %s\n%s", name, want, text)
+		}
+	}
+	if file["neg-hits"] > file["cache-hits"] {
+		t.Errorf("neg-hits %d exceed cache-hits %d: negative hits are a subset",
+			file["neg-hits"], file["cache-hits"])
+	}
+
+	// Ground truth 2: the file agrees with the engine counters the
+	// code bumped.
+	for name, eng := range map[string]int64{
+		"queries":            s.Queries.Load(),
+		"cache-hits":         s.CacheHits.Load(),
+		"neg-hits":           s.NegHits.Load(),
+		"singleflight-waits": s.SFWaits.Load(),
+		"misses":             s.Misses.Load(),
+		"errors":             s.Errors.Load(),
+		"evictions":          s.Evictions.Load(),
+	} {
+		if file[name] != eng {
+			t.Errorf("/net/cs/stats %s: file %d, engine %d", name, file[name], eng)
+		}
+	}
+
+	// Ground truth 3: the latency histogram observed every query, and
+	// the file's rendering of it parses back to the engine snapshot.
+	hist := obs.ParseHistSnap(text, "lat")
+	if hist.Count != file["queries"] {
+		t.Errorf("latency histogram saw %d queries, counter says %d", hist.Count, file["queries"])
+	}
+	if eng := s.Lat.SnapshotHist(); hist.Buckets != eng.Buckets || hist.Count != eng.Count {
+		t.Errorf("stats-file histogram diverges from engine: file %+v, engine %+v", hist, eng)
+	}
+}

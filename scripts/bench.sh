@@ -1,10 +1,10 @@
 #!/bin/sh
 # bench.sh — run the repo's headline benchmarks and record them as
-# BENCH_PR8.json: one object per benchmark with name, ns/op, B/op and
+# BENCH_PR9.json: one object per benchmark with name, ns/op, B/op and
 # allocs/op, so a future PR can diff performance against this one
 # mechanically. Usage:
 #
-#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR8.json
+#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR9.json
 #   scripts/bench.sh -smoke       # quick pass (benchtime 100ms), writes nothing,
 #                                 # fails only if a benchmark fails to run
 set -eu
@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 benchtime=2s
-out=BENCH_PR8.json
+out=BENCH_PR9.json
 smoke=0
 if [ "${1:-}" = "-smoke" ]; then
     benchtime=100ms
@@ -20,25 +20,46 @@ if [ "${1:-}" = "-smoke" ]; then
     smoke=1
 fi
 
+# pkg:Benchmark pairs. The root package carries the end-to-end figures;
+# internal/cs the connection-server cache (new vs seed discipline);
+# internal/ndb the §4.1 hash-vs-scan experiment at 1× and 10× scale.
 benches='
-BenchmarkTable1LatencyILEther
-BenchmarkTable1LatencyURPDatakit
-BenchmarkTable1ThroughputURPDatakit
-Benchmark9PReadOverIL
-Benchmark9PReadOverILSerial
-Benchmark9PReadOverILWAN
-Benchmark9PReadOverILWANSerial
-Benchmark9PReadSmallOverIL
-Benchmark9PWriteOverIL
-Benchmark9PRelayThroughGateway
-Benchmark9PRelayThroughGateway1kClients
+.:BenchmarkTable1LatencyILEther
+.:BenchmarkTable1LatencyURPDatakit
+.:BenchmarkTable1ThroughputURPDatakit
+.:Benchmark9PReadOverIL
+.:Benchmark9PReadOverILSerial
+.:Benchmark9PReadOverILWAN
+.:Benchmark9PReadOverILWANSerial
+.:Benchmark9PReadSmallOverIL
+.:Benchmark9PWriteOverIL
+.:Benchmark9PRelayThroughGateway
+.:Benchmark9PRelayThroughGateway1kClients
+internal/cs:BenchmarkCSTranslateHot
+internal/cs:BenchmarkCSTranslateHotSeed
+internal/cs:BenchmarkCSTranslateHotSet512
+internal/cs:BenchmarkCSTranslateHotSet512Seed
+internal/cs:BenchmarkCSTranslateMissSingleflight
+internal/cs:BenchmarkCSTranslateMixed
+internal/ndb:BenchmarkNdbLookupHashed
+internal/ndb:BenchmarkNdbLookupScan
+internal/ndb:BenchmarkNdbLookupStaleHash
+internal/ndb:BenchmarkNdbLookupHashed10x
+internal/ndb:BenchmarkNdbLookupScan10x
+internal/ndb:BenchmarkNdbLookupStaleHash10x
+internal/ndb:BenchmarkNdbParse430kLines
+internal/ndb:BenchmarkNdbBuildHash10x
 '
 
+pkgs=$(echo "$benches" | sed -n 's/^\(.*\):.*/\1/p' | sort -u)
+
 if [ "$smoke" = 1 ]; then
-    # One process is fine for the smoke pass: it only checks that every
-    # benchmark still runs.
-    pattern=$(echo $benches | tr ' ' '\n' | sed 's/$/$/' | paste -sd'|' -)
-    go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem .
+    # One process per package is fine for the smoke pass: it only
+    # checks that every benchmark still runs.
+    for pkg in $pkgs; do
+        pattern=$(echo "$benches" | sed -n "s|^$pkg:||p" | sed 's/$/$/' | paste -sd'|' -)
+        go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem "./$pkg"
+    done
     echo "bench.sh: smoke pass ok"
     exit 0
 fi
@@ -46,17 +67,20 @@ fi
 # For the recorded run, each benchmark gets a fresh process: a long
 # shared process lets earlier benchmarks perturb later ones (warm
 # pools, accumulated GC state), which showed up as ~15% swings on the
-# later entries. Build the test binary once, then run them one at a
+# later entries. Build each test binary once, then run them one at a
 # time.
-go test -c -o /tmp/bench_repro.test .
-trap 'rm -f /tmp/bench_repro.test' EXIT
 raw=""
-for name in $benches; do
-    line=$(/tmp/bench_repro.test -test.run '^$' -test.bench "${name}\$" \
-        -test.benchtime "$benchtime" -test.benchmem | grep '^Benchmark')
-    echo "$line"
-    raw="$raw$line
+for pkg in $pkgs; do
+    bin="/tmp/bench_repro_$(echo "$pkg" | tr './' '__').test"
+    go test -c -o "$bin" "./$pkg"
+    for name in $(echo "$benches" | sed -n "s|^$pkg:||p"); do
+        line=$("$bin" -test.run '^$' -test.bench "${name}\$" \
+            -test.benchtime "$benchtime" -test.benchmem | grep '^Benchmark')
+        echo "$line"
+        raw="$raw$line
 "
+    done
+    rm -f "$bin"
 done
 
 # go test -bench lines look like:

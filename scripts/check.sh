@@ -32,7 +32,7 @@ echo "== block discipline: AllocsPerRun gates (race off)"
 # The race detector's instrumentation allocates, so these self-skip
 # under -race above and run here without it: a copy or pool bypass
 # creeping back into the hot paths fails the gate.
-go test -run '^TestAllocs' -count=1 ./internal/streams ./internal/ninep
+go test -run '^TestAllocs' -count=1 ./internal/streams ./internal/ninep ./internal/cs
 
 echo "== chaos: real-clock torture pass (fixed seed)"
 go run ./cmd/netsim -chaos -seed 1 -msgs 40
@@ -89,11 +89,36 @@ if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
 fi
 echo "internal/ccache coverage ${cov}%"
 
+echo "== cs coverage floor (>= 85%)"
+# The connection server answers every symbolic dial in the system; its
+# sharded cache, singleflight, and stats plumbing carry a higher floor
+# than the rest because a silent miscount there skews every experiment.
+cov=$(go test -cover ./internal/cs | awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") print $(i+1) }' | tr -d '%')
+if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 85 ]; then
+    echo "internal/cs coverage ${cov:-unknown}% < 85%" >&2
+    exit 1
+fi
+echo "internal/cs coverage ${cov}%"
+
 echo "== gateway storm smoke (60 tenants on the virtual clock)"
 # A fixed-seed run of the multi-tenant import storm: one exporter,
 # sixty machines importing through the shared gateway server and its
 # cache, on the discrete-event clock so the pass is deterministic.
 go run ./cmd/netsim -virtual -gateway -machines 60 -simtime 10s -seed 1
+
+echo "== registry storm smoke (determinism of the t=0 dial storm)"
+# Two same-seed runs of the no-stagger dial storm must agree byte for
+# byte — calls, retries, CS books, latency quantiles — once the
+# wall-clock tail of the report is stripped.
+run1=$(go run ./cmd/netsim -virtual -registry -machines 60 -simtime 4s -seed 1 | sed 's/ in [^ ]* wall$//')
+run2=$(go run ./cmd/netsim -virtual -registry -machines 60 -simtime 4s -seed 1 | sed 's/ in [^ ]* wall$//')
+if [ "$run1" != "$run2" ]; then
+    echo "registry storm diverged across same-seed runs:" >&2
+    echo "  $run1" >&2
+    echo "  $run2" >&2
+    exit 1
+fi
+echo "$run1"
 
 echo "== bench smoke (benchmarks still run)"
 sh scripts/bench.sh -smoke
