@@ -650,3 +650,111 @@ func TestBenchWorldBoots(t *testing.T) {
 	}
 	_ = fmt.Sprint()
 }
+
+// --- Line disciplines on the WAN (§2.4): goodput of a small-message
+// stream with and without the batch and compress modules pushed ---
+
+// benchWANGoodput boots the WAN world (10 ms RTT on the office ether),
+// runs a sink service on bootes, and streams msgs messages of sz bytes
+// from helix per iteration; the sink acknowledges each burst, so an
+// iteration covers the full drain — including the batch module's tail
+// flush. mods (nil for the baseline) are pushed on both ends through
+// the production path: the listener arms the accepted conversation,
+// the dialer writes the same specs to its ctl file. compressible
+// selects text-shaped payloads; bulk runs use incompressible bytes so
+// the compress module's passthrough guard is what is measured.
+func benchWANGoodput(b *testing.B, msgs, sz int, compressible bool, mods ...string) {
+	w, err := core.PaperWorld(core.WANProfiles())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	bootes := w.Machine("bootes")
+	helix := w.Machine("helix")
+	stop, err := bootes.Serve("il!*!17090", func(_ *ns.Namespace, conn *dialer.Conn) {
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			if n == 4 && string(buf[:n]) == "done" {
+				if _, err := conn.Write([]byte("ok")); err != nil {
+					return
+				}
+			}
+		}
+	}, mods...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(stop)
+	conn, err := dialer.Dial(helix.NS, "il!bootes!17090")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { conn.Close() })
+	if err := conn.Push(mods...); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, sz)
+	if compressible {
+		// Text-shaped: the mix of repetition and drift real RPC and
+		// log traffic has.
+		copy(payload, fmt.Sprintf("wan goodput message %08d: status ok, queue drained, next poll soon; ", sz))
+		for i := len("wan goodput message 00000000: status ok, queue drained, next poll soon; "); i < sz; i++ {
+			payload[i] = byte('a' + i%17)
+		}
+	} else {
+		r := uint64(0x9e3779b97f4a7c15)
+		for i := range payload {
+			r ^= r << 13
+			r ^= r >> 7
+			r ^= r << 17
+			payload[i] = byte(r)
+		}
+	}
+	ack := make([]byte, 16)
+	b.SetBytes(int64(msgs * sz))
+	b.ResetTimer()
+	for b.Loop() {
+		for i := 0; i < msgs; i++ {
+			if _, err := conn.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := conn.Write([]byte("done")); err != nil {
+			b.Fatal(err)
+		}
+		if n, err := conn.Read(ack); err != nil || string(ack[:n]) != "ok" {
+			b.Fatalf("ack %q, %v", ack[:n], err)
+		}
+	}
+}
+
+// Small messages are where the disciplines earn their keep: 64-byte
+// writes each cost a full IL/IP/ether header and a paced wire slot
+// undressed; batched they share one frame per 2 KB window.
+func BenchmarkWANSmallMsgGoodput(b *testing.B) {
+	benchWANGoodput(b, 512, 64, true)
+}
+func BenchmarkWANSmallMsgGoodputBatch(b *testing.B) {
+	benchWANGoodput(b, 512, 64, true, "batch 2048 2ms")
+}
+func BenchmarkWANSmallMsgGoodputBatchCompress(b *testing.B) {
+	benchWANGoodput(b, 512, 64, true, "compress", "batch 2048 2ms")
+}
+
+// Bulk writes ride the batch fastpath (a block over the cap passes
+// straight through) and incompressible payloads take the compress
+// module's stored-frame exit: the disciplines must not tax the case
+// they cannot help.
+func BenchmarkWANBulkGoodput(b *testing.B) {
+	benchWANGoodput(b, 16, 4096, false)
+}
+func BenchmarkWANBulkGoodputBatch(b *testing.B) {
+	benchWANGoodput(b, 16, 4096, false, "batch 2048 2ms")
+}
+func BenchmarkWANBulkGoodputBatchCompress(b *testing.B) {
+	benchWANGoodput(b, 16, 4096, false, "compress", "batch 2048 2ms")
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/torture"
 )
@@ -10,17 +11,26 @@ import (
 // over the standard impairment cocktail (torture.Chaos) — once per
 // seed in [seed, seed+seeds), and prints a report per protocol. With
 // virtual set the scenarios run on the discrete-event clock, so a
-// multi-seed sweep costs wall-clock seconds. A failing scenario is
-// shrunk to its minimal reproduction before the command exits nonzero.
-func runChaos(seed int64, msgs, seeds int, virtual bool) int {
+// multi-seed sweep costs wall-clock seconds. mods is a comma-separated
+// list of line-discipline specs ("compress,batch 1024 2ms") pushed on
+// both ends of every conversation. A failing scenario is shrunk to its
+// minimal reproduction before the command exits nonzero.
+func runChaos(seed int64, msgs, seeds int, virtual bool, mods string) int {
 	if seeds < 1 {
 		seeds = 1
+	}
+	var specs []string
+	for _, m := range strings.Split(mods, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			specs = append(specs, m)
+		}
 	}
 	failed := 0
 	for sd := seed; sd < seed+int64(seeds); sd++ {
 		for _, proto := range torture.Protos {
 			s := torture.Chaos(proto, sd, msgs)
 			s.Virtual = virtual
+			s.Mods = specs
 			rep := torture.Run(s)
 			if seeds > 1 {
 				// Sweeps stay terse: one line per passing scenario.

@@ -52,6 +52,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "with -chaos/-virtual: impairment seed (failures replay exactly)")
 	msgs := flag.Int("msgs", 40, "with -chaos: messages per direction")
 	seeds := flag.Int("seeds", 1, "with -chaos: sweep this many consecutive seeds")
+	mods := flag.String("mods", "", "with -chaos: comma-separated line disciplines pushed on both ends (e.g. \"compress,batch 1024 2ms\")")
 	virtual := flag.Bool("virtual", false, "run on the discrete-event clock; alone, boots the -machines Datakit world and runs the registry storm")
 	gateway := flag.Bool("gateway", false, "with -virtual: run the gateway storm — every machine imports one exporter through the multi-tenant server")
 	registry := flag.Bool("registry", false, "with -virtual: run the t=0 dial storm — every machine dials the registry by name through /net/cs at once")
@@ -107,7 +108,7 @@ func main() {
 		}
 	}()
 	if *chaos {
-		if failed := runChaos(*seed, *msgs, *seeds, *virtual); failed > 0 {
+		if failed := runChaos(*seed, *msgs, *seeds, *virtual, *mods); failed > 0 {
 			fmt.Fprintf(os.Stderr, "netsim: chaos: %d scenarios failed\n", failed)
 			exitCode = 1
 		}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ether"
 	"repro/internal/ip"
 	"repro/internal/netmsg"
+	"repro/internal/streams"
 	"repro/internal/vfs"
 )
 
@@ -164,7 +165,17 @@ func decodeIL(p []byte) string {
 	id := uint32(p[10])<<24 | uint32(p[11])<<16 | uint32(p[12])<<8 | uint32(p[13])
 	ack := uint32(p[14])<<24 | uint32(p[15])<<16 | uint32(p[16])<<8 | uint32(p[17])
 	return fmt.Sprintf("il(%s %d -> %d id %d ack %d, %d data)",
-		name, src, dst, id, ack, len(p)-18)
+		name, src, dst, id, ack, len(p)-18) + discipline(p[18:])
+}
+
+// discipline annotates a transport payload dressed by the batch or
+// compress line disciplines (§2.4): the modules' wire formats are
+// self-describing enough to name from a raw capture.
+func discipline(body []byte) string {
+	if d, ok := streams.SnoopPayload(body); ok {
+		return " " + d
+	}
+	return ""
 }
 
 func decodeTCP(p []byte) string {
@@ -180,7 +191,7 @@ func decodeTCP(p []byte) string {
 			fl += c
 		}
 	}
-	return fmt.Sprintf("tcp(%d -> %d %s, %d data)", src, dst, fl, len(p)-18)
+	return fmt.Sprintf("tcp(%d -> %d %s, %d data)", src, dst, fl, len(p)-18) + discipline(p[18:])
 }
 
 func decodeUDP(p []byte) string {

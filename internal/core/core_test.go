@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/dialer"
+	"repro/internal/mnt"
 	"repro/internal/ns"
+	"repro/internal/obs"
 	"repro/internal/vfs"
 )
 
@@ -446,5 +448,66 @@ func TestNdbVisibleInNamespace(t *testing.T) {
 	b, err := helix.NS.ReadFile("/lib/ndb/local")
 	if err != nil || !strings.Contains(string(b), "sys=helix") {
 		t.Errorf("/lib/ndb/local: %v", err)
+	}
+}
+
+func TestImportOverDisciplinedConversation(t *testing.T) {
+	// A 9P mount whose transport conversation runs the batch+compress
+	// line disciplines: the server announces with mods, the client
+	// pushes the same stack via mnt.Config.Push, and the tree works
+	// exactly as over a bare conversation.
+	w := paperWorld(t)
+	bootes := w.Machine("bootes")
+	helix := w.Machine("helix")
+	motd := strings.Repeat("plan 9 from bell labs\n", 200)
+	if err := bootes.Root.WriteFile("lib/motd", []byte(motd), 0664); err != nil {
+		t.Fatal(err)
+	}
+	mods := []string{"compress", "batch 2048 2ms"}
+	stop, err := bootes.Serve9P("tcp!*!9990", "/", mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if _, err := helix.MountRemoteConfig("tcp!bootes!9990", "", "/n/bootes",
+		ns.MREPL, mnt.Config{Push: mods}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := helix.NS.ReadFile("/n/bootes/lib/motd")
+	if err != nil || string(b) != motd {
+		t.Fatalf("read over disciplined 9P: %d bytes, %v", len(b), err)
+	}
+	// The client conversation's stats file bills the modules: find it
+	// and check the counters balance.
+	ents, err := helix.NS.ReadDir("/net/tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		sb, err := helix.NS.ReadFile("/net/tcp/" + e.Name + "/stats")
+		if err != nil || len(sb) == 0 {
+			continue
+		}
+		st := obs.ParseStats(string(sb))
+		if st["batch-msgs-in"] == 0 {
+			continue
+		}
+		found = true
+		if st["compress-saved-bytes"]+st["compress-wire-bytes"] != st["compress-bytes-in"] {
+			t.Errorf("compress identity broken:\n%s", sb)
+		}
+		if st["compress-saved-bytes"] == 0 {
+			t.Errorf("9P carrying a repetitive file saved no bytes:\n%s", sb)
+		}
+		if st["compress-dec-errs"] != 0 || st["batch-errs"] != 0 {
+			t.Errorf("decode errors on a clean mount:\n%s", sb)
+		}
+	}
+	if !found {
+		t.Error("no conversation shows module stats on the importing machine")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/devtree"
@@ -25,7 +26,12 @@ type Handler func(nsp *ns.Namespace, conn *dialer.Conn)
 // Serve announces addr (e.g. "il!*!9fs" or "net!*!echo") and
 // dispatches each call to handler in its own goroutine — the paper's
 // listener, its inetd equivalent. It returns a stop function.
-func (m *Machine) Serve(addr string, handler Handler) (func(), error) {
+//
+// mods, if given, are line-discipline specs pushed on every accepted
+// conversation before its data file opens (bottom-up, §2.4.1), so the
+// service runs its module stack from the first byte; dialers must
+// push the same specs in the same order.
+func (m *Machine) Serve(addr string, handler Handler, mods ...string) (func(), error) {
 	l, err := dialer.Announce(m.NS, addr)
 	if err != nil {
 		return nil, err
@@ -58,6 +64,15 @@ func (m *Machine) Serve(addr string, handler Handler) (func(), error) {
 			default:
 			}
 			ck.Go(func() {
+				// Arm the conversation before data opens: once the
+				// dialer starts writing, both ends must already run
+				// the same module stack.
+				if len(mods) > 0 {
+					if err := call.Push(mods...); err != nil {
+						call.Reject("cannot push modules")
+						return
+					}
+				}
 				conn, err := call.Accept()
 				if err != nil {
 					return
@@ -67,9 +82,12 @@ func (m *Machine) Serve(addr string, handler Handler) (func(), error) {
 			})
 		}
 	})
+	var once sync.Once
 	stop := func() {
-		close(done)
-		l.Close()
+		once.Do(func() {
+			close(done)
+			l.Close()
+		})
 	}
 	m.onClose(stop)
 	return stop, nil
@@ -115,14 +133,14 @@ func msgConnFor(conn *dialer.Conn) ninep.MsgConn {
 // name space, one worker pool, one cfs-style read cache — rather than
 // getting a private relay. The attach name selects the exported
 // subtree; /net/export/stats carries the per-connection bill.
-func (m *Machine) ServeExportfs(addr string) (func(), error) {
+func (m *Machine) ServeExportfs(addr string, mods ...string) (func(), error) {
 	srv, err := m.exportSrv()
 	if err != nil {
 		return nil, err
 	}
 	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
 		srv.ServeConn(msgConnFor(conn))
-	})
+	}, mods...)
 }
 
 // exportSrv lazily builds the machine's shared export server and
@@ -179,6 +197,10 @@ func (m *Machine) ImportConfig(dest, remotePath, old string, flag int, cfg mnt.C
 	if err != nil {
 		return nil, err
 	}
+	if err := conn.Push(cfg.Push...); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	remotePath = strings.TrimPrefix(ns.Clean(remotePath), "/")
 	cl, err := exportfs.ImportConfig(m.NS, msgConnFor(conn), remotePath, old, flag, cfg)
 	if err != nil {
@@ -206,6 +228,10 @@ func (m *Machine) MountRemoteConfig(dest, aname, old string, flag int, cfg mnt.C
 	if err != nil {
 		return nil, err
 	}
+	if err := conn.Push(cfg.Push...); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	root, cl, err := mnt.MountConfig(msgConnFor(conn), m.NS.User(), aname, cfg)
 	if err != nil {
 		conn.Close()
@@ -225,14 +251,14 @@ func (m *Machine) MountRemoteConfig(dest, aname, old string, flag int, cfg mnt.C
 // file service (the "9fs" service a file server exposes). Like the
 // exportfs service, all calls share one multi-tenant server and its
 // read cache, re-rooted at root.
-func (m *Machine) Serve9P(addr, root string) (func(), error) {
+func (m *Machine) Serve9P(addr, root string, mods ...string) (func(), error) {
 	srv := exportfs.NewServer(m.NS, exportfs.Config{
 		Root:  root,
 		Clock: m.World.Clock(),
 	})
 	return m.Serve(addr, func(nsp *ns.Namespace, conn *dialer.Conn) {
 		srv.ServeConn(msgConnFor(conn))
-	})
+	}, mods...)
 }
 
 // ServeFTP runs the FTP service of §6.2 (the "remote system" end),

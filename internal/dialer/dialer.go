@@ -53,6 +53,38 @@ func (c *Conn) Close() error {
 	return c.Data.Close()
 }
 
+// Push arms the connection with line-discipline modules by writing
+// "push" control messages, bottom-up: Push("compress", "batch 2048 2ms")
+// puts compress nearest the wire and batch on top. Both ends of a
+// conversation must push the same specs in the same order — the wire
+// format is symmetric, not negotiated.
+func (c *Conn) Push(specs ...string) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	if c.Ctl == nil {
+		return errors.New("dial: connection has no ctl file")
+	}
+	for _, spec := range specs {
+		if _, err := c.Ctl.WriteString(netmsg.Push(spec)); err != nil {
+			return fmt.Errorf("push %s: %w", spec, err)
+		}
+	}
+	return nil
+}
+
+// Push arms an incoming call before Accept, so the server side of the
+// conversation runs its module stack from the first byte — the
+// counterpart of Conn.Push on the dialing side.
+func (c *Call) Push(specs ...string) error {
+	for _, spec := range specs {
+		if _, err := c.ctl.WriteString(netmsg.Push(spec)); err != nil {
+			return fmt.Errorf("push %s: %w", spec, err)
+		}
+	}
+	return nil
+}
+
 // LocalAddr reads the connection's local file.
 func (c *Conn) LocalAddr(nsp *ns.Namespace) string {
 	b, err := nsp.ReadFile(c.Dir + "/local")

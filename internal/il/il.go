@@ -204,6 +204,11 @@ func New(stack *ip.Stack, cfg Config) *Proto {
 // into /net/il/stats after the per-conversation lines.
 func (p *Proto) StatsGroup() *obs.Group { return p.stats }
 
+// Clock exposes the stack clock so line disciplines pushed on IL
+// conversations time their flush windows in the same (possibly
+// virtual) time domain as the protocol engine.
+func (p *Proto) Clock() vclock.Clock { return p.ck }
+
 // transmitter is the output kernel process: it owns every queued
 // packet and walks it down the stack. It exits at Close, freeing
 // whatever is still queued.

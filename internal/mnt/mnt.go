@@ -47,6 +47,15 @@ type Config struct {
 	// handle is always synchronous (so a ctl-file handshake keeps
 	// its ordering); errors surface on a later operation or Close.
 	WriteBehind bool
+	// Push lists line-discipline module specs (§2.4.1) to push on
+	// the mount's transport conversation before the 9P session
+	// starts, bottom-up: {"compress", "batch 2048 2ms"} puts
+	// compress nearest the wire. The mount driver itself does not
+	// act on this field — the code that dials the conversation
+	// (core.Machine.ImportConfig and friends) writes the push
+	// control messages, and the serving end must push the same
+	// specs in the same order.
+	Push []string
 }
 
 // FileConfig is the aggressive profile for mounts of plain file trees

@@ -29,6 +29,8 @@ import (
 	"repro/internal/devtree"
 	"repro/internal/netmsg"
 	"repro/internal/obs"
+	"repro/internal/streams"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 	"repro/internal/xport"
 )
@@ -52,6 +54,11 @@ type conv struct {
 
 	mu    sync.Mutex
 	inuse int
+	// line is the conversation's pushable module chain, materialized
+	// lazily by the first "push" ctl (§2.4.1). Once present, the data
+	// file's reads and writes pass through it instead of the bare
+	// conversation.
+	line *streams.Line
 }
 
 var _ vfs.Device = (*Dev)(nil)
@@ -144,11 +151,17 @@ func (c *conv) decref() {
 	c.inuse--
 	done := c.inuse <= 0
 	conn := c.conn
+	line := c.line
 	if done {
 		c.inuse = 0
 		c.conn = nil
+		c.line = nil
 	}
 	c.mu.Unlock()
+	if done && line != nil {
+		line.Close() // pop-drains pending module data, then closes conn
+		return
+	}
 	if done && conn != nil {
 		conn.Close()
 	}
@@ -164,6 +177,46 @@ func (c *conv) xconn() xport.Conn {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.conn
+}
+
+// xline returns the conversation's module chain, nil before the first
+// push.
+func (c *conv) xline() *streams.Line {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.line
+}
+
+// clock returns the protocol's time source when it exposes one (every
+// simulated protocol does, so a pushed module's flush timers run in
+// virtual time with the rest of the scenario), the real clock
+// otherwise.
+func (d *Dev) clock() vclock.Clock {
+	if cp, ok := d.proto.(interface{ Clock() vclock.Clock }); ok {
+		return vclock.Or(cp.Clock())
+	}
+	return vclock.Or(nil)
+}
+
+// pushLine pushes one module spec onto the conversation's stream,
+// creating the stream around the bare conversation on the first push.
+// Pushing is operator-coordinated with traffic, as in the kernel: both
+// ends push the same modules before exchanging data through them.
+func (c *conv) pushLine(ck vclock.Clock, spec string) error {
+	if spec == "" {
+		return vfs.ErrBadCtl
+	}
+	c.mu.Lock()
+	if c.conn == nil {
+		c.mu.Unlock()
+		return vfs.ErrHungup
+	}
+	if c.line == nil {
+		c.line = streams.NewLine(c.conn, ck, 0)
+	}
+	l := c.line
+	c.mu.Unlock()
+	return l.WriteCtl(netmsg.Push(spec))
 }
 
 // Root returns the device's top directory.
@@ -273,7 +326,20 @@ func (d *Dev) convCtl(c *conv, cmd string) error {
 		}
 		return conn.Announce(arg)
 	case netmsg.VerbHangup:
+		if l := c.xline(); l != nil {
+			return l.Close()
+		}
 		return conn.Close()
+	case netmsg.VerbPush:
+		// "push batch 2048 2ms", "push compress": dress the
+		// conversation in a line discipline (§2.4.1).
+		return c.pushLine(d.clock(), arg)
+	case netmsg.VerbPop:
+		l := c.xline()
+		if l == nil {
+			return streams.ErrNothingToPop
+		}
+		return l.WriteCtl(netmsg.Pop())
 	case netmsg.VerbReject:
 		// Datakit accepts a reason; IP networks ignore it (§5.2).
 		return conn.Close()
@@ -356,11 +422,24 @@ func (d *Dev) convDir(c *conv) vfs.Node {
 		get(func(cn xport.Conn) string {
 			return d.proto.Name() + "/" + strconv.Itoa(c.id) + " " + cn.Status() + "\n"
 		}))
+	// The conversation's stats file: one counter group per pushed
+	// module, rendered top first — the per-conversation bill for its
+	// line disciplines. Empty until something is pushed.
+	stats := devtree.TextFile(mk("stats", 0444), func() (string, error) {
+		if !c.live() {
+			return "", vfs.ErrHungup
+		}
+		l := c.xline()
+		if l == nil {
+			return "", nil
+		}
+		return l.StatsText(), nil
+	})
 	nodes := map[string]vfs.Node{
 		"ctl": ctl, "data": data, "listen": listen,
-		"local": local, "remote": remote, "status": status,
+		"local": local, "remote": remote, "stats": stats, "status": status,
 	}
-	order := []string{"ctl", "data", "listen", "local", "remote", "status"}
+	order := []string{"ctl", "data", "listen", "local", "remote", "stats", "status"}
 	if _, ok := c.xconn().(obs.Tracer); ok {
 		// The conversation carries an event ring: serve it as the
 		// trace file (§6.1's remote diagnosis — arm with "trace on",
@@ -386,7 +465,16 @@ type dataHandle struct{ c *conv }
 var _ vfs.Handle = (*dataHandle)(nil)
 
 // Read implements vfs.Handle (offset ignored; stream semantics).
+// When the conversation wears a line discipline, reads come off the
+// top of its stream; otherwise straight from the protocol.
 func (h *dataHandle) Read(p []byte, off int64) (int, error) {
+	if l := h.c.xline(); l != nil {
+		n, err := l.Read(p)
+		if err == io.EOF {
+			return n, nil
+		}
+		return n, err
+	}
 	conn := h.c.xconn()
 	if conn == nil {
 		return 0, vfs.ErrHungup
@@ -400,6 +488,9 @@ func (h *dataHandle) Read(p []byte, off int64) (int, error) {
 
 // Write implements vfs.Handle.
 func (h *dataHandle) Write(p []byte, off int64) (int, error) {
+	if l := h.c.xline(); l != nil {
+		return l.Write(p)
+	}
 	conn := h.c.xconn()
 	if conn == nil {
 		return 0, vfs.ErrHungup

@@ -9,6 +9,7 @@ import (
 	"repro/internal/il"
 	"repro/internal/ip"
 	"repro/internal/ns"
+	"repro/internal/obs"
 	"repro/internal/ramfs"
 	"repro/internal/tcp"
 	"repro/internal/vfs"
@@ -127,7 +128,7 @@ func TestPaperConnectionDance(t *testing.T) {
 	for _, e := range ents {
 		names = append(names, e.Name)
 	}
-	if strings.Join(names, " ") != "ctl data listen local remote status trace" {
+	if strings.Join(names, " ") != "ctl data listen local remote stats status trace" {
 		t.Errorf("conversation dir: %v", names)
 	}
 	local, _ := nsA.ReadFile(dir + "/local")
@@ -297,5 +298,154 @@ func TestHangupCtl(t *testing.T) {
 	}
 	if _, err := ctl.WriteString("hangup"); err != nil {
 		t.Errorf("hangup ctl: %v", err)
+	}
+}
+
+// TestPushedModulesThroughCtl arms a conversation with the production
+// line-discipline stack via the ctl file — "push compress", "push
+// batch" — on both ends, exchanges traffic through the data files, and
+// checks the per-conversation stats file reports balanced module
+// counters. Then it pops the stack back off and verifies a bare pop is
+// rejected.
+func TestPushedModulesThroughCtl(t *testing.T) {
+	nsA, nsB, _, addrB := world(t)
+
+	const nmsg = 20
+	srvReady := make(chan struct{})
+	go func() {
+		lctl, err := nsB.Open("/net/tcp/clone", vfs.ORDWR)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer lctl.Close()
+		buf := make([]byte, 16)
+		n, _ := lctl.Read(buf)
+		if _, err := lctl.WriteString("announce 7777"); err != nil {
+			t.Error(err)
+			return
+		}
+		close(srvReady)
+		nctl, err := nsB.Open("/net/tcp/"+string(buf[:n])+"/listen", vfs.ORDWR)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer nctl.Close()
+		n, _ = nctl.Read(buf)
+		ndir := "/net/tcp/" + string(buf[:n])
+		// Arm the accepted conversation before touching data: both
+		// ends of the wire must run the same stack in the same order.
+		if _, err := nctl.WriteString("push compress"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := nctl.WriteString("push batch 256 1ms"); err != nil {
+			t.Error(err)
+			return
+		}
+		data, err := nsB.Open(ndir+"/data", vfs.ORDWR)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer data.Close()
+		b := make([]byte, 4096)
+		for i := 0; i < nmsg; i++ {
+			rn, err := data.Read(b)
+			if err != nil {
+				t.Errorf("server read %d: %v", i, err)
+				return
+			}
+			if _, err := data.Write(b[:rn]); err != nil {
+				t.Errorf("server echo %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	<-srvReady
+	time.Sleep(20 * time.Millisecond)
+
+	ctl, err := nsA.Open("/net/tcp/clone", vfs.ORDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	buf := make([]byte, 16)
+	n, _ := ctl.Read(buf)
+	dir := "/net/tcp/" + string(buf[:n])
+
+	// An undisciplined conversation has an empty stats file.
+	if b, err := nsA.ReadFile(dir + "/stats"); err != nil || len(b) != 0 {
+		t.Errorf("stats before connect: %q, %v", b, err)
+	}
+	if _, err := ctl.WriteString("connect " + addrB.String() + "!7777"); err != nil {
+		t.Fatal(err)
+	}
+	// Live but undisciplined: the stats file exists and is empty.
+	if b, err := nsA.ReadFile(dir + "/stats"); err != nil || len(b) != 0 {
+		t.Errorf("stats before push: %q, %v", b, err)
+	}
+	if _, err := ctl.WriteString("push compress"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.WriteString("push batch 256 1ms"); err != nil {
+		t.Fatal(err)
+	}
+	// A bad spec must not wedge the armed conversation.
+	if _, err := ctl.WriteString("push batch nope"); err == nil {
+		t.Error("bad push spec accepted")
+	}
+
+	data, err := nsA.Open(dir+"/data", vfs.ORDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data.Close()
+	var sent int
+	b := make([]byte, 4096)
+	for i := 0; i < nmsg; i++ {
+		msg := []byte(strings.Repeat("abcdefgh", i+1))
+		sent += len(msg)
+		if _, err := data.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		rn, err := data.Read(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b[:rn]) != string(msg) {
+			t.Fatalf("echo %d: %d bytes back, want %d", i, rn, len(msg))
+		}
+	}
+
+	// The stats file must parse back to balanced module counters.
+	sb, err := nsA.ReadFile(dir + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := obs.ParseStats(string(sb))
+	if st["batch-msgs-in"] != nmsg {
+		t.Errorf("batch-msgs-in = %d, want %d:\n%s", st["batch-msgs-in"], nmsg, sb)
+	}
+	if st["batch-bytes-in"] != int64(sent) {
+		t.Errorf("batch-bytes-in = %d, want %d", st["batch-bytes-in"], sent)
+	}
+	if st["compress-saved-bytes"]+st["compress-wire-bytes"] != st["compress-bytes-in"] {
+		t.Errorf("compress identity broken:\n%s", sb)
+	}
+	if st["compress-dec-errs"] != 0 || st["batch-errs"] != 0 {
+		t.Errorf("decode errors on a clean wire:\n%s", sb)
+	}
+
+	// Pop the stack back off; a third pop has nothing left to take.
+	if _, err := ctl.WriteString("pop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.WriteString("pop"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.WriteString("pop"); err == nil {
+		t.Error("pop on an empty stack accepted")
 	}
 }

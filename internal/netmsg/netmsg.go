@@ -48,7 +48,9 @@ func Reject(reason string) string {
 func Hangup() string { return VerbHangup }
 
 // Push formats the stream configuration request that pushes a named
-// processing module (§2.4.1).
+// processing module (§2.4.1). The module spec may carry arguments
+// after the name — "batch 2048 2ms" — which the stream system hands
+// to the module's Open hook.
 func Push(module string) string { return VerbPush + " " + module }
 
 // Pop returns the stream request that removes the top module (§2.4.1).

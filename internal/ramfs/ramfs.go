@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/devtree"
+	"repro/internal/vclock"
 	"repro/internal/vfs"
 )
 
@@ -17,6 +18,12 @@ type FS struct {
 	mu    sync.RWMutex
 	root  *file
 	owner string
+
+	// ck, when set, makes the file system hermetic (see NewClock):
+	// qid paths count up from qid (guarded by mu) instead of drawing
+	// on the process-wide counter, and time stamps come from ck.
+	ck  vclock.Clock
+	qid uint64
 }
 
 type file struct {
@@ -31,14 +38,69 @@ type file struct {
 }
 
 // New returns an empty file system whose root is owned by owner.
+// Qid paths draw on the process-wide counter, so every server a
+// process assembles hands out distinct qids — what a namespace mixing
+// many devices (and any cache keyed by qid) wants.
 func New(owner string) *FS {
 	fs := &FS{owner: owner}
 	fs.root = &file{
 		fs:       fs,
-		dir:      devtree.MkDir("/", owner, 0775),
+		dir:      fs.mkDir("/", 0775),
 		children: make(map[string]*file),
 	}
 	return fs
+}
+
+// NewClock returns a hermetic file system: qid paths count up from
+// the root and time stamps come from ck, so every byte the server
+// utters — qids in Rcreate and Rwalk, times in Rstat — is a pure
+// function of the operations applied to it. Plan 9 qids are
+// per-server anyway; a server that owns a whole conversation (the
+// torture harness's ramfs, a simulation fixture) numbers hermetically
+// so the same-seed chaos gates can pin 9P traffic byte for byte.
+// Servers that join a process-wide namespace should keep New's
+// process-unique numbering.
+func NewClock(owner string, ck vclock.Clock) *FS {
+	fs := &FS{owner: owner, ck: vclock.Or(ck)}
+	fs.root = &file{
+		fs:       fs,
+		dir:      fs.mkDir("/", 0775),
+		children: make(map[string]*file),
+	}
+	return fs
+}
+
+// mkDir and mkFile build Dir entries, renumbered and restamped when
+// the file system is hermetic. Callers hold fs.mu (or are the
+// constructor, before the FS is shared).
+func (fs *FS) mkDir(name string, perm uint32) vfs.Dir {
+	d := devtree.MkDir(name, fs.owner, perm)
+	fs.restamp(&d)
+	return d
+}
+
+func (fs *FS) mkFile(name string, perm uint32) vfs.Dir {
+	d := devtree.MkFile(name, fs.owner, perm)
+	fs.restamp(&d)
+	return d
+}
+
+func (fs *FS) restamp(d *vfs.Dir) {
+	if fs.ck == nil {
+		return
+	}
+	fs.qid++
+	d.Qid.Path = fs.qid
+	t := fs.now()
+	d.Atime, d.Mtime = t, t
+}
+
+// now is the file system's time source for mtime updates.
+func (fs *FS) now() uint32 {
+	if fs.ck == nil {
+		return devtree.Now()
+	}
+	return uint32(fs.ck.Now().Unix())
 }
 
 // Name implements vfs.Device.
@@ -78,7 +140,7 @@ func (fs *FS) MkdirAll(path string, perm uint32) error {
 			child = &file{
 				fs:       fs,
 				parent:   f,
-				dir:      devtree.MkDir(name, fs.owner, perm),
+				dir:      fs.mkDir(name, perm),
 				children: make(map[string]*file),
 			}
 			f.children[name] = child
@@ -110,7 +172,7 @@ func (fs *FS) WriteFile(path string, contents []byte, perm uint32) error {
 	}
 	child, ok := f.children[name]
 	if !ok {
-		child = &file{fs: fs, parent: f, dir: devtree.MkFile(name, fs.owner, perm)}
+		child = &file{fs: fs, parent: f, dir: fs.mkFile(name, perm)}
 		f.children[name] = child
 		f.order = append(f.order, name)
 	}
@@ -120,7 +182,7 @@ func (fs *FS) WriteFile(path string, contents []byte, perm uint32) error {
 	child.data = append([]byte(nil), contents...)
 	child.dir.Length = int64(len(child.data))
 	child.dir.Qid.Vers++
-	child.dir.Mtime = devtree.Now()
+	child.dir.Mtime = fs.now()
 	return nil
 }
 
@@ -257,16 +319,16 @@ func (n node) Create(name string, perm uint32, mode int) (vfs.Node, vfs.Handle, 
 	if perm&vfs.DMDIR != 0 {
 		// Permissions inherit from the parent as in Plan 9:
 		// perm & (~0777 | parent&0777) for directories.
-		child.dir = devtree.MkDir(name, f.fs.owner, perm&(^uint32(0777)|f.dir.Mode&0777)&^vfs.DMDIR)
+		child.dir = f.fs.mkDir(name, perm&(^uint32(0777)|f.dir.Mode&0777)&^vfs.DMDIR)
 		child.dir.Mode |= vfs.DMDIR
 		child.children = make(map[string]*file)
 	} else {
-		child.dir = devtree.MkFile(name, f.fs.owner, perm&(^uint32(0666)|f.dir.Mode&0666))
+		child.dir = f.fs.mkFile(name, perm&(^uint32(0666)|f.dir.Mode&0666))
 	}
 	f.children[name] = child
 	f.order = append(f.order, name)
 	f.dir.Qid.Vers++
-	f.dir.Mtime = devtree.Now()
+	f.dir.Mtime = f.fs.now()
 	if child.dir.IsDir() {
 		return node{f: child}, &dirHandle{f: child}, nil
 	}
@@ -300,7 +362,7 @@ func removeLocked(f *file) error {
 		}
 	}
 	f.parent.dir.Qid.Vers++
-	f.parent.dir.Mtime = devtree.Now()
+	f.parent.dir.Mtime = f.fs.now()
 	f.gone = true
 	return nil
 }
@@ -398,7 +460,7 @@ func (h *fileHandle) Write(p []byte, off int64) (int, error) {
 	copy(f.data[off:], p)
 	f.dir.Length = int64(len(f.data))
 	f.dir.Qid.Vers++
-	f.dir.Mtime = devtree.Now()
+	f.dir.Mtime = f.fs.now()
 	return len(p), nil
 }
 

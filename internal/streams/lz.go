@@ -1,0 +1,204 @@
+package streams
+
+import (
+	"errors"
+	"sync"
+)
+
+// An LZ77 byte-oriented codec for the compress stream module, in the
+// LZ4 block style: a sequence is a token byte (high nibble literal
+// count, low nibble match length - 4), length extension bytes of 255,
+// the literals, then a 2-byte little-endian match offset. The final
+// sequence is literals only (match nibble 0, no offset). Matches are
+// at least 4 bytes and offsets reach at most 64K - 1 back, so the
+// format is self-contained per block and the decoder needs no history
+// beyond its own output.
+//
+// The encoder is deterministic: a fixed hash table size, a fixed hash
+// multiplier, and greedy forward parsing mean the same input always
+// produces the same output — required by the same-seed chaos gates,
+// which pin module traffic byte for byte.
+
+const (
+	lzMinMatch  = 4
+	lzHashBits  = 13
+	lzHashSize  = 1 << lzHashBits
+	lzMaxOffset = 1<<16 - 1
+	// lzMaxExpand caps the uncompressed size a frame may declare: a
+	// strict bound so a corrupt or hostile header cannot balloon the
+	// decoder's allocation (the largest legitimate payload is a batch
+	// window's worth of MaxBlock writes, far under this).
+	lzMaxExpand = 1 << 20
+)
+
+var errLZCorrupt = errors.New("lz: corrupt compressed data")
+
+// Hash tables are recycled: 32 KB apiece, and one is live only for the
+// duration of a single lzCompress call.
+var lzTablePool = sync.Pool{
+	New: func() any { return new([lzHashSize]int32) },
+}
+
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+func lzLoad32(p []byte, i int) uint32 {
+	return uint32(p[i]) | uint32(p[i+1])<<8 | uint32(p[i+2])<<16 | uint32(p[i+3])<<24
+}
+
+// lzAppendLen appends an LZ4-style extended length (n >= 15 spills
+// into 255-run continuation bytes).
+func lzAppendLen(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// lzCompress appends the compressed form of src to dst and returns the
+// extended slice. Positions in the hash table are stored +1 so the
+// zeroed table reads as empty.
+func lzCompress(dst, src []byte) []byte {
+	table := lzTablePool.Get().(*[lzHashSize]int32)
+	*table = [lzHashSize]int32{}
+	defer lzTablePool.Put(table)
+
+	var lit int // start of the pending literal run
+	i := 0
+	// The last lzMinMatch+1 bytes always go out as literals: no match
+	// can both start and be verified there.
+	for i+lzMinMatch < len(src) {
+		h := lzHash(lzLoad32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i) + 1
+		if cand < 0 || i-cand > lzMaxOffset || lzLoad32(src, cand) != lzLoad32(src, i) {
+			i++
+			continue
+		}
+		// Extend the match forward.
+		mlen := lzMinMatch
+		for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		litLen := i - lit
+		token := byte(0)
+		if litLen >= 15 {
+			token = 15 << 4
+		} else {
+			token = byte(litLen) << 4
+		}
+		if mlen-lzMinMatch >= 15 {
+			token |= 15
+		} else {
+			token |= byte(mlen - lzMinMatch)
+		}
+		dst = append(dst, token)
+		if litLen >= 15 {
+			dst = lzAppendLen(dst, litLen-15)
+		}
+		dst = append(dst, src[lit:i]...)
+		off := i - cand
+		dst = append(dst, byte(off), byte(off>>8))
+		if mlen-lzMinMatch >= 15 {
+			dst = lzAppendLen(dst, mlen-lzMinMatch-15)
+		}
+		// Seed the table inside the match so runs keep matching.
+		for j := i + 1; j+lzMinMatch < i+mlen && j+lzMinMatch < len(src); j += 2 {
+			table[lzHash(lzLoad32(src, j))] = int32(j) + 1
+		}
+		i += mlen
+		lit = i
+	}
+	// Trailing literals.
+	litLen := len(src) - lit
+	if litLen >= 15 {
+		dst = append(dst, 15<<4)
+		dst = lzAppendLen(dst, litLen-15)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, src[lit:]...)
+}
+
+// lzExpand decompresses src into dst, which must be exactly the
+// declared uncompressed length. It is strict: any truncated sequence,
+// out-of-range offset, or length mismatch is an error, never a read
+// or write past a buffer — compressed frames arrive off the wire and
+// are attacker-shaped by definition.
+func lzExpand(dst, src []byte) error {
+	di, si := 0, 0
+	for {
+		if si >= len(src) {
+			return errLZCorrupt
+		}
+		token := src[si]
+		si++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			for {
+				if si >= len(src) {
+					return errLZCorrupt
+				}
+				b := src[si]
+				si++
+				litLen += int(b)
+				if litLen > lzMaxExpand {
+					return errLZCorrupt
+				}
+				if b != 255 {
+					break
+				}
+			}
+		}
+		if si+litLen > len(src) || di+litLen > len(dst) {
+			return errLZCorrupt
+		}
+		copy(dst[di:], src[si:si+litLen])
+		si += litLen
+		di += litLen
+		if si == len(src) {
+			// Input exhausted exactly at a literal-only tail: valid
+			// only if the output is complete and the token carried no
+			// match.
+			if di != len(dst) || token&0x0f != 0 {
+				return errLZCorrupt
+			}
+			return nil
+		}
+		if si+2 > len(src) {
+			return errLZCorrupt
+		}
+		off := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		if off == 0 || off > di {
+			return errLZCorrupt
+		}
+		mlen := int(token&0x0f) + lzMinMatch
+		if token&0x0f == 15 {
+			for {
+				if si >= len(src) {
+					return errLZCorrupt
+				}
+				b := src[si]
+				si++
+				mlen += int(b)
+				if mlen > lzMaxExpand {
+					return errLZCorrupt
+				}
+				if b != 255 {
+					break
+				}
+			}
+		}
+		if di+mlen > len(dst) {
+			return errLZCorrupt
+		}
+		// Byte-by-byte: overlapping matches (off < mlen) replicate.
+		for k := 0; k < mlen; k++ {
+			dst[di+k] = dst[di-off+k]
+		}
+		di += mlen
+	}
+}

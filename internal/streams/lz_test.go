@@ -1,0 +1,101 @@
+package streams
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func lzRoundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	comp := lzCompress(nil, src)
+	got := make([]byte, len(src))
+	if err := lzExpand(got, comp); err != nil {
+		t.Fatalf("expand %d bytes: %v", len(src), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip diverges (%d bytes in, %d compressed)", len(src), len(comp))
+	}
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("abcd"),
+		[]byte("hello hello hello hello hello hello"),
+		bytes.Repeat([]byte{0}, 100_000),
+		bytes.Repeat([]byte("abcdefgh"), 5000),
+	}
+	// Random (incompressible) and mixed payloads.
+	rnd := make([]byte, 65536)
+	rng.Read(rnd)
+	cases = append(cases, rnd)
+	mixed := append(bytes.Repeat([]byte("9P2000 Tread Rread "), 500), rnd[:4096]...)
+	cases = append(cases, mixed)
+	// Long literal runs around the 15/255 extension boundaries.
+	for _, n := range []int{14, 15, 16, 269, 270, 271, 525} {
+		p := make([]byte, n)
+		rng.Read(p)
+		cases = append(cases, p)
+	}
+	// Long matches around the extension boundaries.
+	for _, n := range []int{18, 19, 20, 273, 274, 529} {
+		cases = append(cases, append([]byte("qrst"), bytes.Repeat([]byte("z"), n)...))
+	}
+	for i, src := range cases {
+		src := src
+		t.Run(string(rune('a'+i%26))+"-case", func(t *testing.T) { lzRoundTrip(t, src) })
+	}
+}
+
+func TestLZCompressesTypicalTraffic(t *testing.T) {
+	// 9P-ish traffic — repeated structure with small varying fields —
+	// must actually shrink, or the module is pointless.
+	var msg []byte
+	for i := 0; i < 200; i++ {
+		msg = append(msg, []byte("Twalk fid 42 newfid 43 /usr/glenda/lib/profile")...)
+		msg = append(msg, byte(i))
+	}
+	comp := lzCompress(nil, msg)
+	if len(comp) >= len(msg)/2 {
+		t.Fatalf("structured payload compressed %d -> %d, want at least 2x", len(msg), len(comp))
+	}
+	lzRoundTrip(t, msg)
+}
+
+func TestLZExpandStrict(t *testing.T) {
+	// The decoder must reject damage with an error, never panic or
+	// read out of bounds.
+	src := append(bytes.Repeat([]byte("abcd"), 64), []byte("tailtailtail")...)
+	comp := lzCompress(nil, src)
+	dst := make([]byte, len(src))
+
+	// Truncations at every length.
+	for i := 0; i < len(comp); i++ {
+		lzExpand(dst, comp[:i]) // must not panic; error or not is fine only for i<len
+	}
+	if err := lzExpand(dst, comp[:len(comp)-1]); err == nil {
+		t.Error("truncated stream expanded without error")
+	}
+	// Wrong declared output size.
+	if err := lzExpand(make([]byte, len(src)+1), comp); err == nil {
+		t.Error("short output accepted")
+	}
+	if err := lzExpand(make([]byte, len(src)-1), comp); err == nil {
+		t.Error("overlong stream accepted")
+	}
+	// Single-byte corruption sweep: every result must be an error or a
+	// clean (bounds-respecting) wrong answer — never a panic.
+	for i := range comp {
+		mut := append([]byte(nil), comp...)
+		mut[i] ^= 0x40
+		lzExpand(dst, mut)
+	}
+	// An offset pointing before the start of output.
+	bad := []byte{0x14, 'a', 0x05, 0x00} // 1 literal, match offset 5 > di
+	if err := lzExpand(make([]byte, 10), bad); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}

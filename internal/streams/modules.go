@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 )
 
 // This file provides the reusable processing modules that ship with the
@@ -158,4 +159,14 @@ type TraceStats struct {
 func (t *TraceStats) String() string {
 	return fmt.Sprintf("in: %d blocks %d bytes\nout: %d blocks %d bytes\n",
 		t.InBlocks.Load(), t.InBytes.Load(), t.OutBlocks.Load(), t.OutBytes.Load())
+}
+
+// StatsGroup surfaces the counters in a conversation's stats file
+// alongside the other pushed modules'.
+func (t *TraceStats) StatsGroup() *obs.Group {
+	return (&obs.Group{}).
+		AddAtomic("trace-in-blocks", &t.InBlocks).
+		AddAtomic("trace-in-bytes", &t.InBytes).
+		AddAtomic("trace-out-blocks", &t.OutBlocks).
+		AddAtomic("trace-out-bytes", &t.OutBytes)
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -24,11 +25,11 @@ type Stream struct {
 	limit int
 	clk   vclock.Clock
 
-	cfg      sync.RWMutex // guards module list changes vs. traffic
-	topRead  *Queue       // up direction terminator: user reads here
-	topWrite *Queue       // down direction entry: user writes here
-	devUp    *Queue       // up direction entry: device injects here
-	devWrite *Queue       // down direction terminator: device output
+	cfg      chainLock // guards module list changes vs. traffic
+	topRead  *Queue    // up direction terminator: user reads here
+	topWrite *Queue    // down direction entry: user writes here
+	devUp    *Queue    // up direction entry: device injects here
+	devWrite *Queue    // down direction terminator: device output
 
 	rlock sync.Mutex // the per-stream read lock of §2.4.1
 
@@ -55,6 +56,7 @@ func NewClock(limit int, ck vclock.Clock, dev DeviceFunc) *Stream {
 		limit = DefaultLimit
 	}
 	s := &Stream{limit: limit, clk: vclock.Or(ck)}
+	s.cfg.init(s.clk)
 	s.topRead = newQueue(s, nil, true, PutQ)
 	s.topWrite = newQueue(s, nil, false, PassPut)
 	s.devUp = newQueue(s, nil, true, PassPut)
@@ -79,14 +81,28 @@ func (s *Stream) OnClose(f func()) {
 	s.onClose = append(s.onClose, f)
 }
 
+// Clock returns the stream's time source. Modules must take their
+// timers from here — never from the real clock directly — so a stream
+// inside a discrete-event simulation stays deterministic.
+func (s *Stream) Clock() vclock.Clock { return s.clk }
+
 // Push adds an instance of module qi to the top of the stream
 // (§2.4.1 "push name"), passing arg to its Open hook.
 func (s *Stream) Push(qi *Qinfo, arg any) error {
-	s.cfg.Lock()
 	up := newQueue(s, qi, true, qi.Iput)
 	down := newQueue(s, qi, false, qi.Oput)
 	up.other, down.other = down, up
+	// Open runs before the splice: the moment the pair is reachable a
+	// put chain from either end may call the module's put procedures,
+	// so its state must be fully built first. Open hooks therefore
+	// must not put blocks — the queues have no neighbors yet.
+	if qi.Open != nil {
+		if err := qi.Open(up, arg); err != nil {
+			return err
+		}
+	}
 	// Splice below the top pair.
+	s.cfg.Lock()
 	up.next = s.topRead
 	down.next = s.topWrite.next
 	s.topWrite.next = down
@@ -94,12 +110,6 @@ func (s *Stream) Push(qi *Qinfo, arg any) error {
 	prev := s.prevUpLocked(s.topRead)
 	prev.next = up
 	s.cfg.Unlock()
-	if qi.Open != nil {
-		if err := qi.Open(up, arg); err != nil {
-			s.popModule() // undo the splice
-			return err
-		}
-	}
 	return nil
 }
 
@@ -125,6 +135,13 @@ func (s *Stream) Pop() error {
 }
 
 // popModule unsplices and returns the top module's up queue.
+//
+// While the exclusive config lock is held — no put chain in flight,
+// no writer able to start one — the module's Drain hook runs, so any
+// data it holds (a batch window's pending coalesced block) is emitted
+// down the still-intact chain BEFORE the module disappears. A write
+// issued after Pop returns therefore cannot overtake data written
+// before it.
 func (s *Stream) popModule() *Queue {
 	s.cfg.Lock()
 	defer s.cfg.Unlock()
@@ -133,6 +150,9 @@ func (s *Stream) popModule() *Queue {
 		return nil
 	}
 	up := down.other
+	if up.qi != nil && up.qi.Drain != nil {
+		up.qi.Drain(up)
+	}
 	s.topWrite.next = down.next
 	prev := s.prevUpLocked(up)
 	prev.next = up.next
@@ -148,6 +168,27 @@ func (s *Stream) prevUpLocked(q *Queue) *Queue {
 		cur = cur.next
 	}
 	return cur
+}
+
+// StatsSource is implemented by module state (a queue's Aux) that
+// exports an observable counter group; the conversation's stats file
+// renders every pushed module's group.
+type StatsSource interface{ StatsGroup() *obs.Group }
+
+// ModuleStats returns the stats groups of pushed modules, top first.
+func (s *Stream) ModuleStats() []*obs.Group {
+	s.cfg.RLock()
+	defer s.cfg.RUnlock()
+	var gs []*obs.Group
+	for q := s.topWrite.next; q != nil && q != s.devWrite; q = q.next {
+		if q.other == nil {
+			continue
+		}
+		if src, ok := q.other.Aux.(StatsSource); ok {
+			gs = append(gs, src.StatsGroup())
+		}
+	}
+	return gs
 }
 
 // Modules returns the names of pushed modules, top first.
@@ -184,10 +225,13 @@ func (s *Stream) Write(p []byte) (int, error) {
 		b := NewBlock(p[total : total+n])
 		total += n
 		b.Delim = total == len(p)
+		// The read lock is held across the whole put chain: a
+		// concurrent push or pop (which takes the lock exclusively)
+		// cannot unsplice a queue while a block is traversing it, so
+		// reconfiguration under load neither drops nor reorders data.
 		s.cfg.RLock()
-		entry := s.topWrite
+		s.topWrite.Put(b)
 		s.cfg.RUnlock()
-		entry.Put(b)
 		if total == len(p) {
 			return total, nil
 		}
@@ -206,10 +250,17 @@ func (s *Stream) WriteCtl(cmd string) error {
 	if len(fields) > 0 {
 		switch fields[0] {
 		case "push":
-			if len(fields) != 2 {
+			// "push name [args...]": anything after the module name is
+			// the module's argument string, handed to its Open hook
+			// (e.g. "push batch 2048 2ms").
+			if len(fields) < 2 {
 				return ErrUnknownMod
 			}
-			return s.PushName(fields[1], nil)
+			var arg any
+			if len(fields) > 2 {
+				arg = strings.Join(fields[2:], " ")
+			}
+			return s.PushName(fields[1], arg)
 		case "pop":
 			return s.Pop()
 		case "hangup":
@@ -218,9 +269,8 @@ func (s *Stream) WriteCtl(cmd string) error {
 		}
 	}
 	s.cfg.RLock()
-	entry := s.topWrite
+	s.topWrite.Put(NewCtlBlock(cmd))
 	s.cfg.RUnlock()
-	entry.Put(NewCtlBlock(cmd))
 	return nil
 }
 
@@ -279,10 +329,10 @@ func (s *Stream) Read(p []byte) (int, error) {
 //netvet:owns b
 func (s *Stream) DeviceUp(b *Block) {
 	s.stampUp(b)
+	// Held across the chain for the same reason as Write: see there.
 	s.cfg.RLock()
-	entry := s.devUp
+	s.devUp.Put(b)
 	s.cfg.RUnlock()
-	entry.Put(b)
 }
 
 // DeviceUpData is DeviceUp for a delimited data payload. The payload
@@ -321,12 +371,18 @@ func (s *Stream) Close() error {
 	s.closed = true
 	hooks := s.onClose
 	s.mu.Unlock()
+	// The read queue dies first: an upstream put chain parked on its
+	// flow-control limit holds the config read lock, and the Pops below
+	// need it exclusively. Closing topRead wakes that writer (the block
+	// is discarded on the dying stream) so the Pops can proceed — and
+	// each Pop's Drain still flushes module-held data out the device
+	// end, which stays functional until the stream is fully torn down.
+	s.topRead.close()
 	for {
 		if err := s.Pop(); err != nil {
 			break
 		}
 	}
-	s.topRead.close()
 	s.topWrite.close()
 	s.devUp.close()
 	s.devWrite.close()
@@ -344,3 +400,65 @@ func (s *Stream) isClosed() bool {
 
 // QueuedBytes reports bytes waiting at the top read queue.
 func (s *Stream) QueuedBytes() int { return s.topRead.Len() }
+
+// chainLock is the reader-writer lock guarding the module list against
+// reconfiguration: every put chain holds it shared for its whole
+// traversal; push and pop take it exclusively, so an unsplice can
+// never happen under a block in flight. A put chain can park while
+// holding the read side — flow control in a queueing module, or a
+// bandwidth-paced device write — so the waiters must park through the
+// stream's clock: a plain sync.RWMutex waiter never yields its virtual
+// scheduler token and would wedge a discrete-event run (the same rule
+// ninep.wlock follows). Writers have priority over new readers, so a
+// pop under continuous traffic is bounded by the chains already in
+// flight, not starved by new ones.
+type chainLock struct {
+	mu      sync.Mutex
+	rcond   vclock.Cond // readers waiting for the writer to leave
+	wcond   vclock.Cond // writers waiting for readers to drain
+	readers int
+	writer  bool
+	wwait   int
+}
+
+func (l *chainLock) init(ck vclock.Clock) {
+	l.rcond.Init(ck, &l.mu)
+	l.wcond.Init(ck, &l.mu)
+}
+
+func (l *chainLock) RLock() {
+	l.mu.Lock()
+	for l.writer || l.wwait > 0 {
+		l.rcond.Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+func (l *chainLock) RUnlock() {
+	l.mu.Lock()
+	l.readers--
+	if l.readers == 0 {
+		l.wcond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+func (l *chainLock) Lock() {
+	l.mu.Lock()
+	l.wwait++
+	for l.writer || l.readers > 0 {
+		l.wcond.Wait()
+	}
+	l.wwait--
+	l.writer = true
+	l.mu.Unlock()
+}
+
+func (l *chainLock) Unlock() {
+	l.mu.Lock()
+	l.writer = false
+	l.rcond.Broadcast()
+	l.wcond.Broadcast()
+	l.mu.Unlock()
+}

@@ -132,6 +132,13 @@ type Qinfo struct {
 	// Close is called when the instance is destroyed (stream close or
 	// pop), on the upstream queue. It must stop helper goroutines.
 	Close func(q *Queue)
+	// Drain, if set, is called on the upstream queue while the module
+	// is still spliced and the stream's config lock is held exclusively
+	// (no put chain in flight). The module must emit any data it is
+	// holding — coalesced-but-unflushed blocks — down the chain, so a
+	// pop never drops or reorders data relative to later writes. It
+	// must not block on upstream flow control.
+	Drain func(q *Queue)
 	// Iput processes blocks moving upstream (toward the process).
 	Iput PutFunc
 	// Oput processes blocks moving downstream (toward the device).
@@ -164,6 +171,7 @@ var (
 	ErrClosed       = errors.New("stream closed")
 	ErrUnknownMod   = errors.New("push: unknown stream module")
 	ErrNothingToPop = errors.New("pop: no module to pop")
+	ErrBadModArg    = errors.New("push: bad module argument")
 )
 
 // Queue is one direction of one module instance: a bounded block list

@@ -1,0 +1,99 @@
+package streams
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Wire-format describers for diagnostic tools: snoopy captures raw
+// packets off the wire, so a conversation dressed with the batch or
+// compress modules shows framed payloads inside its segments. These
+// helpers let the snooper name what it sees without duplicating the
+// module wire formats. They are best-effort by construction — a
+// transport segment may start mid-frame — and never allocate beyond
+// the rendered string.
+
+// SnoopCompress reports whether p begins with a compress-module frame
+// and renders its header. ok is false when p cannot start a frame.
+func SnoopCompress(p []byte) (desc string, ok bool) {
+	if len(p) < compressHdrLen || p[0] != compressMagic {
+		return "", false
+	}
+	flags, ulen, clen, bad := parseCompressHeader(p)
+	if bad {
+		return "", false
+	}
+	kind := "stored"
+	if flags&cflagLZ != 0 {
+		kind = "lz"
+	}
+	delim := ""
+	if flags&cflagDelim != 0 {
+		delim = " delim"
+	}
+	part := ""
+	if len(p) < compressHdrLen+clen {
+		part = fmt.Sprintf(", %d of %d here", len(p)-compressHdrLen, clen)
+	}
+	return fmt.Sprintf("compress(%s %d -> %d%s%s)", kind, ulen, clen, delim, part), true
+}
+
+// SnoopBatch reports whether p parses as a batch-module wire block —
+// a run of 4-byte big-endian length-prefixed messages — and renders
+// the frame walk. It requires at least one complete frame and that
+// every length stays within the module's message cap, so arbitrary
+// payloads rarely misreport; a trailing partial frame (a segment
+// boundary mid-message) is noted, not rejected.
+func SnoopBatch(p []byte) (desc string, ok bool) {
+	var sizes []string
+	off := 0
+	for off+4 <= len(p) {
+		n := int(binary.BigEndian.Uint32(p[off : off+4]))
+		if n <= 0 || n > batchMaxMsg {
+			return "", false
+		}
+		if off+4+n > len(p) {
+			sizes = append(sizes, fmt.Sprintf("%d of %d", len(p)-off-4, n))
+			off = len(p)
+			break
+		}
+		sizes = append(sizes, fmt.Sprintf("%d", n))
+		off += 4 + n
+	}
+	if len(sizes) == 0 || off != len(p) {
+		return "", false
+	}
+	return fmt.Sprintf("batch(%d msgs: %s)", len(sizes), strings.Join(sizes, " ")), true
+}
+
+// SnoopPayload describes a transport payload that may be dressed by
+// the line disciplines, peeling the stack outside-in. Compress sits
+// nearest the wire, so its frame is the outer layer; when the whole
+// frame is in this payload the helper recovers the plaintext (stored
+// directly, LZ by expansion) and walks the batch frames inside.
+func SnoopPayload(p []byte) (desc string, ok bool) {
+	d, ok := SnoopCompress(p)
+	if !ok {
+		return SnoopBatch(p)
+	}
+	flags, ulen, clen, bad := parseCompressHeader(p)
+	if bad || len(p) < compressHdrLen+clen {
+		return d, true // partial frame: the header is all we can say
+	}
+	body := p[compressHdrLen : compressHdrLen+clen]
+	var plain []byte
+	if flags&cflagLZ == 0 {
+		plain = body
+	} else {
+		buf := make([]byte, ulen)
+		if err := lzExpand(buf, body); err != nil {
+			return d, true
+		}
+		plain = buf
+	}
+	if inner, iok := SnoopBatch(plain); iok {
+		return d + " " + inner, true
+	}
+	return d, true
+}

@@ -127,6 +127,11 @@ func (p *Proto) Name() string { return "tcp" }
 // into /net/tcp/stats after the per-conversation lines.
 func (p *Proto) StatsGroup() *obs.Group { return p.stats }
 
+// Clock exposes the stack clock so line disciplines pushed on TCP
+// conversations time their flush windows in the same (possibly
+// virtual) time domain as the protocol engine.
+func (p *Proto) Clock() vclock.Clock { return p.ck }
+
 // Close tears the whole engine down at machine shutdown: every
 // conversation dies immediately — no FIN exchange, the machine is
 // going away — and every listener stops accepting, so per-connection

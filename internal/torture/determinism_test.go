@@ -74,3 +74,46 @@ func TestChaosVirtualMatchesReal(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosDeterminismModules is the same-seed identity gate with the
+// line-discipline stack pushed on both ends. The modules take their
+// flush timers from the conversation's clock and nothing else, so a
+// dressed virtual scenario must stay bit-identical run to run — the
+// wire schedule, the direction checksums, and every module counter on
+// both ends, across 32 seeds per protocol.
+func TestChaosDeterminismModules(t *testing.T) {
+	for _, proto := range Protos {
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 32; seed++ {
+				s := Chaos(proto, seed, 12)
+				s.Virtual = true
+				s.Impair.Record = true
+				s.Mods = []string{"compress", "batch 1024 2ms"}
+				a := Run(s)
+				b := Run(s)
+				if a.Failed() {
+					t.Fatalf("seed %d first run failed:\n%s", seed, a)
+				}
+				if b.Failed() {
+					t.Fatalf("seed %d second run failed:\n%s", seed, b)
+				}
+				if !reflect.DeepEqual(a.Schedule, b.Schedule) {
+					t.Errorf("seed %d: impairment schedules differ: %d vs %d decisions", seed, len(a.Schedule), len(b.Schedule))
+				}
+				if a.Forward != b.Forward || a.Backward != b.Backward {
+					t.Errorf("seed %d: direction stats differ:\n  %+v %+v\n  %+v %+v", seed, a.Forward, a.Backward, b.Forward, b.Backward)
+				}
+				if !reflect.DeepEqual(a.DialMods, b.DialMods) || !reflect.DeepEqual(a.AccMods, b.AccMods) {
+					t.Errorf("seed %d: module counters differ:\n  %v %v\n  %v %v", seed, a.DialMods, a.AccMods, b.DialMods, b.AccMods)
+				}
+				if a.Elapsed != b.Elapsed {
+					t.Errorf("seed %d: simulated elapsed differs: %v vs %v", seed, a.Elapsed, b.Elapsed)
+				}
+				if a.String() != b.String() {
+					t.Errorf("seed %d: rendered reports differ:\n%s\n%s", seed, a, b)
+				}
+			}
+		})
+	}
+}

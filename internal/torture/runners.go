@@ -3,6 +3,7 @@ package torture
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 
 	"repro/internal/cyclone"
 	"repro/internal/datakit"
@@ -11,7 +12,9 @@ import (
 	"repro/internal/ip"
 	"repro/internal/medium"
 	"repro/internal/ninep"
+	"repro/internal/obs"
 	"repro/internal/ramfs"
+	"repro/internal/streams"
 	"repro/internal/tcp"
 	"repro/internal/vclock"
 	"repro/internal/vfs"
@@ -21,7 +24,7 @@ import (
 // conv is an established conversation plus the hooks the driver needs
 // to observe the medium and tear the world down.
 type conv struct {
-	dial, acc xport.Conn
+	dial, acc io.ReadWriteCloser
 	stream    bool // byte stream (tcp): write delimiters not preserved
 	retrans   func() int64
 	counts    func() medium.Counts
@@ -29,9 +32,42 @@ type conv struct {
 	teardown  func() // closes protos, stacks, segments — after the conns
 }
 
+// dress wraps both ends of the conversation in Lines running the
+// scenario's module stack, returning the stats groups to snapshot
+// after the drain. The modules restore message boundaries themselves,
+// so a dressed conversation is never a raw byte stream.
+func dress(ck vclock.Clock, s Scenario, rep *Report, c *conv) (dialG, accG []*obs.Group) {
+	dl, al := streams.NewLine(c.dial, ck, 0), streams.NewLine(c.acc, ck, 0)
+	if err := dl.Push(s.Mods...); err != nil {
+		rep.violate("mods", "push %v on dialer: %v", s.Mods, err)
+	}
+	if err := al.Push(s.Mods...); err != nil {
+		rep.violate("mods", "push %v on acceptor: %v", s.Mods, err)
+	}
+	c.dial, c.acc = dl, al
+	c.stream = false
+	return dl.ModuleStats(), al.ModuleStats()
+}
+
+// snapshotGroups merges the final counter values of a module stack
+// into one map; the groups stay valid after the Line closes.
+func snapshotGroups(gs []*obs.Group) map[string]int64 {
+	m := make(map[string]int64)
+	for _, g := range gs {
+		for k, v := range g.Snapshot() {
+			m[k] = v
+		}
+	}
+	return m
+}
+
 // drive runs the two-directional traffic over an established
 // conversation, then closes everything and fills the report.
 func drive(ck vclock.Clock, s Scenario, rep *Report, c *conv) {
+	var dialG, accG []*obs.Group
+	if len(s.Mods) > 0 {
+		dialG, accG = dress(ck, s, rep, c)
+	}
 	watchdog := ck.AfterFunc(s.Timeout, func() {
 		rep.violate("timeout", "conversation did not finish in %v", s.Timeout)
 		// Unblock every reader and writer; the run then drains.
@@ -80,10 +116,13 @@ func drive(ck vclock.Clock, s Scenario, rep *Report, c *conv) {
 	if c.teardown != nil {
 		c.teardown()
 	}
+	if dialG != nil {
+		rep.DialMods, rep.AccMods = snapshotGroups(dialG), snapshotGroups(accG)
+	}
 }
 
 // sendMsgs writes count deterministic messages in direction dir.
-func sendMsgs(s Scenario, rep *Report, w xport.Conn, dir byte, count int, stats *DirStats) {
+func sendMsgs(s Scenario, rep *Report, w io.ReadWriteCloser, dir byte, count int, stats *DirStats) {
 	sum := newStreamSum()
 	defer func() {
 		stats.SentBytes = sum.n
@@ -101,7 +140,7 @@ func sendMsgs(s Scenario, rep *Report, w xport.Conn, dir byte, count int, stats 
 
 // recvMsgs reads count delimited messages and verifies each against
 // the regenerated expectation, classifying any divergence.
-func recvMsgs(s Scenario, rep *Report, r xport.Conn, dir byte, count int, stats *DirStats) {
+func recvMsgs(s Scenario, rep *Report, r io.ReadWriteCloser, dir byte, count int, stats *DirStats) {
 	sum := newStreamSum()
 	defer func() {
 		stats.RecvBytes = sum.n
@@ -154,7 +193,7 @@ func recvMsgs(s Scenario, rep *Report, r xport.Conn, dir byte, count int, stats 
 
 // recvStream reads a byte-stream protocol: delimiters are gone, so
 // the reader walks a cursor over the expected concatenated stream.
-func recvStream(s Scenario, rep *Report, r xport.Conn, dir byte, count int, stats *DirStats) {
+func recvStream(s Scenario, rep *Report, r io.ReadWriteCloser, dir byte, count int, stats *DirStats) {
 	sum := newStreamSum()
 	defer func() {
 		stats.RecvBytes = sum.n
@@ -425,37 +464,50 @@ func run9P(ck vclock.Clock, s Scenario, rep *Report) {
 		teardown()
 		return
 	}
-	fs := ramfs.New("torture")
+	// The 9P session can ride a dressed conversation too: Lines wrap
+	// the transport under the delimited-message adapter, so every RPC
+	// crosses the module stack.
+	var dconn, aconn io.ReadWriteCloser = dc, ac
+	var dialG, accG []*obs.Group
+	if len(s.Mods) > 0 {
+		c := &conv{dial: dc, acc: ac}
+		dialG, accG = dress(ck, s, rep, c)
+		dconn, aconn = c.dial, c.acc
+	}
+	fs := ramfs.NewClock("torture", ck)
 	srvDone := vclock.NewWaitGroup(ck)
 	srvDone.Add(1)
 	ck.Go(func() {
 		defer srvDone.Done()
 		// Serve returns when the transport hangs up; the error is the
 		// hangup itself, not a violation.
-		ninep.ServeClock(ninep.NewDelimConn(ac), func(uname, aname string) (vfs.Node, error) {
+		ninep.ServeClock(ninep.NewDelimConn(aconn), func(uname, aname string) (vfs.Node, error) {
 			return fs.Attach(aname)
 		}, ck)
 	})
 	watchdog := ck.AfterFunc(s.Timeout, func() {
 		rep.violate("timeout", "9p session did not finish in %v", s.Timeout)
-		dc.Close()
-		ac.Close()
+		dconn.Close()
+		aconn.Close()
 	})
-	torture9P(ck, s, rep, dc, blockMax)
+	torture9P(ck, s, rep, dconn, blockMax)
 	watchdog.Stop()
-	dc.Close()
-	ac.Close()
+	dconn.Close()
+	aconn.Close()
 	srvDone.Wait()
 	rep.Retransmits = p1.Retransmits.Load() + p2.Retransmits.Load()
 	rep.Wire = w.seg.ImpairCounts()
 	rep.Schedule = w.seg.Schedule()
 	teardown()
+	if dialG != nil {
+		rep.DialMods, rep.AccMods = snapshotGroups(dialG), snapshotGroups(accG)
+	}
 }
 
 // torture9P is the client side of the 9P scenario. The served tree is
 // a ramfs of plain files, so the client opts into windowed transfers —
 // the windowed pass below must exercise the real fan-out path.
-func torture9P(ck vclock.Clock, s Scenario, rep *Report, dc xport.Conn, blockMax int) {
+func torture9P(ck vclock.Clock, s Scenario, rep *Report, dc io.ReadWriteCloser, blockMax int) {
 	cl, err := ninep.NewClientConfig(ninep.NewDelimConn(dc), ninep.ClientConfig{WindowedTransfers: true, Clock: ck})
 	if err != nil {
 		rep.violate("9p", "version: %v", err)

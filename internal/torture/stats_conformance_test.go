@@ -443,3 +443,87 @@ func TestStatsConformanceMnt(t *testing.T) {
 	ac.Close()
 	<-srvDone
 }
+
+// TestStatsConformanceModules balances the line-discipline module
+// counters against ground truth. A chaos scenario runs with the
+// batch+compress stack on both ends over a lossy wire; because the
+// modules ride above the protocol engine, retransmissions must never
+// leak into their counters, so every identity is exact:
+//
+//   - per end: compress saved + wire bytes == bytes in (conservation);
+//   - per end: batch flushes-by-cause sum == wire blocks emitted;
+//   - per end: batch wire bytes == payload bytes + 4 per message;
+//   - across ends: one side's decoder figures equal the other side's
+//     encoder figures, both directions — nothing invented, nothing
+//     lost, under loss, duplication, and corruption on the wire;
+//   - against the driver: batch bytes-in equals the bytes the traffic
+//     generator says it sent.
+func TestStatsConformanceModules(t *testing.T) {
+	for _, proto := range Protos {
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			s := Chaos(proto, 29, 40)
+			s.Virtual = true
+			s.Mods = []string{"compress", "batch 1024 2ms"}
+			rep := Run(s)
+			if rep.Failed() {
+				t.Fatalf("scenario failed:\n%s", rep)
+			}
+			d, a := rep.DialMods, rep.AccMods
+			if d == nil || a == nil {
+				t.Fatal("no module snapshots in the report")
+			}
+			for name, m := range map[string]map[string]int64{"dial": d, "acc": a} {
+				if got := m["compress-saved-bytes"] + m["compress-wire-bytes"]; got != m["compress-bytes-in"] {
+					t.Errorf("%s: compress conservation broken: saved+wire=%d, in=%d", name, got, m["compress-bytes-in"])
+				}
+				flushes := m["batch-flush-cap"] + m["batch-flush-timer"] + m["batch-flush-ctl"] +
+					m["batch-flush-hangup"] + m["batch-flush-pop"]
+				if flushes != m["batch-wire-blocks"] {
+					t.Errorf("%s: flush causes sum %d != wire blocks %d", name, flushes, m["batch-wire-blocks"])
+				}
+				if got := m["batch-bytes-in"] + 4*m["batch-msgs-in"]; got != m["batch-wire-bytes"] {
+					t.Errorf("%s: batch framing books broken: in+hdrs=%d, wire=%d", name, got, m["batch-wire-bytes"])
+				}
+				if m["batch-errs"] != 0 || m["compress-dec-errs"] != 0 {
+					t.Errorf("%s: decode errors on a reliable conversation: batch %d compress %d",
+						name, m["batch-errs"], m["compress-dec-errs"])
+				}
+			}
+			// Cross-end conservation, both directions.
+			for _, dir := range []struct {
+				name   string
+				tx, rx map[string]int64
+			}{{"forward", d, a}, {"backward", a, d}} {
+				if dir.rx["compress-dec-frames"] != dir.tx["compress-blocks-in"] {
+					t.Errorf("%s: %d frames decoded, %d encoded", dir.name,
+						dir.rx["compress-dec-frames"], dir.tx["compress-blocks-in"])
+				}
+				if dir.rx["compress-dec-bytes"] != dir.tx["compress-bytes-in"] {
+					t.Errorf("%s: %d bytes decoded, %d encoded", dir.name,
+						dir.rx["compress-dec-bytes"], dir.tx["compress-bytes-in"])
+				}
+				if dir.rx["compress-dec-wire-bytes"] != dir.tx["compress-wire-bytes"] {
+					t.Errorf("%s: %d wire bytes consumed, %d produced", dir.name,
+						dir.rx["compress-dec-wire-bytes"], dir.tx["compress-wire-bytes"])
+				}
+				if dir.rx["batch-split-frames"] != dir.tx["batch-msgs-in"] {
+					t.Errorf("%s: %d frames split out, %d messages framed", dir.name,
+						dir.rx["batch-split-frames"], dir.tx["batch-msgs-in"])
+				}
+				if dir.rx["batch-split-bytes"] != dir.tx["batch-bytes-in"] {
+					t.Errorf("%s: %d bytes split out, %d framed", dir.name,
+						dir.rx["batch-split-bytes"], dir.tx["batch-bytes-in"])
+				}
+			}
+			// Against the driver's own books: what the generator sent is
+			// exactly what entered each batch coalescer.
+			if d["batch-bytes-in"] != rep.Forward.SentBytes && s.Proto != Proto9P {
+				t.Errorf("dial batch saw %d bytes, generator sent %d", d["batch-bytes-in"], rep.Forward.SentBytes)
+			}
+			if a["batch-bytes-in"] != rep.Backward.SentBytes && s.Proto != Proto9P {
+				t.Errorf("acc batch saw %d bytes, generator sent %d", a["batch-bytes-in"], rep.Backward.SentBytes)
+			}
+		})
+	}
+}

@@ -70,12 +70,23 @@ type Scenario struct {
 	// advance in simulated time, so an hour-long WAN scenario finishes
 	// in wall-clock milliseconds and same-seed runs are bit-identical.
 	Virtual bool
+
+	// Mods lists line-discipline specs (§2.4.1) pushed bottom-up on
+	// both ends of the conversation before traffic starts — e.g.
+	// {"compress", "batch 1024 2ms"}. The modules ride above the
+	// protocol engine, timed by the scenario's clock; batch and
+	// compress restore message boundaries themselves, so even a TCP
+	// conversation keeps the message-per-read contract with Mods set.
+	Mods []string
 }
 
 func (s Scenario) String() string {
 	mode := ""
 	if s.Virtual {
 		mode = " virtual"
+	}
+	if len(s.Mods) > 0 {
+		mode += " mods=[" + strings.Join(s.Mods, ", ") + "]"
 	}
 	return fmt.Sprintf("proto=%s seed=%d msgs=%d back=%d maxmsg=%d loss=%g impair={%s} lat=%v bw=%d%s",
 		s.Proto, s.Seed, s.Msgs, s.Back, s.MaxMsg, s.Loss, s.Impair, s.Latency, s.Bandwidth, mode)
@@ -127,6 +138,12 @@ type Report struct {
 	Wire        medium.Counts     // impairment counters, when the medium exposes them
 	Schedule    []medium.Decision // recorded decisions (Impair.Record on an ether-based proto)
 	Elapsed     time.Duration
+
+	// DialMods and AccMods are the final module-counter snapshots of
+	// each end's line-discipline stack, nil unless Scenario.Mods ran.
+	// They are taken after the conversation fully drains, so the
+	// conformance suite can balance them against the ground truth.
+	DialMods, AccMods map[string]int64
 
 	mu         sync.Mutex
 	Violations []Violation

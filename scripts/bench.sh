@@ -1,10 +1,10 @@
 #!/bin/sh
 # bench.sh — run the repo's headline benchmarks and record them as
-# BENCH_PR9.json: one object per benchmark with name, ns/op, B/op and
+# BENCH_PR10.json: one object per benchmark with name, ns/op, B/op and
 # allocs/op, so a future PR can diff performance against this one
 # mechanically. Usage:
 #
-#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR9.json
+#   scripts/bench.sh              # full run (benchtime 2s), writes BENCH_PR10.json
 #   scripts/bench.sh -smoke       # quick pass (benchtime 100ms), writes nothing,
 #                                 # fails only if a benchmark fails to run
 set -eu
@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 benchtime=2s
-out=BENCH_PR9.json
+out=BENCH_PR10.json
 smoke=0
 if [ "${1:-}" = "-smoke" ]; then
     benchtime=100ms
@@ -20,9 +20,11 @@ if [ "${1:-}" = "-smoke" ]; then
     smoke=1
 fi
 
-# pkg:Benchmark pairs. The root package carries the end-to-end figures;
-# internal/cs the connection-server cache (new vs seed discipline);
-# internal/ndb the §4.1 hash-vs-scan experiment at 1× and 10× scale.
+# pkg:Benchmark pairs. The root package carries the end-to-end figures
+# — including the WAN goodput rows for the line disciplines (baseline
+# vs batch vs batch+compress, small messages and bulk); internal/cs the
+# connection-server cache (new vs seed discipline); internal/ndb the
+# §4.1 hash-vs-scan experiment at 1× and 10× scale.
 benches='
 .:BenchmarkTable1LatencyILEther
 .:BenchmarkTable1LatencyURPDatakit
@@ -35,6 +37,12 @@ benches='
 .:Benchmark9PWriteOverIL
 .:Benchmark9PRelayThroughGateway
 .:Benchmark9PRelayThroughGateway1kClients
+.:BenchmarkWANSmallMsgGoodput
+.:BenchmarkWANSmallMsgGoodputBatch
+.:BenchmarkWANSmallMsgGoodputBatchCompress
+.:BenchmarkWANBulkGoodput
+.:BenchmarkWANBulkGoodputBatch
+.:BenchmarkWANBulkGoodputBatchCompress
 internal/cs:BenchmarkCSTranslateHot
 internal/cs:BenchmarkCSTranslateHotSeed
 internal/cs:BenchmarkCSTranslateHotSet512

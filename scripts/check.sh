@@ -44,6 +44,14 @@ echo "== chaos: 32-seed virtual-time sweep"
 # minimal scenario exactly as in the real-clock pass.
 go run ./cmd/netsim -chaos -virtual -seed 1 -seeds 32 -msgs 40
 
+echo "== chaos: line-discipline sweep (batch+compress pushed both ends)"
+# The same matrix with the §2.4 modules dressed on every conversation:
+# the disciplines must survive loss, duplication, reordering and
+# corruption on all five protocols without breaking the byte streams
+# they carry. (Same-seed byte-determinism of the dressed runs is pinned
+# separately by TestChaosDeterminismModules under go test above.)
+go run ./cmd/netsim -chaos -virtual -seed 1 -seeds 8 -msgs 40 -mods 'compress,batch 1024 2ms'
+
 echo "== stats conformance: /net files vs wire ground truth"
 # The conformance suite balances every /net/*/stats file against the
 # impairment engine's own books (drops, dups, corrupted emissions) —
@@ -89,6 +97,17 @@ if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 80 ]; then
 fi
 echo "internal/ccache coverage ${cov}%"
 
+echo "== streams coverage floor (>= 85%)"
+# The line disciplines rewrite every byte a dressed conversation
+# carries; the stream plumbing, both modules, and their wire parsers
+# hold the higher floor.
+cov=$(go test -cover ./internal/streams | awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") print $(i+1) }' | tr -d '%')
+if [ -z "$cov" ] || [ "$(printf '%.0f' "$cov")" -lt 85 ]; then
+    echo "internal/streams coverage ${cov:-unknown}% < 85%" >&2
+    exit 1
+fi
+echo "internal/streams coverage ${cov}%"
+
 echo "== cs coverage floor (>= 85%)"
 # The connection server answers every symbolic dial in the system; its
 # sharded cache, singleflight, and stats plumbing carry a higher floor
@@ -124,7 +143,11 @@ echo "== bench smoke (benchmarks still run)"
 sh scripts/bench.sh -smoke
 
 echo "== fuzz smoke (10s per parser)"
-go test -run '^$' -fuzz '^FuzzParseHeader$' -fuzztime 10s ./internal/il
-go test -run '^$' -fuzz '^Fuzz9PMessage$' -fuzztime 10s ./internal/ninep
+# -fuzzminimizetime 5x: a crasher found during a smoke should minimize
+# in a handful of runs, not stall the gate for the default 60s.
+go test -run '^$' -fuzz '^FuzzParseHeader$' -fuzztime 10s -fuzzminimizetime 5x ./internal/il
+go test -run '^$' -fuzz '^Fuzz9PMessage$' -fuzztime 10s -fuzzminimizetime 5x ./internal/ninep
+go test -run '^$' -fuzz '^FuzzCompressFrame$' -fuzztime 10s -fuzzminimizetime 5x ./internal/streams
+go test -run '^$' -fuzz '^FuzzBatchReassembly$' -fuzztime 10s -fuzzminimizetime 5x ./internal/streams
 
 echo "check.sh: all gates passed"
